@@ -1,0 +1,49 @@
+//! §3.1.1's coupled-vs-decoupled scheduling/dispatch trade, measured for
+//! real: decision rate with immediate dispatch against decisions feeding a
+//! dispatch queue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwcs::{DispatchMode, DualHeap, DwcsScheduler, FrameDesc, FrameKind, SchedulerConfig, StreamQos};
+use std::hint::black_box;
+
+fn run(mode: DispatchMode) -> u64 {
+    let cfg = SchedulerConfig {
+        dispatch: mode,
+        ..SchedulerConfig::default()
+    };
+    let mut s = DwcsScheduler::with_config(DualHeap::new(8), cfg);
+    let sids: Vec<_> = (0..8).map(|i| s.add_stream(StreamQos::new(1_000_000 + i * 31, 2, 8))).collect();
+    for seq in 0..250u64 {
+        for &sid in &sids {
+            s.enqueue(sid, FrameDesc::new(sid, seq, 1000, FrameKind::P), seq);
+        }
+    }
+    let mut sent = 0u64;
+    let mut t = 0u64;
+    loop {
+        let d = s.schedule_next(t);
+        if d.frame.is_some() {
+            sent += 1;
+        }
+        while s.pop_dispatch(t).is_some() {
+            sent += 1;
+        }
+        if !s.has_pending() {
+            break;
+        }
+        t += 5_000;
+    }
+    sent
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch_mode");
+    g.bench_function("coupled", |b| b.iter(|| black_box(run(DispatchMode::Coupled))));
+    g.bench_function("decoupled_cap64", |b| {
+        b.iter(|| black_box(run(DispatchMode::Decoupled { queue_cap: 64 })))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

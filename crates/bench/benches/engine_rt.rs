@@ -1,0 +1,56 @@
+//! Real-engine throughput: frames/second through the full producer →
+//! SPSC ring → DWCS scheduler thread → sink pipeline (work-conserving, so
+//! this measures machinery, not pacing).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dwcs::scheduler::Pacing;
+use dwcs::StreamQos;
+use nistream_core::engine::{MediaServer, SinkKind};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn drain(server: &MediaServer, expect: u64) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let stats_done = server.collected().len() as u64 >= expect;
+        if stats_done || std::time::Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_rt");
+    g.sample_size(10);
+    const FRAMES: u64 = 5_000;
+    g.throughput(Throughput::Elements(FRAMES));
+    g.bench_function("one_stream_5k_frames", |b| {
+        b.iter(|| {
+            let server = MediaServer::builder()
+                .pool(512, 2048)
+                .ring_capacity(512)
+                .pacing(Pacing::WorkConserving)
+                .sink(SinkKind::Collect)
+                .start()
+                .unwrap();
+            let mut s = server.open_stream(StreamQos::new(1_000_000, 2, 8)).unwrap();
+            let payload = [0u8; 512];
+            let mut pushed = 0u64;
+            while pushed < FRAMES {
+                match s.send(&payload) {
+                    Ok(()) => pushed += 1,
+                    Err(_) => std::thread::yield_now(),
+                }
+            }
+            drain(&server, FRAMES);
+            let n = server.collected().len();
+            server.shutdown();
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

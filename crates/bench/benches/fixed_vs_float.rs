@@ -1,0 +1,66 @@
+//! The paper's fixed-point-vs-float trade measured on a modern host:
+//! cross-multiplied `Frac` priority tests against `f64` division, plus
+//! window-adjustment loops in both styles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fixedpt::{Frac, Q16};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fixed_vs_float");
+    let pairs: Vec<(u32, u32, u32, u32)> = (0..256)
+        .map(|i| (i % 13 + 1, i % 17 + 2, i % 7 + 1, i % 23 + 2))
+        .collect();
+
+    g.bench_function("frac_cross_multiply_compare", |b| {
+        b.iter(|| {
+            let mut wins = 0u32;
+            for &(a, bd, c_, d) in &pairs {
+                let x = Frac::new(a, bd);
+                let y = Frac::new(c_, d);
+                if black_box(x) < black_box(y) {
+                    wins += 1;
+                }
+            }
+            black_box(wins)
+        })
+    });
+
+    g.bench_function("f64_divide_compare", |b| {
+        b.iter(|| {
+            let mut wins = 0u32;
+            for &(a, bd, c_, d) in &pairs {
+                let x = f64::from(a) / f64::from(bd);
+                let y = f64::from(c_) / f64::from(d);
+                if black_box(x) < black_box(y) {
+                    wins += 1;
+                }
+            }
+            black_box(wins)
+        })
+    });
+
+    g.bench_function("q16_ewma_chain", |b| {
+        b.iter(|| {
+            let mut est = Q16::ZERO;
+            for &(a, _, _, _) in &pairs {
+                est = est.ewma_toward(Q16::from_int(a as i32), 3);
+            }
+            black_box(est)
+        })
+    });
+
+    g.bench_function("f64_ewma_chain", |b| {
+        b.iter(|| {
+            let mut est = 0.0f64;
+            for &(a, _, _, _) in &pairs {
+                est += (f64::from(a) - est) / 8.0;
+            }
+            black_box(est)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! The MPEG segmentation program's throughput: encoding (synthesis) and
+//! start-code scanning over a ~1.5 Mb/s stream.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mpeg1::{EncoderConfig, Segmenter, SyntheticEncoder};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (bytes, truth) = SyntheticEncoder::new(EncoderConfig::default()).encode(300);
+    let mut g = c.benchmark_group("mpeg_segment");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("segment_300_frames", |b| {
+        b.iter(|| {
+            let frames = Segmenter::new(black_box(&bytes)).segment_all().unwrap();
+            assert_eq!(frames.len(), truth.len());
+            black_box(frames.len())
+        })
+    });
+    g.bench_function("encode_300_frames", |b| {
+        b.iter(|| {
+            let (out, _) = SyntheticEncoder::new(EncoderConfig::default()).encode(300);
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation: scheduling decision cost vs schedule representation and
+//! stream count (§3.1.1's data-structure experimentation, measured for
+//! real on the host CPU rather than the simulated i960).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwcs::{
+    BTreeRepr, CalendarQueue, DualHeap, DwcsScheduler, FrameDesc, FrameKind, LinearScan,
+    ScheduleRepr, SortedList, StreamId, StreamQos,
+};
+use std::hint::black_box;
+
+fn drive<R: ScheduleRepr>(repr: R, streams: u32, frames_per_stream: u64) -> u64 {
+    let mut s = DwcsScheduler::new(repr);
+    let sids: Vec<StreamId> = (0..streams)
+        .map(|i| s.add_stream(StreamQos::new(1_000_000 + u64::from(i) * 7_919, 2, 8)))
+        .collect();
+    for seq in 0..frames_per_stream {
+        for (i, &sid) in sids.iter().enumerate() {
+            s.enqueue(sid, FrameDesc::new(sid, seq, 1000, FrameKind::P), seq * 1_000 + i as u64);
+        }
+    }
+    let mut sent = 0u64;
+    let mut t = 0u64;
+    loop {
+        let d = s.schedule_next(t);
+        match d.frame {
+            Some(_) => sent += 1,
+            None => break,
+        }
+        t += 10_000;
+    }
+    sent
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_repr");
+    g.sample_size(10);
+    for &streams in &[4u32, 32, 128] {
+        let frames = 2_000 / u64::from(streams).max(1);
+        g.bench_with_input(BenchmarkId::new("linear-scan", streams), &streams, |b, &n| {
+            b.iter(|| black_box(drive(LinearScan::new(n as usize), n, frames)))
+        });
+        g.bench_with_input(BenchmarkId::new("sorted-list", streams), &streams, |b, &n| {
+            b.iter(|| black_box(drive(SortedList::new(), n, frames)))
+        });
+        g.bench_with_input(BenchmarkId::new("dual-heap", streams), &streams, |b, &n| {
+            b.iter(|| black_box(drive(DualHeap::new(n as usize), n, frames)))
+        });
+        g.bench_with_input(BenchmarkId::new("btree", streams), &streams, |b, &n| {
+            b.iter(|| black_box(drive(BTreeRepr::new(), n, frames)))
+        });
+        g.bench_with_input(BenchmarkId::new("calendar-queue", streams), &streams, |b, &n| {
+            b.iter(|| black_box(drive(CalendarQueue::new(1_000_000, 32), n, frames)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Discrete-event kernel throughput: how many simulated events per second
+//! the experiment substrate sustains.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simkit::{Engine, SimDuration};
+use std::hint::black_box;
+
+struct World {
+    fired: u64,
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_kernel");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("schedule_fire_100k", |b| {
+        b.iter(|| {
+            let mut eng: Engine<World> = Engine::new();
+            let mut w = World { fired: 0 };
+            fn tick(w: &mut World, eng: &mut Engine<World>) {
+                w.fired += 1;
+                if w.fired < 100_000 {
+                    eng.schedule_in(SimDuration::from_nanos(w.fired % 977 + 1), tick);
+                }
+            }
+            eng.schedule_in(SimDuration::from_nanos(1), tick);
+            eng.run(&mut w);
+            black_box(w.fired)
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("calendar_heavy_10k_pending", |b| {
+        b.iter(|| {
+            let mut eng: Engine<World> = Engine::new();
+            let mut w = World { fired: 0 };
+            for i in 0..10_000u64 {
+                eng.schedule_in(SimDuration::from_nanos(i * 31 % 100_000 + 1), |w: &mut World, _| {
+                    w.fired += 1;
+                });
+            }
+            eng.run(&mut w);
+            black_box(w.fired)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 4(b)'s synchronization-free circular buffer: single-thread
+//! ping-pong and cross-thread streaming throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwcs::ring::SpscRing;
+use std::hint::black_box;
+use std::thread;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc_ring");
+
+    g.bench_function("push_pop_same_thread", |b| {
+        let (mut tx, mut rx) = SpscRing::with_capacity::<u64>(1024);
+        b.iter(|| {
+            for i in 0..512u64 {
+                tx.push(i).unwrap();
+            }
+            let mut acc = 0u64;
+            while let Some(v) = rx.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+
+    g.sample_size(10);
+    g.bench_function("cross_thread_100k", |b| {
+        b.iter(|| {
+            let (mut tx, mut rx) = SpscRing::with_capacity::<u64>(256);
+            let producer = thread::spawn(move || {
+                let mut next = 0u64;
+                while next < 100_000 {
+                    if tx.push(next).is_ok() {
+                        next += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            let mut got = 0u64;
+            while got < 100_000 {
+                if rx.pop().is_some() {
+                    got += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            producer.join().unwrap();
+            black_box(got)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

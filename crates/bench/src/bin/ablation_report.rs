@@ -1,0 +1,71 @@
+//! Design-space ablations beyond the paper's tables:
+//!
+//! 1. Offload-target comparison — the same DWCS decision priced on the
+//!    DVCM lineage's co-processors and hosts.
+//! 2. Scheduler/producer NI split for a 6-slot node (§6's "careful
+//!    balance").
+//! 3. Shared-PCI-bus contention sweep (producer NIs vs delivered
+//!    throughput, bus utilization, DMA wait).
+//!
+//! Run: `cargo run --release -p nistream-bench --bin ablation_report`
+
+use fixedpt::ops::MathMode;
+use hwsim::profiles::{decision_us, ALL};
+use nistream_bench::format_table;
+use serversim::cluster::{node_capacity, sweep_ni_split, NodeConfig};
+use serversim::pcibus_sim;
+
+fn main() {
+    // 1. Offload targets.
+    let rows: Vec<Vec<String>> = ALL
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                format!("{:.1}", decision_us(p, MathMode::FixedPoint, 40)),
+                format!("{:.1}", decision_us(p, MathMode::SoftFloat, 40)),
+                if p.has_fpu { "yes" } else { "no" }.into(),
+            ]
+        })
+        .collect();
+    print!("{}", format_table(
+        "Ablation 1: DWCS decision cost across offload targets (40 descriptor touches)",
+        &["Target", "fixed-point (us)", "float (us)", "FPU"],
+        &rows,
+    ));
+    println!("paper: host ~50 us vs i960RD ~65 us — \"comparable, although the i960RD");
+    println!("is a much slower processor\"; fixed-point is what closes the gap.\n");
+
+    // 2. NI split.
+    let node = NodeConfig::default();
+    let cap = node_capacity(&node);
+    println!("Ablation 2: scheduler/producer NI balance (6-slot node, 260 kb/s streams)");
+    println!("  per-NI limits: scheduler {} | producer {} | PCI {}",
+        cap.streams_per_scheduler_ni, cap.streams_per_producer_ni, cap.pci_stream_limit);
+    for (sched, streams) in sweep_ni_split(6, &node) {
+        println!("  {sched} scheduler / {} producer NIs -> {streams:>4} streams", 6 - sched);
+    }
+    println!();
+
+    // 3. Bus contention.
+    let rows: Vec<Vec<String>> = pcibus_sim::sweep(&[1, 2, 4, 8, 16])
+        .into_iter()
+        .map(|(p, r)| {
+            vec![
+                p.to_string(),
+                format!("{}", r.delivered),
+                format!("{:.2}", r.throughput_bps / 1e6),
+                format!("{:.1}", r.bus_utilization * 100.0),
+                format!("{:.3}", r.mean_dma_wait_ms),
+                format!("{:.1}", r.sched_ni_utilization * 100.0),
+            ]
+        })
+        .collect();
+    print!("{}", format_table(
+        "Ablation 3: shared-PCI contention, 5 s runs (8 x 30fps streams per producer NI)",
+        &["producer NIs", "delivered", "Mb/s", "bus util %", "DMA wait ms", "sched-NI util %"],
+        &rows,
+    ));
+    println!("the bus never becomes the bottleneck — the scheduler NI's CPU+wire");
+    println!("budget saturates first, which is why peer-to-peer offload scales (§4.2.2).");
+}

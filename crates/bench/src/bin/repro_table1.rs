@@ -1,0 +1,25 @@
+//! Table 1 — Scheduler microbenchmarks, data cache DISABLED.
+//!
+//! Paper values (µs): software FP — total 19580.88, avg 129.67, w/o
+//! scheduler 5210.88 / 34.6; fixed point — 16425.36 / 108.48 / 4583.28 /
+//! 30.35. Run: `cargo run --release -p nistream-bench --bin repro_table1`.
+
+use nistream_bench::format_table;
+use serversim::micro;
+
+fn main() {
+    let (float, fixed) = micro::table1();
+    let rows = vec![
+        vec!["Total Sched time".into(), format!("{:.2}", float.total_sched_us), format!("{:.2}", fixed.total_sched_us)],
+        vec!["Avg frame Sched time".into(), format!("{:.2}", float.avg_sched_us), format!("{:.2}", fixed.avg_sched_us)],
+        vec!["Total time w/o Scheduler".into(), format!("{:.2}", float.total_nosched_us), format!("{:.2}", fixed.total_nosched_us)],
+        vec!["Avg frame time w/o Scheduler".into(), format!("{:.2}", float.avg_nosched_us), format!("{:.2}", fixed.avg_nosched_us)],
+    ];
+    print!("{}", format_table(
+        &format!("Table 1: Scheduler Microbenchmarks (Data Cache Disabled), {} MPEG-1 frames", fixed.frames),
+        &["Microbenchmark", "Software FP (uSecs)", "Fixed Point (uSecs)"],
+        &rows,
+    ));
+    println!("\nscheduler overhead (avg with - avg without): FP {:.2} us, fixed {:.2} us", float.overhead_us(), fixed.overhead_us());
+    println!("paper: FP ~95 us, fixed ~78 us; fixed-point advantage ~20 us/decision");
+}

@@ -1,0 +1,28 @@
+//! Table 2 — Scheduler microbenchmarks, data cache ENABLED.
+//!
+//! Paper values (µs): software FP — 17398.56 / 115.20 / 4776.48 / 31.40;
+//! fixed point — 14295.60 / 94.60 / 4195.68 / 27.78. The cache saves
+//! ~14.47 (FP) and ~13.88 (fixed) µs per frame over Table 1.
+
+use nistream_bench::format_table;
+use serversim::micro;
+
+fn main() {
+    let (float_off, fixed_off) = micro::table1();
+    let (float, fixed) = micro::table2();
+    let rows = vec![
+        vec!["Total Sched time".into(), format!("{:.2}", float.total_sched_us), format!("{:.2}", fixed.total_sched_us)],
+        vec!["Avg frame Sched time".into(), format!("{:.2}", float.avg_sched_us), format!("{:.2}", fixed.avg_sched_us)],
+        vec!["Total time w/o Scheduler".into(), format!("{:.2}", float.total_nosched_us), format!("{:.2}", fixed.total_nosched_us)],
+        vec!["Avg frame time w/o Scheduler".into(), format!("{:.2}", float.avg_nosched_us), format!("{:.2}", fixed.avg_nosched_us)],
+    ];
+    print!("{}", format_table(
+        &format!("Table 2: Scheduler Microbenchmarks (Data Cache Enabled), {} MPEG-1 frames", fixed.frames),
+        &["Microbenchmark", "Software FP (uSecs)", "Fixed Point (uSecs)"],
+        &rows,
+    ));
+    println!("\ncache saving per frame: FP {:.2} us (paper ~14.47), fixed {:.2} us (paper ~13.88)",
+        float_off.avg_sched_us - float.avg_sched_us,
+        fixed_off.avg_sched_us - fixed.avg_sched_us);
+    println!("scheduler overhead, fixed point: {:.2} us (paper ~66.82)", fixed.overhead_us());
+}

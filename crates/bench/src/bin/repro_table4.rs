@@ -1,0 +1,36 @@
+//! Table 4 — Critical-path benchmarks: 1000-byte frame, disk to remote
+//! client, averaged over 1000 transfers.
+//!
+//! Paper: Expt I (Path A) 1 ms (UFS) / 8 ms (VxWorks fs on host);
+//! Expt II (Path C) 5.4 ms; Expt III (Path B) 5.415 ms
+//! (4.2 disk + 1.2 net + 0.015 PCI).
+
+use nistream_bench::format_table;
+use serversim::paths::{self, PathConfig};
+
+fn main() {
+    let cfg = PathConfig::default();
+    let a_ufs = paths::path_a_ufs(&cfg);
+    let a_vx = paths::path_a_vxfs(&cfg);
+    let c = paths::path_c(&cfg);
+    let b = paths::path_b(&cfg);
+    let row = |name: &str, p: &paths::PathBreakdown| vec![
+        name.to_string(),
+        format!("{:.3}", p.total_ms),
+        format!("{:.2}", p.disk_ms),
+        format!("{:.2}", p.host_ms),
+        format!("{:.3}", p.pci_ms),
+        format!("{:.2}", p.net_ms),
+    ];
+    print!("{}", format_table(
+        &format!("Table 4: Critical Path Benchmarks ({}-byte frame, {} transfers)", cfg.frame_bytes, cfg.transfers),
+        &["Frame Transfer Path", "Total (ms)", "disk", "host CPU", "PCI", "net"],
+        &[
+            row("I   Disk-HostCPU-I/O Bus-Network (UFS)", &a_ufs),
+            row("I   Disk-HostCPU-I/O Bus-Network (VxWorks fs)", &a_vx),
+            row("II  NI Disk-NI CPU-Network (Path C)", &c),
+            row("III Disk-I/O Bus-NI CPU-Network (Path B)", &b),
+        ],
+    ));
+    println!("\npaper: 1(ufs)/8(VxWorks) | 5.4 | 5.415 (4.2disk + 1.2net + 0.015pci)");
+}

@@ -1,0 +1,21 @@
+//! Table 5 — PCI card-to-card transfer benchmarks.
+//!
+//! Paper: MPEG file (773 665 bytes) DMA 11 673.84 µs / 66.27 MB/s;
+//! PIO word read 3.6 µs; PIO word write 3.1 µs.
+
+use nistream_bench::format_table;
+use serversim::paths;
+
+fn main() {
+    let t = paths::table5();
+    print!("{}", format_table(
+        "Table 5: PCI Card-to-Card Transfer Benchmarks",
+        &["Benchmark", "Time (uSecs) / BW (MB/s)"],
+        &[
+            vec!["MPEG File Transfer by DMA (773665 bytes)".into(), format!("{:.2} / {:.2}", t.file_dma_us, t.file_dma_mbps)],
+            vec!["Memory Word Read (PIO)".into(), format!("{:.1}", t.pio_read_us)],
+            vec!["Memory Word Write (PIO)".into(), format!("{:.1}", t.pio_write_us)],
+        ],
+    ));
+    println!("\npaper: 11673.84 / 66.27 | 3.6 | 3.1");
+}

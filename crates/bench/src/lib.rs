@@ -1,0 +1,163 @@
+//! Shared drivers for the `repro_*` binaries.
+//!
+//! Each binary regenerates one table or figure of the paper; the common
+//! experiment plumbing (the three load levels, run lengths, formatting)
+//! lives here so every binary stays a page long and their outputs stay
+//! mutually consistent. See `EXPERIMENTS.md` at the repository root for
+//! paper-vs-measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serversim::hostload::{self, HostLoadConfig, HostLoadResult};
+use serversim::niload::{self, NiLoadConfig, NiLoadResult};
+use simkit::SimDuration;
+use workload::mpegclient::ClientPlan;
+use workload::profile::LoadProfile;
+
+pub use serversim::report::format_table;
+
+/// Standard figure run length (the paper's traces span ~100 s).
+pub const RUN_SECS: u64 = 100;
+
+/// The three load levels of Figures 6–8. The paper labels runs by their
+/// *whole-run average* utilization (45 %, 60 %); the sustained plateaus sit
+/// higher (the 60 % run exceeds 80 % during the loaded window), so the
+/// generator is calibrated against plateau targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoadLevel {
+    /// No web load.
+    None,
+    /// The "45 % average utilization" run.
+    Avg45,
+    /// The "60 % average utilization" run.
+    Avg60,
+}
+
+impl LoadLevel {
+    /// Display label used in figure outputs.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadLevel::None => "no web load",
+            LoadLevel::Avg45 => "45% avg util",
+            LoadLevel::Avg60 => "60% avg util",
+        }
+    }
+
+    /// Sustained-phase total-utilization target.
+    pub fn plateau_target(self) -> f64 {
+        match self {
+            LoadLevel::None => 0.0,
+            LoadLevel::Avg45 => 0.72,
+            LoadLevel::Avg60 => 0.94,
+        }
+    }
+}
+
+/// Host-load configuration for one level (Figures 6–8 geometry: load
+/// applied from 15 s to 80 s of a 100 s run).
+pub fn host_config(level: LoadLevel, run_secs: u64) -> HostLoadConfig {
+    // §4.2.3: "The system is then loaded using the remote web clients …
+    // and stream requests are made to the scheduler simultaneously" —
+    // clients connect when the load window opens (15 s into the trace).
+    let mut plan = ClientPlan::two_streams(run_secs);
+    for c in &mut plan.clients {
+        c.connect_at += SimDuration::from_secs(15);
+    }
+    let mut cfg = HostLoadConfig {
+        run: SimDuration::from_secs(run_secs),
+        frames_per_stream: ((run_secs - 15) * 30) as usize,
+        plan,
+        ..HostLoadConfig::default()
+    };
+    cfg.web = match level {
+        LoadLevel::None => LoadProfile::none(),
+        _ => {
+            let rate = hostload::web_rate_for(level.plateau_target(), &cfg);
+            let end = (run_secs * 4) / 5; // load stops at 80 % of the run
+            LoadProfile::experiment(15, 5, end, rate)
+        }
+    };
+    cfg
+}
+
+/// Run the host-based experiment at one load level.
+pub fn host_run(level: LoadLevel, run_secs: u64) -> HostLoadResult {
+    hostload::run(host_config(level, run_secs))
+}
+
+/// Run the NI-based experiment (Figures 9–10): streams on the NI, the
+/// 60 %-level web load on the host where it cannot reach them.
+pub fn ni_run(run_secs: u64) -> NiLoadResult {
+    let mut cfg = NiLoadConfig {
+        run: SimDuration::from_secs(run_secs),
+        frames_per_stream: (run_secs * 30) as usize,
+        plan: ClientPlan::two_streams(run_secs),
+        ..NiLoadConfig::default()
+    };
+    let host_cfg = host_config(LoadLevel::Avg60, run_secs);
+    cfg.host_web = host_cfg.web.clone();
+    niload::run(cfg)
+}
+
+/// Render a bandwidth/utilization trace as a compact `time: value` series
+/// (downsampled), for figure binaries.
+pub fn render_series(name: &str, trace: &simkit::Trace, unit: &str, points: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "  {name} [{unit}]:");
+    for &(t, v) in trace.thin(points).points() {
+        let _ = writeln!(out, "    t={:>5.1}s  {:>12.1}", t.as_secs_f64(), v);
+    }
+    out
+}
+
+/// Render queuing-delay-vs-frame series at a few sample frames.
+pub fn render_qdelay(name: &str, q: &[(u64, f64)], samples: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "  {name} (frame# -> queuing delay ms):");
+    if q.is_empty() {
+        let _ = writeln!(out, "    (no frames sent)");
+        return out;
+    }
+    let stride = (q.len() / samples.max(1)).max(1);
+    for (n, d) in q.iter().step_by(stride) {
+        let _ = writeln!(out, "    frame {n:>5}  {d:>10.0} ms");
+    }
+    let (n, d) = q.last().expect("non-empty");
+    let _ = writeln!(out, "    frame {n:>5}  {d:>10.0} ms  (last)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(LoadLevel::Avg45.plateau_target() < LoadLevel::Avg60.plateau_target());
+        assert_eq!(LoadLevel::None.plateau_target(), 0.0);
+    }
+
+    #[test]
+    fn host_config_geometry() {
+        let cfg = host_config(LoadLevel::Avg45, 100);
+        assert_eq!(cfg.frames_per_stream, 2_550);
+        assert_eq!(cfg.plan.clients[0].connect_at.as_secs_f64(), 15.0);
+        let web = cfg.web;
+        assert!(web.starts_at().is_some());
+        assert_eq!(web.ends_at().unwrap().as_secs_f64(), 80.0);
+        let none = host_config(LoadLevel::None, 100).web;
+        assert!(none.starts_at().is_none());
+    }
+
+    #[test]
+    fn render_helpers_do_not_panic_on_empty() {
+        let s = render_qdelay("s1", &[], 5);
+        assert!(s.contains("no frames"));
+        let t = simkit::Trace::new();
+        let s = render_series("u", &t, "%", 5);
+        assert!(s.contains("[%]"));
+    }
+}

@@ -1,0 +1,666 @@
+//! The real multithreaded streaming engine.
+//!
+//! Architecture mirrors the paper's NI firmware, with OS threads standing
+//! in for the co-processor:
+//!
+//! * **Producers** (any thread holding a [`StreamHandle`]) copy a frame
+//!   into the preallocated [`FramePool`] and push its descriptor through a
+//!   synchronization-free SPSC ring — Figure 4(b)'s "circular queue for
+//!   each stream eliminates the need for synchronization between the
+//!   scheduler … and the server that queues packets".
+//! * **The scheduler thread** drains rings into the DWCS scheduler
+//!   (dual-heap representation, deadline-paced by default), makes
+//!   decisions, resolves descriptors to payloads, and hands frames to the
+//!   configured [`FrameSink`]. Dropped frames' pool slots are reclaimed.
+//! * **Control** flows over a command channel (open/close/stats/shutdown)
+//!   — the moral equivalent of DVCM instructions through the I2O unit.
+
+use crate::pool::{FramePool, SlotId};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use dwcs::metrics::StreamStats;
+use dwcs::ring::{Consumer, Producer, SpscRing};
+use dwcs::scheduler::Pacing;
+use dwcs::{DualHeap, DwcsScheduler, FrameDesc, FrameKind, SchedulerConfig, StreamId, StreamQos};
+use std::net::UdpSocket;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Errors from the server API.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ServerError {
+    /// The scheduler thread is gone (shutdown or panicked).
+    Stopped,
+    /// The frame pool is exhausted (producer outran the scheduler).
+    PoolExhausted,
+    /// Per-stream ring is full (burst larger than ring capacity).
+    RingFull,
+    /// Payload exceeds the pool slot size.
+    FrameTooLarge,
+    /// Unknown stream.
+    NoSuchStream,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Stopped => write!(f, "scheduler thread has stopped"),
+            ServerError::PoolExhausted => write!(f, "frame pool exhausted (producer outran the scheduler)"),
+            ServerError::RingFull => write!(f, "per-stream descriptor ring full"),
+            ServerError::FrameTooLarge => write!(f, "payload exceeds the pool slot size"),
+            ServerError::NoSuchStream => write!(f, "unknown stream id"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Record of one frame delivered to a collecting sink.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SentRecord {
+    /// Stream id.
+    pub stream: StreamId,
+    /// Producer sequence number.
+    pub seq: u64,
+    /// Payload length.
+    pub len: u32,
+    /// Whether it met its deadline.
+    pub on_time: bool,
+    /// Engine-clock nanoseconds at dispatch.
+    pub at_ns: u64,
+}
+
+/// Where dispatched frames go.
+pub enum SinkKind {
+    /// Drop payloads (pure scheduling benchmark).
+    Discard,
+    /// Keep [`SentRecord`]s retrievable via [`MediaServer::collected`].
+    Collect,
+    /// Datagram per frame to the given address (best-effort).
+    Udp(std::net::SocketAddr),
+}
+
+/// A sink for dispatched frames. Implement to bridge into your transport.
+pub trait FrameSink: Send {
+    /// Deliver one frame.
+    fn deliver(&mut self, desc: &FrameDesc, on_time: bool, payload: &[u8]);
+}
+
+/// Discards frames.
+pub struct DiscardSink;
+
+impl FrameSink for DiscardSink {
+    fn deliver(&mut self, _desc: &FrameDesc, _on_time: bool, _payload: &[u8]) {}
+}
+
+/// Collects [`SentRecord`]s.
+pub struct CollectSink {
+    records: Arc<parking_lot::Mutex<Vec<SentRecord>>>,
+    epoch: Instant,
+}
+
+impl FrameSink for CollectSink {
+    fn deliver(&mut self, desc: &FrameDesc, on_time: bool, payload: &[u8]) {
+        self.records.lock().push(SentRecord {
+            stream: desc.stream,
+            seq: desc.seq,
+            len: payload.len() as u32,
+            on_time,
+            at_ns: self.epoch.elapsed().as_nanos() as u64,
+        });
+    }
+}
+
+/// Sends each frame as a UDP datagram.
+pub struct UdpSink {
+    socket: UdpSocket,
+}
+
+impl FrameSink for UdpSink {
+    fn deliver(&mut self, _desc: &FrameDesc, _on_time: bool, payload: &[u8]) {
+        // Best-effort, like the firmware's raw port: errors are dropped.
+        let _ = self.socket.send(&payload[..payload.len().min(65_000)]);
+    }
+}
+
+enum Command {
+    Open(StreamQos, Consumer<FrameDesc>, Sender<StreamId>),
+    Close(StreamId),
+    Stats(StreamId, Sender<Option<StreamStats>>),
+    StatsAll(Sender<Vec<(StreamId, StreamStats)>>),
+    Shutdown,
+}
+
+/// Builder for [`MediaServer`].
+pub struct MediaServerBuilder {
+    pool_slots: usize,
+    slot_size: usize,
+    ring_capacity: usize,
+    pacing: Pacing,
+    late_grace: u64,
+    sink: SinkKind,
+}
+
+impl Default for MediaServerBuilder {
+    fn default() -> Self {
+        MediaServerBuilder {
+            pool_slots: 1024,
+            slot_size: 64 * 1024,
+            ring_capacity: 256,
+            pacing: Pacing::DeadlinePaced,
+            // A real clock always overshoots a deadline by wakeup jitter;
+            // tolerate OS-scheduler noise before declaring frames late
+            // (tighten for hard pacing experiments).
+            late_grace: 5 * dwcs::types::MILLISECOND,
+            sink: SinkKind::Discard,
+        }
+    }
+}
+
+impl MediaServerBuilder {
+    /// Frame pool geometry (slots × slot bytes). Allocated once at start.
+    pub fn pool(mut self, slots: usize, slot_size: usize) -> Self {
+        self.pool_slots = slots;
+        self.slot_size = slot_size;
+        self
+    }
+
+    /// Per-stream descriptor ring capacity.
+    pub fn ring_capacity(mut self, cap: usize) -> Self {
+        self.ring_capacity = cap;
+        self
+    }
+
+    /// Dispatch pacing (deadline-paced by default: output at stream rate).
+    pub fn pacing(mut self, p: Pacing) -> Self {
+        self.pacing = p;
+        self
+    }
+
+    /// Lateness grace in nanoseconds (see `dwcs::SchedulerConfig`).
+    pub fn late_grace(mut self, ns: u64) -> Self {
+        self.late_grace = ns;
+        self
+    }
+
+    /// Frame destination.
+    pub fn sink(mut self, sink: SinkKind) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Spawn the scheduler thread and return the server.
+    pub fn start(self) -> std::io::Result<MediaServer> {
+        let pool = FramePool::new(self.pool_slots, self.slot_size);
+        let epoch = Instant::now();
+        let records = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut sink: Box<dyn FrameSink> = match self.sink {
+            SinkKind::Discard => Box::new(DiscardSink),
+            SinkKind::Collect => Box::new(CollectSink {
+                records: Arc::clone(&records),
+                epoch,
+            }),
+            SinkKind::Udp(addr) => {
+                let socket = UdpSocket::bind("0.0.0.0:0")?;
+                socket.connect(addr)?;
+                Box::new(UdpSink { socket })
+            }
+        };
+
+        let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        let cfg = SchedulerConfig {
+            pacing: self.pacing,
+            late_grace: self.late_grace,
+            ..SchedulerConfig::default()
+        };
+        let thread_pool = pool.clone();
+        let handle = std::thread::Builder::new()
+            .name("dwcs-scheduler".into())
+            .spawn(move || scheduler_loop(cfg, cmd_rx, thread_pool, sink.as_mut(), epoch))?;
+
+        Ok(MediaServer {
+            cmd_tx,
+            pool,
+            epoch,
+            ring_capacity: self.ring_capacity,
+            records,
+            handle: parking_lot::Mutex::new(Some(handle)),
+        })
+    }
+}
+
+fn now_ns(epoch: Instant) -> u64 {
+    epoch.elapsed().as_nanos() as u64
+}
+
+fn scheduler_loop(
+    cfg: SchedulerConfig,
+    cmd_rx: Receiver<Command>,
+    pool: FramePool,
+    sink: &mut dyn FrameSink,
+    epoch: Instant,
+) {
+    let mut sched: DwcsScheduler<DualHeap> = DwcsScheduler::with_config(DualHeap::new(16), cfg);
+    let mut rings: Vec<(StreamId, Consumer<FrameDesc>)> = Vec::new();
+
+    loop {
+        // 1. Control commands.
+        loop {
+            match cmd_rx.try_recv() {
+                Ok(Command::Open(qos, cons, reply)) => {
+                    let sid = sched.add_stream(qos);
+                    rings.push((sid, cons));
+                    let _ = reply.send(sid);
+                }
+                Ok(Command::Close(sid)) => {
+                    // Reclaim anything still queued in the ring.
+                    if let Some(pos) = rings.iter().position(|(s, _)| *s == sid) {
+                        let (_, mut cons) = rings.remove(pos);
+                        while let Some(desc) = cons.pop() {
+                            pool.release(desc.addr as SlotId);
+                        }
+                    }
+                    sched.remove_stream(sid);
+                }
+                Ok(Command::Stats(sid, reply)) => {
+                    let known = sched.stream_ids().any(|s| s == sid);
+                    let _ = reply.send(known.then(|| sched.stats(sid).clone()));
+                }
+                Ok(Command::StatsAll(reply)) => {
+                    let all: Vec<_> = sched
+                        .stream_ids()
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .map(|sid| (sid, sched.stats(sid).clone()))
+                        .collect();
+                    let _ = reply.send(all);
+                }
+                Ok(Command::Shutdown) | Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    return;
+                }
+                Err(crossbeam::channel::TryRecvError::Empty) => break,
+            }
+        }
+
+        // 2. Drain producer rings into the scheduler.
+        let t = now_ns(epoch);
+        for (sid, cons) in &mut rings {
+            while let Some(desc) = cons.pop() {
+                sched.enqueue(*sid, desc, t);
+            }
+        }
+
+        // 3. One scheduling decision.
+        let t = now_ns(epoch);
+        let d = sched.schedule_next(t);
+        sched.drain_dropped(|desc| pool.release(desc.addr as SlotId));
+        if let Some(f) = d.frame {
+            pool.take(f.desc.addr as SlotId, |payload| {
+                sink.deliver(&f.desc, f.on_time, payload);
+            });
+            continue; // stay hot while frames flow
+        }
+        if d.dropped > 0 {
+            continue;
+        }
+
+        // 4. Idle: sleep until the next deadline or the next command.
+        let sleep = match sched.next_eligible() {
+            Some(at) if at > t => Duration::from_nanos((at - t).min(500_000)),
+            Some(_) => continue,
+            None => Duration::from_micros(500),
+        };
+        match cmd_rx.recv_timeout(sleep) {
+            Ok(cmd) => {
+                // Re-inject: cheapest is to handle inline via a tiny queue.
+                match cmd {
+                    Command::Open(qos, cons, reply) => {
+                        let sid = sched.add_stream(qos);
+                        rings.push((sid, cons));
+                        let _ = reply.send(sid);
+                    }
+                    Command::Close(sid) => {
+                        if let Some(pos) = rings.iter().position(|(s, _)| *s == sid) {
+                            let (_, mut cons) = rings.remove(pos);
+                            while let Some(desc) = cons.pop() {
+                                pool.release(desc.addr as SlotId);
+                            }
+                        }
+                        sched.remove_stream(sid);
+                    }
+                    Command::Stats(sid, reply) => {
+                        let known = sched.stream_ids().any(|s| s == sid);
+                        let _ = reply.send(known.then(|| sched.stats(sid).clone()));
+                    }
+                    Command::StatsAll(reply) => {
+                        let all: Vec<_> = sched
+                            .stream_ids()
+                            .collect::<Vec<_>>()
+                            .into_iter()
+                            .map(|sid| (sid, sched.stats(sid).clone()))
+                            .collect();
+                        let _ = reply.send(all);
+                    }
+                    Command::Shutdown => return,
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Handle for producing frames into one stream. Single producer: the ring
+/// is SPSC; clone-free by design.
+pub struct StreamHandle {
+    id: StreamId,
+    producer: Producer<FrameDesc>,
+    pool: FramePool,
+    epoch: Instant,
+    seq: u64,
+    kind_cycle: [FrameKind; 9],
+}
+
+impl StreamHandle {
+    /// This stream's id.
+    pub fn id(&self) -> StreamId {
+        self.id
+    }
+
+    /// Queue one frame for scheduling (copies the payload into the pool).
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), ServerError> {
+        self.send_kind(payload, self.kind_cycle[(self.seq % 9) as usize])
+    }
+
+    /// Queue one frame with an explicit picture kind.
+    pub fn send_kind(&mut self, payload: &[u8], kind: FrameKind) -> Result<(), ServerError> {
+        if payload.len() > self.pool.slot_size() {
+            return Err(ServerError::FrameTooLarge);
+        }
+        let slot = self.pool.store(payload).ok_or(ServerError::PoolExhausted)?;
+        let desc = FrameDesc {
+            stream: self.id,
+            seq: self.seq,
+            len: payload.len() as u32,
+            kind,
+            enqueued_at: self.epoch.elapsed().as_nanos() as u64,
+            addr: u64::from(slot),
+        };
+        match self.producer.push(desc) {
+            Ok(()) => {
+                self.seq += 1;
+                Ok(())
+            }
+            Err(_) => {
+                self.pool.release(slot);
+                Err(ServerError::RingFull)
+            }
+        }
+    }
+
+    /// Frames queued so far.
+    pub fn produced(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// The media server: a DWCS scheduler thread plus producer-facing API.
+pub struct MediaServer {
+    cmd_tx: Sender<Command>,
+    pool: FramePool,
+    epoch: Instant,
+    ring_capacity: usize,
+    records: Arc<parking_lot::Mutex<Vec<SentRecord>>>,
+    handle: parking_lot::Mutex<Option<JoinHandle<()>>>,
+}
+
+impl MediaServer {
+    /// Start building a server.
+    pub fn builder() -> MediaServerBuilder {
+        MediaServerBuilder::default()
+    }
+
+    /// Open a stream with the given QoS; returns its producer handle.
+    pub fn open_stream(&self, qos: StreamQos) -> Result<StreamHandle, ServerError> {
+        let (producer, consumer) = SpscRing::with_capacity(self.ring_capacity);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cmd_tx
+            .send(Command::Open(qos, consumer, reply_tx))
+            .map_err(|_| ServerError::Stopped)?;
+        let id = reply_rx.recv().map_err(|_| ServerError::Stopped)?;
+        Ok(StreamHandle {
+            id,
+            producer,
+            pool: self.pool.clone(),
+            epoch: self.epoch,
+            seq: 0,
+            kind_cycle: [
+                FrameKind::I,
+                FrameKind::B,
+                FrameKind::B,
+                FrameKind::P,
+                FrameKind::B,
+                FrameKind::B,
+                FrameKind::P,
+                FrameKind::B,
+                FrameKind::B,
+            ],
+        })
+    }
+
+    /// Close a stream (its backlog is discarded and pool slots reclaimed).
+    pub fn close_stream(&self, sid: StreamId) -> Result<(), ServerError> {
+        self.cmd_tx.send(Command::Close(sid)).map_err(|_| ServerError::Stopped)
+    }
+
+    /// Fetch a stream's service statistics.
+    pub fn stats(&self, sid: StreamId) -> Result<StreamStats, ServerError> {
+        let (tx, rx) = bounded(1);
+        self.cmd_tx.send(Command::Stats(sid, tx)).map_err(|_| ServerError::Stopped)?;
+        rx.recv().map_err(|_| ServerError::Stopped)?.ok_or(ServerError::NoSuchStream)
+    }
+
+    /// Fetch statistics for every open stream.
+    pub fn stats_all(&self) -> Result<Vec<(StreamId, StreamStats)>, ServerError> {
+        let (tx, rx) = bounded(1);
+        self.cmd_tx.send(Command::StatsAll(tx)).map_err(|_| ServerError::Stopped)?;
+        rx.recv().map_err(|_| ServerError::Stopped)
+    }
+
+    /// Records accumulated by a [`SinkKind::Collect`] sink.
+    pub fn collected(&self) -> Vec<SentRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Nanoseconds since the server started (the scheduler's clock).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Stop the scheduler thread and wait for it.
+    pub fn shutdown(&self) {
+        let _ = self.cmd_tx.send(Command::Shutdown);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MediaServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwcs::types::MILLISECOND;
+
+    fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < timeout {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        cond()
+    }
+
+    #[test]
+    fn frames_flow_end_to_end() {
+        let server = MediaServer::builder()
+            .sink(SinkKind::Collect)
+            .pacing(Pacing::WorkConserving)
+            .start()
+            .unwrap();
+        let mut s = server.open_stream(StreamQos::new(MILLISECOND, 1, 2)).unwrap();
+        for i in 0..20u8 {
+            s.send(&[i; 100]).unwrap();
+        }
+        assert!(
+            wait_until(Duration::from_secs(5), || server.collected().len() == 20),
+            "collected {}",
+            server.collected().len()
+        );
+        let recs = server.collected();
+        let seqs: Vec<u64> = recs.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..20).collect::<Vec<_>>(), "FIFO per stream");
+        let stats = server.stats(s.id()).unwrap();
+        assert_eq!(stats.enqueued, 20);
+        assert_eq!(stats.sent(), 20);
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_pacing_spreads_dispatches() {
+        let server = MediaServer::builder()
+            .sink(SinkKind::Collect)
+            .pacing(Pacing::DeadlinePaced)
+            .start()
+            .unwrap();
+        // 5 ms period: 10 frames should take ≥ ~45 ms to drain.
+        let mut s = server.open_stream(StreamQos::new(5 * MILLISECOND, 1, 2)).unwrap();
+        for _ in 0..10 {
+            s.send(&[0u8; 64]).unwrap();
+        }
+        assert!(wait_until(Duration::from_secs(5), || server.collected().len() == 10));
+        let recs = server.collected();
+        let span_ns = recs.last().unwrap().at_ns - recs.first().unwrap().at_ns;
+        assert!(
+            span_ns >= 40 * MILLISECOND,
+            "paced span {} ms",
+            span_ns / MILLISECOND
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn two_streams_share_fairly() {
+        let server = MediaServer::builder()
+            .sink(SinkKind::Collect)
+            .pacing(Pacing::WorkConserving)
+            .start()
+            .unwrap();
+        let mut a = server.open_stream(StreamQos::new(MILLISECOND, 1, 2)).unwrap();
+        let mut b = server.open_stream(StreamQos::new(MILLISECOND, 1, 2)).unwrap();
+        for _ in 0..15 {
+            a.send(&[1u8; 50]).unwrap();
+            b.send(&[2u8; 50]).unwrap();
+        }
+        assert!(wait_until(Duration::from_secs(5), || server.collected().len() == 30));
+        let recs = server.collected();
+        let a_count = recs.iter().filter(|r| r.stream == a.id()).count();
+        assert_eq!(a_count, 15);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_all_reports_every_stream() {
+        let server = MediaServer::builder()
+            .pacing(Pacing::WorkConserving)
+            .start()
+            .unwrap();
+        let mut a = server.open_stream(StreamQos::new(MILLISECOND, 1, 2)).unwrap();
+        let _b = server.open_stream(StreamQos::new(MILLISECOND, 0, 1)).unwrap();
+        a.send(&[0u8; 8]).unwrap();
+        assert!(wait_until(Duration::from_secs(5), || {
+            server.stats_all().map(|v| v.len() == 2).unwrap_or(false)
+        }));
+        let all = server.stats_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().any(|(sid, st)| *sid == a.id() && st.enqueued == 1));
+        server.shutdown();
+        assert!(matches!(server.stats_all(), Err(ServerError::Stopped)));
+        assert_eq!(ServerError::RingFull.to_string(), "per-stream descriptor ring full");
+    }
+
+    #[test]
+    fn stats_for_unknown_stream_errors() {
+        let server = MediaServer::builder().start().unwrap();
+        assert_eq!(server.stats(StreamId(42)).unwrap_err(), ServerError::NoSuchStream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn close_reclaims_pool_slots() {
+        let server = MediaServer::builder()
+            .pool(8, 1024)
+            .pacing(Pacing::DeadlinePaced)
+            .start()
+            .unwrap();
+        // Long period so nothing dispatches quickly.
+        let mut s = server.open_stream(StreamQos::new(10_000 * MILLISECOND, 1, 2)).unwrap();
+        for _ in 0..8 {
+            s.send(&[0u8; 16]).unwrap();
+        }
+        assert_eq!(s.send(&[0u8; 16]).unwrap_err(), ServerError::PoolExhausted);
+        server.close_stream(s.id()).unwrap();
+        assert!(
+            wait_until(Duration::from_secs(5), || {
+                // Pool slots recovered after close (ring + queued frames).
+                MediaServer::builder(); // no-op: keep closure non-empty
+                s.pool.free_slots() == 8
+            }),
+            "free {}",
+            s.pool.free_slots()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let server = MediaServer::builder().pool(4, 128).start().unwrap();
+        let mut s = server.open_stream(StreamQos::new(MILLISECOND, 1, 2)).unwrap();
+        assert_eq!(s.send(&[0u8; 129]).unwrap_err(), ServerError::FrameTooLarge);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let server = MediaServer::builder().start().unwrap();
+        server.shutdown();
+        server.shutdown();
+        // API after shutdown errors cleanly.
+        assert!(server.open_stream(StreamQos::new(MILLISECOND, 1, 2)).is_err());
+    }
+
+    #[test]
+    fn udp_sink_delivers_datagrams() {
+        let receiver = UdpSocket::bind("127.0.0.1:0").unwrap();
+        receiver.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let addr = receiver.local_addr().unwrap();
+        let server = MediaServer::builder()
+            .sink(SinkKind::Udp(addr))
+            .pacing(Pacing::WorkConserving)
+            .start()
+            .unwrap();
+        let mut s = server.open_stream(StreamQos::new(MILLISECOND, 1, 2)).unwrap();
+        s.send(b"frame-payload-over-udp").unwrap();
+        let mut buf = [0u8; 64];
+        let (n, _) = receiver.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"frame-payload-over-udp");
+        server.shutdown();
+    }
+}

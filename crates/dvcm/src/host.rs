@@ -1,0 +1,144 @@
+//! The host-side DVCM API.
+//!
+//! "The DVCM appears to the application program as a memory-mapped device,
+//! offering certain instructions, controlled via control registers, and
+//! sharing selected memory pages with the application" (§2). [`VcmHandle`]
+//! is that device interface: it marshals instructions into I2O frames,
+//! pushes them through the messaging unit (each step is a PIO access the
+//! simulation prices via `hwsim::PciBus`), and matches replies by
+//! transaction context.
+
+use crate::extension::ExtReply;
+use crate::instr::VcmInstruction;
+use crate::runtime::NiRuntime;
+use dwcs::Time;
+use i2o::devices::{Tid, TID_HOST};
+use i2o::message::I2oFunction;
+use i2o::queues::PostError;
+
+/// Errors issuing instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IssueError {
+    /// Inbound frame pool exhausted (NI busy; retry later).
+    Busy,
+    /// Messaging-unit protocol error (a bug, not load).
+    Protocol(PostError),
+}
+
+/// Host-side handle to one NI's DVCM endpoint.
+pub struct VcmHandle {
+    target: Tid,
+    next_ctx: u32,
+    /// Instructions issued.
+    pub issued: u64,
+    /// Replies received.
+    pub replies: u64,
+}
+
+impl VcmHandle {
+    /// Handle addressing the DVCM extension at `target`.
+    pub fn new(target: Tid) -> VcmHandle {
+        VcmHandle {
+            target,
+            next_ctx: 1,
+            issued: 0,
+            replies: 0,
+        }
+    }
+
+    /// Issue an instruction asynchronously; returns its transaction
+    /// context for matching the reply.
+    pub fn issue(&mut self, rt: &mut NiRuntime, instr: VcmInstruction) -> Result<u32, IssueError> {
+        let ctx = self.next_ctx;
+        let Some(mfa) = rt.mu.host_alloc() else {
+            return Err(IssueError::Busy);
+        };
+        let frame = instr.encode(self.target, TID_HOST, ctx);
+        rt.mu.host_post(mfa, frame).map_err(IssueError::Protocol)?;
+        self.next_ctx = self.next_ctx.wrapping_add(1).max(1);
+        self.issued += 1;
+        Ok(ctx)
+    }
+
+    /// Drain one reply, if any: `(context, reply)`.
+    pub fn drain_reply(&mut self, rt: &mut NiRuntime) -> Option<(u32, ExtReply)> {
+        let (mfa, frame) = rt.mu.host_drain_reply()?;
+        rt.mu
+            .host_release_reply(mfa)
+            .expect("drained reply MFA releases cleanly");
+        self.replies += 1;
+        let status = match frame.function {
+            I2oFunction::Reply { status, .. } => status,
+            _ => 0xFD, // non-reply outbound traffic (notifications)
+        };
+        Some((
+            frame.context,
+            ExtReply {
+                status,
+                payload: frame.payload,
+            },
+        ))
+    }
+
+    /// Synchronous convenience used by tests and the simulation glue:
+    /// issue, let the NI service it at time `now`, drain the matching
+    /// reply.
+    pub fn call(&mut self, rt: &mut NiRuntime, instr: VcmInstruction, now: Time) -> Result<ExtReply, IssueError> {
+        let ctx = self.issue(rt, instr)?;
+        rt.service_inbound(now, usize::MAX);
+        loop {
+            match self.drain_reply(rt) {
+                Some((c, reply)) if c == ctx => return Ok(reply),
+                Some(_) => continue, // stale reply to an async issue
+                None => return Err(IssueError::Busy),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media_sched::MediaSchedExt;
+
+    fn rt() -> NiRuntime {
+        let mut rt = NiRuntime::new(2); // tiny pool to exercise Busy
+        rt.registry.load(Box::new(MediaSchedExt::new(4)));
+        rt
+    }
+
+    #[test]
+    fn busy_when_frame_pool_exhausted() {
+        let mut rt = rt();
+        let mut h = VcmHandle::new(rt.ext_tid);
+        assert!(h.issue(&mut rt, VcmInstruction::Kick).is_ok());
+        assert!(h.issue(&mut rt, VcmInstruction::Kick).is_ok());
+        assert_eq!(h.issue(&mut rt, VcmInstruction::Kick), Err(IssueError::Busy));
+        // Servicing frees the pool.
+        rt.service_inbound(0, 8);
+        while h.drain_reply(&mut rt).is_some() {}
+        assert!(h.issue(&mut rt, VcmInstruction::Kick).is_ok());
+    }
+
+    #[test]
+    fn contexts_match_replies() {
+        let mut rt = rt();
+        let mut h = VcmHandle::new(rt.ext_tid);
+        let c1 = h.issue(&mut rt, VcmInstruction::Kick).unwrap();
+        let c2 = h.issue(&mut rt, VcmInstruction::Kick).unwrap();
+        assert_ne!(c1, c2);
+        rt.service_inbound(0, 8);
+        let (r1, _) = h.drain_reply(&mut rt).unwrap();
+        let (r2, _) = h.drain_reply(&mut rt).unwrap();
+        assert_eq!((r1, r2), (c1, c2), "replies in issue order");
+        assert_eq!(h.replies, 2);
+    }
+
+    #[test]
+    fn call_is_synchronous() {
+        let mut rt = rt();
+        let mut h = VcmHandle::new(rt.ext_tid);
+        let r = h.call(&mut rt, VcmInstruction::Kick, 0).unwrap();
+        assert_eq!(r.status, 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! DVCM communication instructions and their I2O encoding.
+//!
+//! Instructions are what host applications see of the DVCM ("available to
+//! nodes' application programs as communication instructions", §1). On the
+//! wire each instruction is an I2O private-class message frame whose
+//! extension-function word selects the instruction and whose payload words
+//! carry the operands — exactly how a memory-mapped instruction interface
+//! would marshal them.
+
+use dwcs::{FrameKind, StreamId, Time};
+use i2o::message::{I2oFunction, MessageFrame};
+use i2o::Tid;
+
+/// QoS operands for opening a stream (the DWCS attributes of §3.1.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StreamSpec {
+    /// Deadline spacing `T` in nanoseconds.
+    pub period: Time,
+    /// Loss numerator `x`.
+    pub loss_num: u32,
+    /// Loss denominator `y`.
+    pub loss_den: u32,
+    /// Whether late packets may be dropped (1) or must be sent late (0).
+    pub droppable: bool,
+}
+
+/// The DVCM instruction set used by the media-streaming system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VcmInstruction {
+    /// Register a stream with the NI-resident scheduler.
+    OpenStream(StreamSpec),
+    /// Tear a stream down.
+    CloseStream(StreamId),
+    /// Hand a frame (already resident in NI memory at `addr`) to the
+    /// scheduler's per-stream ring.
+    EnqueueFrame {
+        /// Target stream.
+        stream: StreamId,
+        /// NI-local address of the single frame copy.
+        addr: u64,
+        /// Frame length in bytes.
+        len: u32,
+        /// MPEG picture kind.
+        kind: FrameKind,
+    },
+    /// Read a stream's service statistics.
+    QueryStats(StreamId),
+    /// Run scheduler housekeeping (used by hosts that drive dispatch
+    /// explicitly rather than letting the NI task free-run).
+    Kick,
+}
+
+/// Extension-function codes (the `func` half of the private-class word).
+mod func {
+    pub const OPEN: u16 = 1;
+    pub const CLOSE: u16 = 2;
+    pub const ENQUEUE: u16 = 3;
+    pub const STATS: u16 = 4;
+    pub const KICK: u16 = 5;
+}
+
+/// Errors decoding an instruction from a frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstrError {
+    /// Not a DVCM private message.
+    NotDvcm,
+    /// Unknown extension function.
+    UnknownFunc(u16),
+    /// Payload malformed for the function.
+    BadPayload,
+}
+
+impl VcmInstruction {
+    /// Encode into an I2O private-class frame.
+    pub fn encode(&self, target: Tid, initiator: Tid, context: u32) -> MessageFrame {
+        let (f, payload) = match *self {
+            VcmInstruction::OpenStream(spec) => (
+                func::OPEN,
+                vec![
+                    (spec.period >> 32) as u32,
+                    spec.period as u32,
+                    spec.loss_num,
+                    spec.loss_den,
+                    u32::from(spec.droppable),
+                ],
+            ),
+            VcmInstruction::CloseStream(sid) => (func::CLOSE, vec![sid.0]),
+            VcmInstruction::EnqueueFrame { stream, addr, len, kind } => (
+                func::ENQUEUE,
+                vec![
+                    stream.0,
+                    (addr >> 32) as u32,
+                    addr as u32,
+                    len,
+                    kind_code(kind),
+                ],
+            ),
+            VcmInstruction::QueryStats(sid) => (func::STATS, vec![sid.0]),
+            VcmInstruction::Kick => (func::KICK, vec![]),
+        };
+        MessageFrame::new(
+            I2oFunction::Private { org: crate::DVCM_ORG, func: f },
+            target,
+            initiator,
+            context,
+            payload,
+        )
+    }
+
+    /// Decode from an I2O frame.
+    pub fn decode(frame: &MessageFrame) -> Result<VcmInstruction, InstrError> {
+        let I2oFunction::Private { org, func: f } = frame.function else {
+            return Err(InstrError::NotDvcm);
+        };
+        if org != crate::DVCM_ORG {
+            return Err(InstrError::NotDvcm);
+        }
+        let p = &frame.payload;
+        let word = |i: usize| p.get(i).copied().ok_or(InstrError::BadPayload);
+        Ok(match f {
+            func::OPEN => VcmInstruction::OpenStream(StreamSpec {
+                period: (u64::from(word(0)?) << 32) | u64::from(word(1)?),
+                loss_num: word(2)?,
+                loss_den: word(3)?,
+                droppable: word(4)? != 0,
+            }),
+            func::CLOSE => VcmInstruction::CloseStream(StreamId(word(0)?)),
+            func::ENQUEUE => VcmInstruction::EnqueueFrame {
+                stream: StreamId(word(0)?),
+                addr: (u64::from(word(1)?) << 32) | u64::from(word(2)?),
+                len: word(3)?,
+                kind: kind_from(word(4)?).ok_or(InstrError::BadPayload)?,
+            },
+            func::STATS => VcmInstruction::QueryStats(StreamId(word(0)?)),
+            func::KICK => VcmInstruction::Kick,
+            other => return Err(InstrError::UnknownFunc(other)),
+        })
+    }
+}
+
+fn kind_code(k: FrameKind) -> u32 {
+    match k {
+        FrameKind::I => 1,
+        FrameKind::P => 2,
+        FrameKind::B => 3,
+        FrameKind::Audio => 4,
+        FrameKind::Other => 0,
+    }
+}
+
+fn kind_from(v: u32) -> Option<FrameKind> {
+    Some(match v {
+        0 => FrameKind::Other,
+        1 => FrameKind::I,
+        2 => FrameKind::P,
+        3 => FrameKind::B,
+        4 => FrameKind::Audio,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: VcmInstruction) {
+        let f = i.encode(Tid(5), Tid(1), 0xC0FFEE);
+        let d = VcmInstruction::decode(&f).unwrap();
+        assert_eq!(d, i);
+        assert_eq!(f.context, 0xC0FFEE);
+    }
+
+    #[test]
+    fn all_instructions_round_trip() {
+        round_trip(VcmInstruction::OpenStream(StreamSpec {
+            period: 33_366_700,
+            loss_num: 2,
+            loss_den: 9,
+            droppable: true,
+        }));
+        round_trip(VcmInstruction::CloseStream(StreamId(3)));
+        round_trip(VcmInstruction::EnqueueFrame {
+            stream: StreamId(1),
+            addr: 0xA000_1234_5678,
+            len: 4_321,
+            kind: FrameKind::I,
+        });
+        round_trip(VcmInstruction::QueryStats(StreamId(0)));
+        round_trip(VcmInstruction::Kick);
+    }
+
+    #[test]
+    fn rejects_foreign_frames() {
+        let f = MessageFrame::new(I2oFunction::UtilNop, Tid(5), Tid(1), 0, vec![]);
+        assert_eq!(VcmInstruction::decode(&f), Err(InstrError::NotDvcm));
+        let f = MessageFrame::new(
+            I2oFunction::Private { org: 0x1111, func: 1 },
+            Tid(5),
+            Tid(1),
+            0,
+            vec![],
+        );
+        assert_eq!(VcmInstruction::decode(&f), Err(InstrError::NotDvcm));
+    }
+
+    #[test]
+    fn rejects_malformed_payloads() {
+        let f = MessageFrame::new(
+            I2oFunction::Private { org: crate::DVCM_ORG, func: 1 },
+            Tid(5),
+            Tid(1),
+            0,
+            vec![1, 2], // OPEN needs 5 words
+        );
+        assert_eq!(VcmInstruction::decode(&f), Err(InstrError::BadPayload));
+        let f = MessageFrame::new(
+            I2oFunction::Private { org: crate::DVCM_ORG, func: 99 },
+            Tid(5),
+            Tid(1),
+            0,
+            vec![],
+        );
+        assert_eq!(VcmInstruction::decode(&f), Err(InstrError::UnknownFunc(99)));
+    }
+
+    #[test]
+    fn sixty_four_bit_fields_survive() {
+        round_trip(VcmInstruction::OpenStream(StreamSpec {
+            period: u64::MAX - 12345,
+            loss_num: u32::MAX,
+            loss_den: u32::MAX,
+            droppable: false,
+        }));
+        round_trip(VcmInstruction::EnqueueFrame {
+            stream: StreamId(u32::MAX),
+            addr: u64::MAX,
+            len: u32::MAX,
+            kind: FrameKind::B,
+        });
+    }
+}

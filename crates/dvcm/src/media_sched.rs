@@ -1,0 +1,343 @@
+//! The media-scheduler DVCM extension (§3 of the paper).
+//!
+//! Wraps the DWCS scheduler as an NI-resident extension: host producers
+//! push `EnqueueFrame` instructions (frames themselves are already in NI
+//! memory — only descriptors travel), the NI task loop polls for
+//! scheduling decisions, and dispatched frames land in an outbox the
+//! embedding drains onto the wire (`serversim` charges Ethernet time;
+//! the real engine in `nistream-core` hands them to a sink thread).
+//!
+//! The schedule representation is the paper's dual heap (Figure 4); each
+//! decision's [`dwcs::repr::Work`] rides along so the i960 cost model can
+//! price it (Tables 1–3).
+
+use crate::extension::{ExtReply, ExtensionModule};
+use crate::instr::{StreamSpec, VcmInstruction};
+use dwcs::scheduler::DispatchedFrame;
+use dwcs::{DispatchMode, DualHeap, DwcsScheduler, FrameDesc, FrameKind, SchedDecision, SchedulerConfig, StreamId, StreamQos, Time};
+use std::collections::VecDeque;
+
+/// One dispatched frame with its decision metadata.
+#[derive(Clone, Copy, Debug)]
+pub struct DispatchRecord {
+    /// The dispatched frame.
+    pub frame: DispatchedFrame,
+    /// NI time of the scheduling decision.
+    pub decided_at: Time,
+    /// Late frames dropped while reaching this decision.
+    pub dropped_before: u32,
+}
+
+/// Completion statuses the extension returns.
+pub mod status {
+    /// Success.
+    pub const OK: u8 = 0;
+    /// Unknown stream id.
+    pub const NO_STREAM: u8 = 2;
+    /// Malformed QoS (zero period, x > y).
+    pub const BAD_QOS: u8 = 3;
+}
+
+/// The DWCS scheduler as a DVCM extension module.
+pub struct MediaSchedExt {
+    sched: DwcsScheduler<DualHeap>,
+    outbox: VecDeque<DispatchRecord>,
+    /// Per-stream producer sequence numbers.
+    next_seq: Vec<u64>,
+    /// Decisions made (incl. idle polls that found nothing).
+    pub polls: u64,
+}
+
+impl MediaSchedExt {
+    /// Extension with the paper's configuration: dual-heap representation,
+    /// coupled scheduling/dispatch.
+    pub fn new(max_streams: usize) -> MediaSchedExt {
+        MediaSchedExt::with_config(max_streams, SchedulerConfig::default())
+    }
+
+    /// Extension with an explicit scheduler configuration (decoupled
+    /// dispatch experiments use this).
+    pub fn with_config(max_streams: usize, cfg: SchedulerConfig) -> MediaSchedExt {
+        MediaSchedExt {
+            sched: DwcsScheduler::with_config(DualHeap::new(max_streams), cfg),
+            outbox: VecDeque::new(),
+            next_seq: Vec::new(),
+            polls: 0,
+        }
+    }
+
+    /// One scheduling decision at NI time `now`; dispatched frames go to
+    /// the outbox. Returns the raw decision for cost-model pricing.
+    ///
+    /// Under [`DispatchMode::Decoupled`] the decision lands in the
+    /// scheduler's internal dispatch queue instead of the return value;
+    /// this poll drains that queue into the outbox too, so both dispatch
+    /// modes feed the wire identically.
+    pub fn poll_decision(&mut self, now: Time) -> SchedDecision {
+        self.polls += 1;
+        let d = self.sched.schedule_next(now);
+        if let Some(frame) = d.frame {
+            self.outbox.push_back(DispatchRecord {
+                frame,
+                decided_at: now,
+                dropped_before: d.dropped,
+            });
+        }
+        while let Some(frame) = self.sched.pop_dispatch(now) {
+            self.outbox.push_back(DispatchRecord {
+                frame,
+                decided_at: now,
+                dropped_before: 0,
+            });
+        }
+        d
+    }
+
+    /// Drain one dispatched frame (the wire side).
+    pub fn pop_dispatch(&mut self) -> Option<DispatchRecord> {
+        self.outbox.pop_front()
+    }
+
+    /// Frames awaiting wire transmission.
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Whether any stream has queued frames.
+    pub fn has_pending(&self) -> bool {
+        self.sched.has_pending()
+    }
+
+    /// Direct scheduler access (experiments read stats, windows).
+    pub fn scheduler(&self) -> &DwcsScheduler<DualHeap> {
+        &self.sched
+    }
+
+    /// Mutable scheduler access.
+    pub fn scheduler_mut(&mut self) -> &mut DwcsScheduler<DualHeap> {
+        &mut self.sched
+    }
+
+    fn open(&mut self, spec: StreamSpec) -> ExtReply {
+        if spec.period == 0 || spec.loss_den == 0 || spec.loss_num > spec.loss_den {
+            return ExtReply::err(status::BAD_QOS);
+        }
+        let mut qos = StreamQos::new(spec.period, spec.loss_num, spec.loss_den);
+        if !spec.droppable {
+            qos = qos.send_late();
+        }
+        let sid = self.sched.add_stream(qos);
+        if sid.index() >= self.next_seq.len() {
+            self.next_seq.resize(sid.index() + 1, 0);
+        }
+        self.next_seq[sid.index()] = 0;
+        ExtReply::with(vec![sid.0])
+    }
+
+    fn enqueue(&mut self, stream: StreamId, addr: u64, len: u32, kind: FrameKind, now: Time) -> ExtReply {
+        if stream.index() >= self.next_seq.len() {
+            return ExtReply::err(status::NO_STREAM);
+        }
+        let seq = self.next_seq[stream.index()];
+        self.next_seq[stream.index()] += 1;
+        let desc = FrameDesc {
+            stream,
+            seq,
+            len,
+            kind,
+            enqueued_at: now,
+            addr,
+        };
+        self.sched.enqueue(stream, desc, now);
+        ExtReply::ok()
+    }
+
+    fn stats(&self, sid: StreamId) -> ExtReply {
+        if sid.index() >= self.next_seq.len() {
+            return ExtReply::err(status::NO_STREAM);
+        }
+        let s = self.sched.stats(sid);
+        ExtReply::with(vec![
+            s.sent_on_time as u32,
+            s.sent_late as u32,
+            s.dropped as u32,
+            s.violations as u32,
+            (s.bytes_sent >> 32) as u32,
+            s.bytes_sent as u32,
+            (s.mean_queue_delay() / 1_000) as u32, // µs
+        ])
+    }
+}
+
+impl ExtensionModule for MediaSchedExt {
+    fn name(&self) -> &str {
+        "dwcs-media-scheduler"
+    }
+
+    fn on_instruction(&mut self, instr: VcmInstruction, now: Time) -> ExtReply {
+        match instr {
+            VcmInstruction::OpenStream(spec) => self.open(spec),
+            VcmInstruction::CloseStream(sid) => {
+                if sid.index() >= self.next_seq.len() {
+                    ExtReply::err(status::NO_STREAM)
+                } else {
+                    self.sched.remove_stream(sid);
+                    ExtReply::ok()
+                }
+            }
+            VcmInstruction::EnqueueFrame { stream, addr, len, kind } => {
+                self.enqueue(stream, addr, len, kind, now)
+            }
+            VcmInstruction::QueryStats(sid) => self.stats(sid),
+            VcmInstruction::Kick => {
+                self.poll_decision(now);
+                ExtReply::ok()
+            }
+        }
+    }
+
+    fn poll(&mut self, now: Time) -> u32 {
+        let d = self.poll_decision(now);
+        u32::from(d.frame.is_some()) + d.dropped
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}
+
+/// Default dispatch mode helper for decoupled experiments.
+pub fn decoupled_config(queue_cap: usize) -> SchedulerConfig {
+    SchedulerConfig {
+        dispatch: DispatchMode::Decoupled { queue_cap },
+        ..SchedulerConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwcs::types::MILLISECOND;
+
+    fn open_spec(period_ms: u64, x: u32, y: u32) -> VcmInstruction {
+        VcmInstruction::OpenStream(StreamSpec {
+            period: period_ms * MILLISECOND,
+            loss_num: x,
+            loss_den: y,
+            droppable: true,
+        })
+    }
+
+    #[test]
+    fn open_enqueue_poll_dispatch() {
+        let mut ext = MediaSchedExt::new(8);
+        let reply = ext.on_instruction(open_spec(10, 1, 2), 0);
+        assert_eq!(reply.status, 0);
+        let sid = StreamId(reply.payload[0]);
+
+        let r = ext.on_instruction(
+            VcmInstruction::EnqueueFrame { stream: sid, addr: 0xA000, len: 1000, kind: FrameKind::I },
+            0,
+        );
+        assert_eq!(r, ExtReply::ok());
+        assert_eq!(ext.poll(MILLISECOND), 1);
+        let rec = ext.pop_dispatch().expect("frame dispatched");
+        assert_eq!(rec.frame.desc.addr, 0xA000);
+        assert!(rec.frame.on_time);
+        assert_eq!(ext.outbox_len(), 0);
+    }
+
+    #[test]
+    fn stats_reflect_service() {
+        let mut ext = MediaSchedExt::new(8);
+        let sid = StreamId(ext.on_instruction(open_spec(10, 1, 2), 0).payload[0]);
+        for _ in 0..3 {
+            ext.on_instruction(
+                VcmInstruction::EnqueueFrame { stream: sid, addr: 0, len: 500, kind: FrameKind::P },
+                0,
+            );
+            ext.poll(0);
+        }
+        let stats = ext.on_instruction(VcmInstruction::QueryStats(sid), 0);
+        assert_eq!(stats.status, 0);
+        assert_eq!(stats.payload[0], 3, "3 on-time");
+        assert_eq!(stats.payload[5], 1500, "bytes low word");
+    }
+
+    #[test]
+    fn bad_qos_and_unknown_stream_rejected() {
+        let mut ext = MediaSchedExt::new(8);
+        let r = ext.on_instruction(open_spec(0, 1, 2), 0);
+        assert_eq!(r.status, status::BAD_QOS);
+        let r = ext.on_instruction(
+            VcmInstruction::OpenStream(StreamSpec { period: 10, loss_num: 5, loss_den: 2, droppable: true }),
+            0,
+        );
+        assert_eq!(r.status, status::BAD_QOS);
+        let r = ext.on_instruction(VcmInstruction::QueryStats(StreamId(9)), 0);
+        assert_eq!(r.status, status::NO_STREAM);
+        let r = ext.on_instruction(
+            VcmInstruction::EnqueueFrame { stream: StreamId(9), addr: 0, len: 1, kind: FrameKind::B },
+            0,
+        );
+        assert_eq!(r.status, status::NO_STREAM);
+    }
+
+    #[test]
+    fn close_stops_service() {
+        let mut ext = MediaSchedExt::new(8);
+        let sid = StreamId(ext.on_instruction(open_spec(10, 1, 2), 0).payload[0]);
+        ext.on_instruction(
+            VcmInstruction::EnqueueFrame { stream: sid, addr: 0, len: 1, kind: FrameKind::B },
+            0,
+        );
+        assert_eq!(ext.on_instruction(VcmInstruction::CloseStream(sid), 0), ExtReply::ok());
+        assert_eq!(ext.poll(0), 0, "closed stream's backlog discarded");
+    }
+
+    #[test]
+    fn kick_drives_a_decision() {
+        let mut ext = MediaSchedExt::new(8);
+        let sid = StreamId(ext.on_instruction(open_spec(10, 1, 2), 0).payload[0]);
+        ext.on_instruction(
+            VcmInstruction::EnqueueFrame { stream: sid, addr: 1, len: 1, kind: FrameKind::B },
+            0,
+        );
+        ext.on_instruction(VcmInstruction::Kick, 0);
+        assert_eq!(ext.outbox_len(), 1);
+    }
+
+    #[test]
+    fn decoupled_config_still_reaches_the_outbox() {
+        let mut ext = MediaSchedExt::with_config(4, decoupled_config(8));
+        let sid = StreamId(ext.on_instruction(open_spec(10, 1, 2), 0).payload[0]);
+        for addr in 0..3u64 {
+            ext.on_instruction(
+                VcmInstruction::EnqueueFrame { stream: sid, addr, len: 100, kind: FrameKind::P },
+                0,
+            );
+        }
+        for _ in 0..3 {
+            ext.poll_decision(0);
+        }
+        assert_eq!(ext.outbox_len(), 3, "decoupled decisions drain to the outbox");
+        let addrs: Vec<u64> = std::iter::from_fn(|| ext.pop_dispatch().map(|r| r.frame.desc.addr)).collect();
+        assert_eq!(addrs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn two_streams_scheduled_by_dwcs_rules() {
+        let mut ext = MediaSchedExt::new(8);
+        let slow = StreamId(ext.on_instruction(open_spec(100, 1, 2), 0).payload[0]);
+        let fast = StreamId(ext.on_instruction(open_spec(5, 1, 2), 0).payload[0]);
+        for (sid, addr) in [(slow, 1u64), (fast, 2u64)] {
+            ext.on_instruction(
+                VcmInstruction::EnqueueFrame { stream: sid, addr, len: 100, kind: FrameKind::P },
+                0,
+            );
+        }
+        ext.poll(0);
+        let first = ext.pop_dispatch().unwrap();
+        assert_eq!(first.frame.desc.stream, fast, "earlier deadline first");
+    }
+}

@@ -1,0 +1,154 @@
+//! DWCS feasibility / admission control.
+//!
+//! For unit-capacity service (one packet transmitted per slot of length
+//! `C`), a set of window-constrained streams is schedulable by DWCS when
+//! the *mandatory* utilization does not exceed the link:
+//!
+//! ```text
+//! Σᵢ (1 − xᵢ/yᵢ) · C / Tᵢ ≤ 1
+//! ```
+//!
+//! i.e. each stream demands service for the fraction of its packets that
+//! *must* go out on time (`1 − x/y`), one packet per period `T`, each
+//! costing `C` of link time. West & Schwan prove violation-freedom for
+//! feasible sets of unit-sized packets; our property tests use this as the
+//! oracle (`tests/dwcs_properties.rs`).
+//!
+//! The server crates use [`admit`] as an admission controller: "as stream
+//! requests to a server are increased, the server must be able to process
+//! these requests with a pre-negotiated bound on service degradation"
+//! (§3.1).
+
+use crate::qos::StreamQos;
+use crate::types::Time;
+
+/// Mandatory utilization of one stream given fixed per-packet service time
+/// `service` (both in ns). Exact rational arithmetic in u128.
+fn demand_num_den(qos: &StreamQos, service: Time) -> (u128, u128) {
+    // (1 - x/y) * service / period = ((y - x) * service) / (y * period)
+    let num = u128::from(qos.loss_den - qos.loss_num) * u128::from(service);
+    let den = u128::from(qos.loss_den) * u128::from(qos.period);
+    (num, den)
+}
+
+/// Total mandatory utilization of a stream set (as `f64`, for reporting).
+pub fn utilization(streams: &[StreamQos], service: Time) -> f64 {
+    streams
+        .iter()
+        .map(|q| {
+            let (n, d) = demand_num_den(q, service);
+            n as f64 / d as f64
+        })
+        .sum()
+}
+
+/// Exact feasibility test: `Σ (1 − xᵢ/yᵢ)·C/Tᵢ ≤ 1`, computed without
+/// floating point (common-denominator accumulation in `u128`).
+pub fn feasible(streams: &[StreamQos], service: Time) -> bool {
+    // Accumulate Σ nᵢ/dᵢ ≤ 1  ⇔  Σ nᵢ·(D/dᵢ) ≤ D with D = Π dᵢ — overflow
+    // prone. Instead fold pairwise: keep a running fraction a/b, add n/d:
+    // (a·d + n·b) / (b·d), reducing by gcd each step.
+    let mut acc_n: u128 = 0;
+    let mut acc_d: u128 = 1;
+    for q in streams {
+        let (n, d) = demand_num_den(q, service);
+        let step = (|| {
+            let a = acc_n.checked_mul(d)?;
+            let b = n.checked_mul(acc_d)?;
+            let den = acc_d.checked_mul(d)?;
+            Some((a.checked_add(b)?, den))
+        })();
+        let (num, den) = match step {
+            Some(v) => v,
+            // u128 exhausted even after per-step gcd reduction: fall back
+            // to the float estimate (only reachable with adversarially
+            // huge coprime periods, far from the feasibility boundary).
+            None => return utilization(streams, service) <= 1.0,
+        };
+        let g = gcd_u128(num, den);
+        acc_n = num / g;
+        acc_d = den / g;
+    }
+    acc_n <= acc_d
+}
+
+/// Admission decision for adding `candidate` to `existing`.
+pub fn admit(existing: &[StreamQos], candidate: StreamQos, service: Time) -> bool {
+    let mut all = existing.to_vec();
+    all.push(candidate);
+    feasible(&all, service)
+}
+
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MILLISECOND;
+
+    #[test]
+    fn single_stream_within_capacity() {
+        // Period 10 ms, service 1 ms, no losses allowed: U = 0.1.
+        let q = StreamQos::new(10 * MILLISECOND, 0, 1);
+        assert!(feasible(&[q], MILLISECOND));
+        assert!((utilization(&[q], MILLISECOND) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_tolerance_buys_capacity() {
+        // 20 streams, period 10 ms, service 1 ms, lossless: U = 2.0 → infeasible.
+        let lossless = vec![StreamQos::new(10 * MILLISECOND, 0, 1); 20];
+        assert!(!feasible(&lossless, MILLISECOND));
+        // Same streams tolerating half their packets late: U = 1.0 → feasible.
+        let lossy = vec![StreamQos::new(10 * MILLISECOND, 1, 2); 20];
+        assert!(feasible(&lossy, MILLISECOND));
+        assert!((utilization(&lossy, MILLISECOND) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        // Exactly U = 1: 10 lossless streams, period 10 ms, service 1 ms.
+        let set = vec![StreamQos::new(10 * MILLISECOND, 0, 1); 10];
+        assert!(feasible(&set, MILLISECOND));
+        // One more tips it over.
+        assert!(!admit(&set, StreamQos::new(10 * MILLISECOND, 0, 1), MILLISECOND));
+    }
+
+    #[test]
+    fn admit_matches_feasible() {
+        let existing = vec![
+            StreamQos::new(5 * MILLISECOND, 1, 4, ),
+            StreamQos::new(8 * MILLISECOND, 2, 8),
+        ];
+        let c = StreamQos::new(3 * MILLISECOND, 0, 1);
+        let mut all = existing.clone();
+        all.push(c);
+        assert_eq!(admit(&existing, c, MILLISECOND), feasible(&all, MILLISECOND));
+    }
+
+    #[test]
+    fn fully_lossy_streams_cost_nothing() {
+        let free = vec![StreamQos::new(MILLISECOND, 4, 4); 1000];
+        assert!(feasible(&free, MILLISECOND));
+        assert_eq!(utilization(&free, MILLISECOND), 0.0);
+    }
+
+    #[test]
+    fn many_heterogeneous_streams_no_overflow() {
+        let mut set = Vec::new();
+        for i in 1..=64u32 {
+            set.push(StreamQos::new(Time::from(i) * MILLISECOND + 7, i % 3, (i % 3) + 3));
+        }
+        // Must terminate and agree with the float estimate on which side of
+        // 1.0 we are (the set is far from the boundary).
+        let u = utilization(&set, 100_000);
+        assert_eq!(feasible(&set, 100_000), u <= 1.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The DWCS precedence rules as a total order.
+//!
+//! Pairwise packet ordering (West & Schwan, as used by the paper):
+//!
+//! 1. **Earliest deadline first.**
+//! 2. Equal deadlines → **lowest current window-constraint** `W' = x'/y'`.
+//! 3. Equal deadlines, both constraints zero → **highest window-denominator
+//!    `y'` first** (the stream deepest into — or stretched furthest by —
+//!    its zero-budget window is most urgent).
+//! 4. Equal deadlines, equal non-zero constraints → **highest numerator
+//!    `x'` first** (a larger window with the same ratio has more absolute
+//!    slack to protect).
+//! 5. All else equal → **first-come-first-served** (arrival order).
+//!
+//! A globally unique arrival sequence makes the order *strict* — no two
+//! distinct head packets compare equal — so every [`ScheduleRepr`]
+//! (including `BTreeSet`-based ones) sees a consistent total order.
+//!
+//! [`ScheduleRepr`]: crate::repr::ScheduleRepr
+
+use crate::types::Time;
+use core::cmp::Ordering;
+use fixedpt::Frac;
+
+/// Everything the precedence rules need to know about a stream's head
+/// packet. Compact by design — the embedded implementation keeps one of
+/// these per stream in NI memory (or in the i960's memory-mapped "hardware
+/// queue" registers, Table 3).
+#[derive(Clone, Copy, Debug)]
+pub struct HeadKey {
+    /// Head packet's deadline (latest service-start time).
+    pub deadline: Time,
+    /// Current window-constraint numerator `x'`.
+    pub x: u32,
+    /// Current window-constraint denominator `y'`.
+    pub y: u32,
+    /// Global arrival sequence (FCFS tiebreak; unique per enqueue).
+    pub arrival: u64,
+}
+
+impl HeadKey {
+    /// Current window-constraint `W' = x'/y'`.
+    #[inline]
+    pub fn constraint(&self) -> Frac {
+        Frac::new(self.x, self.y)
+    }
+
+    /// The DWCS precedence relation. `Less` means *serve first*.
+    #[inline]
+    pub fn precedence(&self, other: &HeadKey) -> Ordering {
+        // Rule 1: earliest deadline first.
+        self.deadline
+            .cmp(&other.deadline)
+            .then_with(|| {
+                let wa = self.constraint();
+                let wb = other.constraint();
+                // Rule 2: lowest window-constraint first.
+                wa.cmp(&wb).then_with(|| {
+                    if wa.is_zero() {
+                        // Rule 3: both zero → highest y' first.
+                        other.y.cmp(&self.y)
+                    } else {
+                        // Rule 4: equal non-zero → highest x' first.
+                        other.x.cmp(&self.x)
+                    }
+                })
+            })
+            // Rule 5: FCFS.
+            .then_with(|| self.arrival.cmp(&other.arrival))
+    }
+}
+
+impl PartialEq for HeadKey {
+    fn eq(&self, other: &HeadKey) -> bool {
+        self.precedence(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeadKey {}
+
+impl PartialOrd for HeadKey {
+    fn partial_cmp(&self, other: &HeadKey) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeadKey {
+    fn cmp(&self, other: &HeadKey) -> Ordering {
+        self.precedence(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(deadline: Time, x: u32, y: u32, arrival: u64) -> HeadKey {
+        HeadKey { deadline, x, y, arrival }
+    }
+
+    #[test]
+    fn rule1_earliest_deadline_wins() {
+        let a = key(100, 3, 4, 10);
+        let b = key(200, 0, 9, 0);
+        assert!(a < b, "earlier deadline dominates everything else");
+    }
+
+    #[test]
+    fn rule2_lowest_constraint_wins_on_deadline_tie() {
+        let tight = key(100, 1, 4, 5); // W' = 0.25
+        let loose = key(100, 3, 4, 1); // W' = 0.75
+        assert!(tight < loose);
+        // Zero constraint beats non-zero.
+        let zero = key(100, 0, 4, 9);
+        assert!(zero < tight);
+    }
+
+    #[test]
+    fn rule3_zero_constraints_highest_denominator_wins() {
+        let deep = key(100, 0, 12, 9);
+        let shallow = key(100, 0, 3, 1);
+        assert!(deep < shallow, "y'=12 outranks y'=3 when both W'=0");
+    }
+
+    #[test]
+    fn rule4_equal_nonzero_highest_numerator_wins() {
+        // Same ratio 1/2 vs 3/6 — equal as fractions, x' differs.
+        let big = key(100, 3, 6, 9);
+        let small = key(100, 1, 2, 1);
+        assert!(big < small, "x'=3 outranks x'=1 at equal W'");
+    }
+
+    #[test]
+    fn rule5_fcfs_breaks_remaining_ties() {
+        let first = key(100, 1, 2, 7);
+        let second = key(100, 1, 2, 8);
+        assert!(first < second);
+    }
+
+    #[test]
+    fn order_is_strict_for_distinct_arrivals() {
+        let a = key(100, 1, 2, 1);
+        let b = key(100, 1, 2, 2);
+        assert_ne!(a.cmp(&b), Ordering::Equal);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn order_is_antisymmetric_and_transitive_on_samples() {
+        let keys = [
+            key(50, 0, 3, 1),
+            key(50, 0, 9, 2),
+            key(50, 1, 3, 3),
+            key(50, 2, 6, 4),
+            key(50, 3, 3, 5),
+            key(60, 0, 1, 6),
+            key(40, 3, 3, 7),
+        ];
+        for a in &keys {
+            for b in &keys {
+                assert_eq!(a.cmp(b), b.cmp(a).reverse());
+                for c in &keys {
+                    if a.cmp(b) != Ordering::Greater && b.cmp(c) != Ordering::Greater {
+                        assert_ne!(a.cmp(c), Ordering::Greater, "{a:?} {b:?} {c:?}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! B-tree representation — the modern ordered-map baseline.
+//!
+//! Not one of the paper's candidates (1990s embedded firmware predates
+//! `BTreeSet`), but the natural structure a contemporary implementation
+//! would reach for; the ablation bench uses it as the yardstick the
+//! period-correct structures are compared against.
+
+use super::{ScheduleRepr, Work};
+use crate::key::HeadKey;
+use crate::types::StreamId;
+use std::collections::BTreeSet;
+
+/// Ordered-set index over `(HeadKey, StreamId)` with a side table for
+/// removals. `HeadKey`'s order is strict for distinct arrivals, so the set
+/// never conflates two streams.
+pub struct BTreeRepr {
+    set: BTreeSet<(HeadKey, StreamId)>,
+    current: Vec<Option<HeadKey>>,
+    work: Work,
+}
+
+impl Default for BTreeRepr {
+    fn default() -> Self {
+        BTreeRepr::new()
+    }
+}
+
+impl BTreeRepr {
+    /// Empty index.
+    pub fn new() -> BTreeRepr {
+        BTreeRepr {
+            set: BTreeSet::new(),
+            current: Vec::new(),
+            work: Work::default(),
+        }
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.current.len() {
+            self.current.resize(idx + 1, None);
+        }
+    }
+
+    /// Estimated comparisons for one tree descent.
+    fn log_len(&self) -> u64 {
+        (self.set.len().max(2) as u64).ilog2() as u64
+    }
+}
+
+impl ScheduleRepr for BTreeRepr {
+    fn name(&self) -> &'static str {
+        "btree"
+    }
+
+    fn update(&mut self, sid: StreamId, key: HeadKey) {
+        self.ensure(sid.index());
+        if let Some(old) = self.current[sid.index()].replace(key) {
+            self.work.compares += self.log_len();
+            self.set.remove(&(old, sid));
+        }
+        self.work.compares += self.log_len();
+        self.work.touches += self.log_len() + 1;
+        self.set.insert((key, sid));
+    }
+
+    fn remove(&mut self, sid: StreamId) {
+        if sid.index() < self.current.len() {
+            if let Some(old) = self.current[sid.index()].take() {
+                self.work.compares += self.log_len();
+                self.work.touches += 1;
+                self.set.remove(&(old, sid));
+            }
+        }
+    }
+
+    fn peek_min(&mut self) -> Option<(StreamId, HeadKey)> {
+        self.work.touches += 1;
+        self.set.first().map(|&(k, s)| (s, k))
+    }
+
+    fn pop_min(&mut self) -> Option<(StreamId, HeadKey)> {
+        self.work.compares += self.log_len();
+        self.work.touches += self.log_len();
+        let (k, s) = self.set.pop_first()?;
+        self.current[s.index()] = None;
+        Some((s, k))
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    fn take_work(&mut self) -> Work {
+        core::mem::take(&mut self.work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(deadline: u64, arrival: u64) -> HeadKey {
+        HeadKey { deadline, x: 1, y: 2, arrival }
+    }
+
+    #[test]
+    fn ordered_pops() {
+        let mut r = BTreeRepr::new();
+        for (sid, d) in [(0u32, 30u64), (1, 10), (2, 20)] {
+            r.update(StreamId(sid), key(d, u64::from(sid)));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| r.pop_min().map(|(s, _)| s.0)).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn update_is_move_not_duplicate() {
+        let mut r = BTreeRepr::new();
+        r.update(StreamId(0), key(10, 0));
+        r.update(StreamId(0), key(5, 1));
+        assert_eq!(r.len(), 1);
+        let (_, k) = r.pop_min().unwrap();
+        assert_eq!(k.deadline, 5);
+        assert!(r.pop_min().is_none());
+    }
+
+    #[test]
+    fn remove_then_reinsert() {
+        let mut r = BTreeRepr::new();
+        r.update(StreamId(3), key(10, 0));
+        r.remove(StreamId(3));
+        assert!(r.is_empty());
+        r.update(StreamId(3), key(20, 1));
+        assert_eq!(r.pop_min().unwrap().1.deadline, 20);
+    }
+}

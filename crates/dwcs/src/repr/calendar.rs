@@ -1,0 +1,312 @@
+//! Calendar queue representation (§3.1.1's "calendar queues").
+//!
+//! Deadlines hash into day-buckets of fixed width; the precedence order is
+//! deadline-major, so scanning buckets in deadline order and resolving the
+//! (typically tiny) in-bucket candidate set by full precedence yields the
+//! global DWCS minimum. Brown's classic design, adapted in two ways:
+//!
+//! * **Lazy invalidation** by per-stream stamps (like [`DualHeap`]), so
+//!   `update`/`remove` never search buckets.
+//! * A **direct-search fallback** when a full sweep of the calendar "year"
+//!   finds only future-year entries, which bounds the worst case instead of
+//!   spinning.
+//!
+//! Amortised O(1) per operation when the bucket width matches the deadline
+//! spacing — for media streams the natural width is the frame period, which
+//! is exactly what the scheduler knows at admission time.
+//!
+//! [`DualHeap`]: super::DualHeap
+
+use super::{ScheduleRepr, Work};
+use crate::key::HeadKey;
+use crate::types::{StreamId, Time};
+
+#[derive(Clone, Copy)]
+struct Entry {
+    key: HeadKey,
+    sid: StreamId,
+    stamp: u64,
+}
+
+/// Bucketed-by-deadline index with lazy invalidation.
+pub struct CalendarQueue {
+    buckets: Vec<Vec<Entry>>,
+    /// Bucket width in nanoseconds of deadline.
+    width: Time,
+    stamps: Vec<Option<u64>>,
+    next_stamp: u64,
+    len: usize,
+    /// Earliest deadline that can still be live (advanced by pops).
+    horizon: Time,
+    work: Work,
+}
+
+impl CalendarQueue {
+    /// `width`: bucket width in ns (natural choice: the dominant stream
+    /// period). `nbuckets`: number of day-buckets (rounded up to a power of
+    /// two).
+    pub fn new(width: Time, nbuckets: usize) -> CalendarQueue {
+        assert!(width > 0, "bucket width must be positive");
+        let n = nbuckets.next_power_of_two().max(2);
+        CalendarQueue {
+            buckets: vec![Vec::new(); n],
+            width,
+            stamps: Vec::new(),
+            next_stamp: 0,
+            len: 0,
+            horizon: 0,
+            work: Work::default(),
+        }
+    }
+
+    fn bucket_of(&self, deadline: Time) -> usize {
+        ((deadline / self.width) as usize) & (self.buckets.len() - 1)
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.stamps.len() {
+            self.stamps.resize(idx + 1, None);
+        }
+    }
+
+    fn is_current(&self, e: &Entry) -> bool {
+        self.stamps
+            .get(e.sid.index())
+            .copied()
+            .flatten()
+            .is_some_and(|s| s == e.stamp)
+    }
+
+    /// Grow the calendar when buckets get crowded, rehashing live entries.
+    fn maybe_resize(&mut self) {
+        if self.len <= self.buckets.len() * 4 {
+            return;
+        }
+        let new_n = (self.buckets.len() * 2).next_power_of_two();
+        let old = core::mem::replace(&mut self.buckets, vec![Vec::new(); new_n]);
+        for bucket in old {
+            for e in bucket {
+                if self.is_current(&e) {
+                    let b = self.bucket_of(e.key.deadline);
+                    self.buckets[b].push(e);
+                    self.work.touches += 1;
+                }
+            }
+        }
+    }
+
+    /// Find the live minimum: sweep one calendar year from the horizon
+    /// bucket; if that finds nothing in-year, direct-search everything.
+    /// Returns (bucket, index-in-bucket).
+    fn find_min(&mut self) -> Option<(usize, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        let start_bucket = self.bucket_of(self.horizon);
+        let year_start = self.horizon;
+
+        // One-year sweep: the first bucket containing a live entry whose
+        // deadline falls within that bucket's current-year day wins.
+        for step in 0..n {
+            let b = (start_bucket + step) % n;
+            let day_end = year_start - (year_start % self.width) + self.width * (step as Time + 1);
+            let found = self.scan_bucket(b, Some(day_end));
+            if found.is_some() {
+                return found.map(|i| (b, i));
+            }
+        }
+        // Fallback: min over all live entries regardless of year.
+        let mut best: Option<(usize, usize, HeadKey)> = None;
+        for b in 0..n {
+            if let Some(i) = self.scan_bucket(b, None) {
+                let k = self.buckets[b][i].key;
+                match &best {
+                    None => best = Some((b, i, k)),
+                    Some((_, _, bk)) => {
+                        self.work.compares += 1;
+                        if k.precedence(bk).is_lt() {
+                            best = Some((b, i, k));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(b, i, _)| (b, i))
+    }
+
+    /// Best live entry in bucket `b`; with `day_end`, only entries whose
+    /// deadline is before that day boundary count (current-year test).
+    /// Compacts stale entries opportunistically.
+    fn scan_bucket(&mut self, b: usize, day_end: Option<Time>) -> Option<usize> {
+        // Opportunistic compaction of stale entries.
+        let stamps = &self.stamps;
+        let bucket = &mut self.buckets[b];
+        let before = bucket.len();
+        bucket.retain(|e| {
+            stamps
+                .get(e.sid.index())
+                .copied()
+                .flatten()
+                .is_some_and(|s| s == e.stamp)
+        });
+        self.work.touches += before as u64;
+
+        let bucket = &self.buckets[b];
+        let mut best: Option<(usize, HeadKey)> = None;
+        for (i, e) in bucket.iter().enumerate() {
+            if let Some(end) = day_end {
+                if e.key.deadline >= end {
+                    continue;
+                }
+            }
+            match &best {
+                None => best = Some((i, e.key)),
+                Some((_, bk)) => {
+                    self.work.compares += 1;
+                    if e.key.precedence(bk).is_lt() {
+                        best = Some((i, e.key));
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+impl ScheduleRepr for CalendarQueue {
+    fn name(&self) -> &'static str {
+        "calendar-queue"
+    }
+
+    fn update(&mut self, sid: StreamId, key: HeadKey) {
+        self.ensure(sid.index());
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if self.stamps[sid.index()].is_none() {
+            self.len += 1;
+        }
+        self.stamps[sid.index()] = Some(stamp);
+        // A backlogged stream may re-enqueue behind the pop horizon (its
+        // next deadline is predecessor + T, which can lag). Clamp the
+        // horizon down so the year-sweep starts at or before the true
+        // minimum — otherwise a later-deadline entry in an earlier-swept
+        // bucket would pop first.
+        if self.len == 1 || key.deadline < self.horizon {
+            self.horizon = key.deadline;
+        }
+        let b = self.bucket_of(key.deadline);
+        self.buckets[b].push(Entry { key, sid, stamp });
+        self.work.touches += 1;
+        self.maybe_resize();
+    }
+
+    fn remove(&mut self, sid: StreamId) {
+        if sid.index() < self.stamps.len() && self.stamps[sid.index()].take().is_some() {
+            self.len -= 1;
+            self.work.touches += 1;
+        }
+    }
+
+    fn peek_min(&mut self) -> Option<(StreamId, HeadKey)> {
+        let (b, i) = self.find_min()?;
+        let e = self.buckets[b][i];
+        Some((e.sid, e.key))
+    }
+
+    fn pop_min(&mut self) -> Option<(StreamId, HeadKey)> {
+        let (b, i) = self.find_min()?;
+        let e = self.buckets[b].swap_remove(i);
+        self.stamps[e.sid.index()] = None;
+        self.len -= 1;
+        self.horizon = self.horizon.max(e.key.deadline);
+        self.work.touches += 1;
+        Some((e.sid, e.key))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn take_work(&mut self) -> Work {
+        core::mem::take(&mut self.work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(deadline: u64, arrival: u64) -> HeadKey {
+        HeadKey { deadline, x: 1, y: 2, arrival }
+    }
+
+    #[test]
+    fn pops_in_deadline_order_across_buckets() {
+        let mut r = CalendarQueue::new(1_000, 4);
+        for (sid, d) in [(0u32, 9_500u64), (1, 500), (2, 4_200), (3, 1_100), (4, 20_000)] {
+            r.update(StreamId(sid), key(d, u64::from(sid)));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| r.pop_min().map(|(s, _)| s.0)).collect();
+        assert_eq!(order, vec![1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn same_bucket_resolved_by_precedence() {
+        let mut r = CalendarQueue::new(1_000_000, 4);
+        r.update(StreamId(0), key(500, 0));
+        r.update(StreamId(1), key(100, 1));
+        r.update(StreamId(2), key(300, 2));
+        assert_eq!(r.pop_min().unwrap().0, StreamId(1));
+        assert_eq!(r.pop_min().unwrap().0, StreamId(2));
+        assert_eq!(r.pop_min().unwrap().0, StreamId(0));
+    }
+
+    #[test]
+    fn wraparound_year_handled() {
+        // 4 buckets × 1000 ns: deadlines 100 and 4_100 share bucket 0.
+        let mut r = CalendarQueue::new(1_000, 4);
+        r.update(StreamId(0), key(4_100, 0));
+        r.update(StreamId(1), key(100, 1));
+        assert_eq!(r.pop_min().unwrap().0, StreamId(1), "current-year entry first");
+        assert_eq!(r.pop_min().unwrap().0, StreamId(0));
+    }
+
+    #[test]
+    fn far_future_entry_found_by_fallback() {
+        let mut r = CalendarQueue::new(1_000, 4);
+        r.update(StreamId(0), key(1_000_000_000, 0));
+        assert_eq!(r.pop_min().unwrap().0, StreamId(0));
+        assert!(r.pop_min().is_none());
+    }
+
+    #[test]
+    fn update_supersedes_and_remove_hides() {
+        let mut r = CalendarQueue::new(1_000, 4);
+        r.update(StreamId(0), key(100, 0));
+        r.update(StreamId(0), key(9_000, 1));
+        r.update(StreamId(1), key(5_000, 2));
+        r.remove(StreamId(1));
+        assert_eq!(r.len(), 1);
+        let (sid, k) = r.pop_min().unwrap();
+        assert_eq!(sid, StreamId(0));
+        assert_eq!(k.deadline, 9_000);
+        assert!(r.pop_min().is_none());
+    }
+
+    #[test]
+    fn resize_preserves_entries() {
+        let mut r = CalendarQueue::new(1_000, 2);
+        for sid in 0..64u32 {
+            r.update(StreamId(sid), key(u64::from(sid) * 777, u64::from(sid)));
+        }
+        assert_eq!(r.len(), 64);
+        let order: Vec<u32> = std::iter::from_fn(|| r.pop_min().map(|(s, _)| s.0)).collect();
+        assert_eq!(order.len(), 64);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        // Deadline order = sid order here (monotone deadlines).
+        assert_eq!(order, (0..64).collect::<Vec<_>>());
+    }
+}

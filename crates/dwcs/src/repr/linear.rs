@@ -1,0 +1,161 @@
+//! Linear scan over a flat descriptor table.
+//!
+//! This is what the embedded i960 implementation in the paper actually does:
+//! *"The scheduler loops through the frame descriptors and picks the
+//! eligible descriptor"* (§4.2.1). O(n) per decision but with a tiny
+//! constant, perfectly predictable memory access (descriptors sit in a flat
+//! array in pinned NI memory — or in the memory-mapped "hardware queue"
+//! registers of Table 3), and O(1) updates. For the stream counts the paper
+//! evaluates (a handful) it is competitive with the heaps; the `sched_repr`
+//! bench shows where the crossover lies.
+
+use super::{ScheduleRepr, Work};
+use crate::key::HeadKey;
+use crate::types::StreamId;
+
+/// Flat-array head-packet table scanned linearly on each decision.
+pub struct LinearScan {
+    slots: Vec<Option<HeadKey>>,
+    len: usize,
+    work: Work,
+}
+
+impl LinearScan {
+    /// Table sized for stream ids `0..capacity` (grows on demand).
+    pub fn new(capacity: usize) -> LinearScan {
+        LinearScan {
+            slots: vec![None; capacity],
+            len: 0,
+            work: Work::default(),
+        }
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+    }
+
+    fn scan_min(&mut self) -> Option<usize> {
+        let mut best: Option<(usize, HeadKey)> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            self.work.touches += 1;
+            if let Some(key) = slot {
+                match &best {
+                    None => best = Some((i, *key)),
+                    Some((_, bk)) => {
+                        self.work.compares += 1;
+                        if key.precedence(bk).is_lt() {
+                            best = Some((i, *key));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+impl ScheduleRepr for LinearScan {
+    fn name(&self) -> &'static str {
+        "linear-scan"
+    }
+
+    fn update(&mut self, sid: StreamId, key: HeadKey) {
+        self.ensure(sid.index());
+        self.work.touches += 1;
+        if self.slots[sid.index()].is_none() {
+            self.len += 1;
+        }
+        self.slots[sid.index()] = Some(key);
+    }
+
+    fn remove(&mut self, sid: StreamId) {
+        if sid.index() < self.slots.len() {
+            self.work.touches += 1;
+            if self.slots[sid.index()].take().is_some() {
+                self.len -= 1;
+            }
+        }
+    }
+
+    fn peek_min(&mut self) -> Option<(StreamId, HeadKey)> {
+        let i = self.scan_min()?;
+        Some((StreamId(i as u32), self.slots[i].expect("scan found occupied slot")))
+    }
+
+    fn pop_min(&mut self) -> Option<(StreamId, HeadKey)> {
+        let i = self.scan_min()?;
+        let key = self.slots[i].take().expect("scan found occupied slot");
+        self.len -= 1;
+        Some((StreamId(i as u32), key))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn take_work(&mut self) -> Work {
+        core::mem::take(&mut self.work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(deadline: u64, arrival: u64) -> HeadKey {
+        HeadKey { deadline, x: 1, y: 2, arrival }
+    }
+
+    #[test]
+    fn pops_in_deadline_order() {
+        let mut r = LinearScan::new(4);
+        r.update(StreamId(0), key(30, 0));
+        r.update(StreamId(1), key(10, 1));
+        r.update(StreamId(2), key(20, 2));
+        assert_eq!(r.pop_min().unwrap().0, StreamId(1));
+        assert_eq!(r.pop_min().unwrap().0, StreamId(2));
+        assert_eq!(r.pop_min().unwrap().0, StreamId(0));
+        assert!(r.pop_min().is_none());
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut r = LinearScan::new(1);
+        r.update(StreamId(9), key(5, 0));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.pop_min().unwrap().0, StreamId(9));
+    }
+
+    #[test]
+    fn update_replaces_in_place() {
+        let mut r = LinearScan::new(2);
+        r.update(StreamId(0), key(30, 0));
+        r.update(StreamId(1), key(20, 1));
+        r.update(StreamId(0), key(10, 2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop_min().unwrap().0, StreamId(0));
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut r = LinearScan::new(2);
+        r.remove(StreamId(0));
+        r.remove(StreamId(99));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn work_scales_with_table() {
+        let mut r = LinearScan::new(16);
+        for i in 0..16u32 {
+            r.update(StreamId(i), key(u64::from(i), u64::from(i)));
+        }
+        r.take_work();
+        let _ = r.peek_min();
+        let w = r.take_work();
+        assert_eq!(w.touches, 16);
+        assert_eq!(w.compares, 15);
+    }
+}

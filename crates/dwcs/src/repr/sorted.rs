@@ -1,0 +1,154 @@
+//! Sorted list representation (§3.1.1's "sorted lists").
+//!
+//! Kept in *descending* precedence order so the minimum lives at the tail:
+//! `pop_min` is a pop from the end (O(1), no shifting), while inserts pay a
+//! binary search plus a memmove. Good when decisions vastly outnumber
+//! arrivals; bad under high churn — exactly the trade-off the `sched_repr`
+//! bench demonstrates.
+
+use super::{ScheduleRepr, Work};
+use crate::key::HeadKey;
+use crate::types::StreamId;
+
+/// Vector kept sorted by DWCS precedence (best entry at the tail).
+pub struct SortedList {
+    // (key, sid), sorted descending by key precedence.
+    entries: Vec<(HeadKey, StreamId)>,
+    work: Work,
+}
+
+impl Default for SortedList {
+    fn default() -> Self {
+        SortedList::new()
+    }
+}
+
+impl SortedList {
+    /// Empty list.
+    pub fn new() -> SortedList {
+        SortedList {
+            entries: Vec::new(),
+            work: Work::default(),
+        }
+    }
+
+    /// Binary-search the insertion point in the descending order,
+    /// counting comparisons.
+    fn position(&mut self, key: &HeadKey) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.entries.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            self.work.compares += 1;
+            self.work.touches += 1;
+            // Descending: bigger keys first.
+            if self.entries[mid].0.precedence(key).is_gt() {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    fn remove_sid(&mut self, sid: StreamId) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&(_, s)| s == sid) {
+            self.work.touches += (self.entries.len() - pos) as u64;
+            self.entries.remove(pos);
+            true
+        } else {
+            self.work.touches += self.entries.len() as u64;
+            false
+        }
+    }
+}
+
+impl ScheduleRepr for SortedList {
+    fn name(&self) -> &'static str {
+        "sorted-list"
+    }
+
+    fn update(&mut self, sid: StreamId, key: HeadKey) {
+        self.remove_sid(sid);
+        let pos = self.position(&key);
+        self.work.touches += (self.entries.len() - pos + 1) as u64;
+        self.entries.insert(pos, (key, sid));
+    }
+
+    fn remove(&mut self, sid: StreamId) {
+        self.remove_sid(sid);
+    }
+
+    fn peek_min(&mut self) -> Option<(StreamId, HeadKey)> {
+        self.work.touches += 1;
+        self.entries.last().map(|&(k, s)| (s, k))
+    }
+
+    fn pop_min(&mut self) -> Option<(StreamId, HeadKey)> {
+        self.work.touches += 1;
+        self.entries.pop().map(|(k, s)| (s, k))
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn take_work(&mut self) -> Work {
+        core::mem::take(&mut self.work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(deadline: u64, arrival: u64) -> HeadKey {
+        HeadKey { deadline, x: 1, y: 2, arrival }
+    }
+
+    #[test]
+    fn maintains_sorted_order_under_churn() {
+        let mut r = SortedList::new();
+        for (sid, d) in [(0u32, 50u64), (1, 10), (2, 90), (3, 30), (4, 70)] {
+            r.update(StreamId(sid), key(d, u64::from(sid)));
+        }
+        let mut order = Vec::new();
+        while let Some((sid, k)) = r.pop_min() {
+            order.push((sid.0, k.deadline));
+        }
+        assert_eq!(order, vec![(1, 10), (3, 30), (0, 50), (4, 70), (2, 90)]);
+    }
+
+    #[test]
+    fn update_moves_entry() {
+        let mut r = SortedList::new();
+        r.update(StreamId(0), key(100, 0));
+        r.update(StreamId(1), key(50, 1));
+        r.update(StreamId(0), key(10, 2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop_min().unwrap().0, StreamId(0));
+    }
+
+    #[test]
+    fn pop_is_cheap_insert_pays() {
+        let mut r = SortedList::new();
+        for i in 0..32u32 {
+            r.update(StreamId(i), key(u64::from(i * 7 % 32), u64::from(i)));
+        }
+        r.take_work();
+        let _ = r.pop_min();
+        let pop_work = r.take_work();
+        assert!(pop_work.touches <= 2, "pop should not shift: {pop_work:?}");
+        r.update(StreamId(40), key(16, 99));
+        let ins_work = r.take_work();
+        assert!(ins_work.compares >= 4, "insert binary-searches: {ins_work:?}");
+    }
+
+    #[test]
+    fn fcfs_tie_respected() {
+        let mut r = SortedList::new();
+        r.update(StreamId(0), key(10, 5));
+        r.update(StreamId(1), key(10, 3));
+        assert_eq!(r.pop_min().unwrap().0, StreamId(1), "earlier arrival first");
+    }
+}

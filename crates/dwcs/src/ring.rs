@@ -1,0 +1,216 @@
+//! The synchronization-free per-stream circular buffer of Figure 4(b).
+//!
+//! *"Using a circular queue for each stream eliminates the need for
+//! synchronization between the scheduler that selects the next packet for
+//! service, and the server that queues packets to be scheduled. … Frame
+//! producers may inject frames into the scheduler using the tail pointer
+//! and the scheduler may read frames using the head pointer."*
+//!
+//! [`SpscRing`] is that structure for the real threaded engine: a
+//! fixed-capacity single-producer / single-consumer ring where the producer
+//! only writes the tail index and the consumer only writes the head index.
+//! On the i960 the indices were plain words (one writer each side makes the
+//! races benign on that single-bus system); in Rust the same design is
+//! expressed with acquire/release atomics — the *data* still moves with no
+//! locks, no CAS loops, and no allocation after construction (the paper's
+//! "physically pinned memory" discipline).
+//!
+//! Capacity is rounded up to a power of two; one slot is sacrificed to
+//! distinguish full from empty, exactly like the firmware original.
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Error returned when pushing to a full ring.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RingFull<T>(pub T);
+
+struct Shared<T> {
+    /// Slots; `Mutex<Option<T>>` per slot rather than `UnsafeCell` because
+    /// this crate forbids `unsafe`. Each mutex is uncontended by
+    /// construction (only the producer touches a slot between tail
+    /// publication points, only the consumer afterwards), so the cost is a
+    /// single uncontended atomic per access — the SPSC discipline is
+    /// preserved, just belt-and-braces checked.
+    slots: Box<[Mutex<Option<T>>]>,
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+    mask: usize,
+}
+
+/// Producer half: owned by exactly one thread.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    /// Producer's cached copy of its own tail (no atomic read needed).
+    tail: usize,
+}
+
+/// Consumer half: owned by exactly one thread.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Consumer's cached copy of its own head.
+    head: usize,
+}
+
+/// Constructor namespace for the ring (see [`SpscRing::with_capacity`]).
+pub struct SpscRing;
+
+impl SpscRing {
+    /// Create a ring holding at least `capacity` elements, returning the
+    /// two endpoints. Capacity is rounded up to a power of two.
+    pub fn with_capacity<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+        let cap = capacity.next_power_of_two().max(2);
+        let slots = (0..cap).map(|_| Mutex::new(None)).collect::<Vec<_>>().into_boxed_slice();
+        let shared = Arc::new(Shared {
+            slots,
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            mask: cap - 1,
+        });
+        (
+            Producer { shared: Arc::clone(&shared), tail: 0 },
+            Consumer { shared, head: 0 },
+        )
+    }
+}
+
+impl<T> Producer<T> {
+    /// Push an element; returns it back if the ring is full (the producer
+    /// decides whether to drop, spin, or backpressure — for media frames
+    /// the paper's answer is stream-selective dropping).
+    pub fn push(&mut self, value: T) -> Result<(), RingFull<T>> {
+        let head = self.shared.head.load(Ordering::Acquire);
+        let next = (self.tail + 1) & self.shared.mask;
+        if next == head & self.shared.mask {
+            return Err(RingFull(value));
+        }
+        *self.shared.slots[self.tail].lock() = Some(value);
+        self.tail = next;
+        self.shared.tail.store(next, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of free slots (approximate under concurrency, exact when the
+    /// consumer is quiescent).
+    pub fn free(&self) -> usize {
+        let head = self.shared.head.load(Ordering::Acquire) & self.shared.mask;
+        let used = (self.tail.wrapping_sub(head)) & self.shared.mask;
+        self.shared.mask - used
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pop the oldest element, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        let tail = self.shared.tail.load(Ordering::Acquire);
+        if self.head == tail {
+            return None;
+        }
+        let value = self.shared.slots[self.head].lock().take();
+        debug_assert!(value.is_some(), "published slot must be occupied");
+        self.head = (self.head + 1) & self.shared.mask;
+        self.shared.head.store(self.head, Ordering::Release);
+        value
+    }
+
+    /// Number of queued elements (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let tail = self.shared.tail.load(Ordering::Acquire);
+        (tail.wrapping_sub(self.head)) & self.shared.mask
+    }
+
+    /// Whether currently empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (mut tx, mut rx) = SpscRing::with_capacity::<u32>(8);
+        for i in 0..5 {
+            tx.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_rejects_and_returns_value() {
+        let (mut tx, mut rx) = SpscRing::with_capacity::<u32>(4); // usable = 3
+        assert!(tx.push(1).is_ok());
+        assert!(tx.push(2).is_ok());
+        assert!(tx.push(3).is_ok());
+        assert_eq!(tx.push(4), Err(RingFull(4)));
+        assert_eq!(tx.free(), 0);
+        assert_eq!(rx.pop(), Some(1));
+        assert!(tx.push(4).is_ok(), "slot freed by pop");
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (mut tx, _rx) = SpscRing::with_capacity::<u8>(5); // rounds to 8, usable 7
+        for i in 0..7 {
+            assert!(tx.push(i).is_ok(), "push {i}");
+        }
+        assert!(tx.push(7).is_err());
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = SpscRing::with_capacity::<u64>(4);
+        for round in 0..100u64 {
+            tx.push(round * 2).unwrap();
+            tx.push(round * 2 + 1).unwrap();
+            assert_eq!(rx.pop(), Some(round * 2));
+            assert_eq!(rx.pop(), Some(round * 2 + 1));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stream() {
+        let (mut tx, mut rx) = SpscRing::with_capacity::<u64>(64);
+        const N: u64 = 100_000;
+        let producer = thread::spawn(move || {
+            let mut next = 0u64;
+            while next < N {
+                match tx.push(next) {
+                    Ok(()) => next += 1,
+                    Err(RingFull(_)) => thread::yield_now(),
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            match rx.pop() {
+                Some(v) => {
+                    assert_eq!(v, expected, "FIFO order violated");
+                    expected += 1;
+                }
+                None => thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (mut tx, mut rx) = SpscRing::with_capacity::<u8>(8);
+        assert_eq!(rx.len(), 0);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        rx.pop();
+        assert_eq!(rx.len(), 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! Exact unsigned rationals compared without division.
+//!
+//! The DWCS window-constraint `W' = x'/y'` is a ratio of two small counters.
+//! The paper's fixed-point scheduler "simply store\[s\] arguments as fractions
+//! with numerator and denominator"; comparisons then reduce to two integer
+//! multiplications (cross-multiplication), and the few divisions that remain
+//! are power-of-two scalings implemented as shifts. [`Frac`] is that type.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// An exact non-negative rational `num / den`.
+///
+/// `den == 0` encodes *infinity* (used for "no constraint"); `0/0` is not
+/// representable — constructors normalise it to `0/1`.
+///
+/// Values are deliberately **not** auto-reduced on every operation: DWCS
+/// fractions stay tiny (window numerators/denominators are per-stream packet
+/// counters), and skipping the gcd keeps the hot path to two multiplications.
+/// Equality and hashing are by *value* (`2/4 == 1/2`), consistent with the
+/// cross-multiplication `Ord`; [`Frac::reduced`] gives the canonical form.
+#[derive(Clone, Copy, Default)]
+pub struct Frac {
+    num: u32,
+    den: u32,
+}
+
+impl PartialEq for Frac {
+    #[inline]
+    fn eq(&self, other: &Frac) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Frac {}
+
+impl core::hash::Hash for Frac {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        // Hash the canonical form so value-equal fractions collide.
+        let r = self.reduced();
+        r.num.hash(state);
+        r.den.hash(state);
+    }
+}
+
+impl Frac {
+    /// Zero (`0/1`).
+    pub const ZERO: Frac = Frac { num: 0, den: 1 };
+    /// One (`1/1`).
+    pub const ONE: Frac = Frac { num: 1, den: 1 };
+    /// Positive infinity (`1/0`): larger than every finite fraction.
+    pub const INF: Frac = Frac { num: 1, den: 0 };
+
+    /// Build `num/den`. A zero denominator with a zero numerator is
+    /// normalised to [`Frac::ZERO`]; a zero denominator with a non-zero
+    /// numerator yields [`Frac::INF`].
+    #[inline]
+    pub const fn new(num: u32, den: u32) -> Frac {
+        if den == 0 {
+            if num == 0 {
+                Frac::ZERO
+            } else {
+                Frac::INF
+            }
+        } else {
+            Frac { num, den }
+        }
+    }
+
+    /// Numerator.
+    #[inline]
+    pub const fn num(self) -> u32 {
+        self.num
+    }
+
+    /// Denominator (`0` means infinity).
+    #[inline]
+    pub const fn den(self) -> u32 {
+        self.den
+    }
+
+    /// Whether this is the infinity sentinel.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        self.den == 0
+    }
+
+    /// Whether the value equals zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.num == 0 && self.den != 0
+    }
+
+    /// Canonical form: reduced by gcd; infinity normalises to `1/0`.
+    pub fn reduced(self) -> Frac {
+        if self.is_infinite() {
+            return Frac::INF;
+        }
+        if self.num == 0 {
+            return Frac::ZERO;
+        }
+        let g = gcd(self.num, self.den);
+        Frac {
+            num: self.num / g,
+            den: self.den / g,
+        }
+    }
+
+    /// Value as `f64` (infinity maps to `f64::INFINITY`). For reporting only —
+    /// the scheduler itself never converts.
+    pub fn to_f64(self) -> f64 {
+        if self.is_infinite() {
+            f64::INFINITY
+        } else {
+            f64::from(self.num) / f64::from(self.den)
+        }
+    }
+
+    /// Sum — exact, via cross multiplication in 64-bit then downscale by
+    /// shifting if the exact result would overflow `u32` components.
+    ///
+    /// DWCS only ever adds small window fractions, so the shift branch is
+    /// cold; it exists so the type is total. Deliberately *not* an
+    /// `std::ops::Add` impl: these operations can lose precision at the
+    /// representation edge, and a plain method keeps that visible.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Frac) -> Frac {
+        if self.is_infinite() || rhs.is_infinite() {
+            return Frac::INF;
+        }
+        let num = u64::from(self.num) * u64::from(rhs.den) + u64::from(rhs.num) * u64::from(self.den);
+        let den = u64::from(self.den) * u64::from(rhs.den);
+        Frac::from_u64_parts(num, den)
+    }
+
+    /// Saturating difference `max(self − rhs, 0)` — exact where representable.
+    pub fn saturating_sub(self, rhs: Frac) -> Frac {
+        if rhs.is_infinite() {
+            return Frac::ZERO;
+        }
+        if self.is_infinite() {
+            return Frac::INF;
+        }
+        let lhs = u64::from(self.num) * u64::from(rhs.den);
+        let sub = u64::from(rhs.num) * u64::from(self.den);
+        if sub >= lhs {
+            return Frac::ZERO;
+        }
+        let den = u64::from(self.den) * u64::from(rhs.den);
+        Frac::from_u64_parts(lhs - sub, den)
+    }
+
+    /// Product, downscaling by shifts on overflow (see [`Frac::add`] on
+    /// why this is a method, not an operator impl).
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Frac) -> Frac {
+        if self.is_infinite() || rhs.is_infinite() {
+            return if self.is_zero() || rhs.is_zero() {
+                Frac::ZERO
+            } else {
+                Frac::INF
+            };
+        }
+        let num = u64::from(self.num) * u64::from(rhs.num);
+        let den = u64::from(self.den) * u64::from(rhs.den);
+        Frac::from_u64_parts(num, den)
+    }
+
+    /// Halve the value with a denominator shift when possible, otherwise a
+    /// numerator shift — this is the paper's "divisions implemented as
+    /// shifts" idiom (used e.g. when decaying priorities).
+    #[inline]
+    pub fn half(self) -> Frac {
+        if self.is_infinite() {
+            return Frac::INF;
+        }
+        if self.den <= u32::MAX / 2 {
+            Frac::new(self.num, self.den << 1)
+        } else {
+            Frac::new(self.num >> 1, self.den)
+        }
+    }
+
+    /// Divide by `2^k` using shifts only (method, not `ops::Shr`: the
+    /// result saturates at the representation edge).
+    #[allow(clippy::should_implement_trait)]
+    pub fn shr(self, k: u32) -> Frac {
+        if self.is_infinite() {
+            return Frac::INF;
+        }
+        let k = k.min(31);
+        if self.den.leading_zeros() >= k {
+            Frac::new(self.num, self.den << k)
+        } else {
+            let den_shift = self.den.leading_zeros();
+            Frac::new(self.num >> (k - den_shift), self.den << den_shift)
+        }
+    }
+
+    /// Fit exact 64-bit parts back into `u32/u32` by a common right-shift —
+    /// precision loss only when components exceed 32 bits.
+    fn from_u64_parts(mut num: u64, mut den: u64) -> Frac {
+        debug_assert!(den != 0);
+        let bits = 64 - num.max(den).leading_zeros();
+        if bits > 32 {
+            let shift = bits - 32;
+            num >>= shift;
+            den >>= shift;
+            if den == 0 {
+                // rhs underflowed to zero: value is effectively huge.
+                return Frac::INF;
+            }
+        }
+        Frac::new(num as u32, den as u32)
+    }
+}
+
+impl PartialOrd for Frac {
+    #[inline]
+    fn partial_cmp(&self, other: &Frac) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Frac {
+    /// Cross-multiplication compare: two 64-bit multiplies, no division.
+    /// This is the DWCS priority-test fast path.
+    #[inline]
+    fn cmp(&self, other: &Frac) -> Ordering {
+        match (self.is_infinite(), other.is_infinite()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => {
+                let lhs = u64::from(self.num) * u64::from(other.den);
+                let rhs = u64::from(other.num) * u64::from(self.den);
+                lhs.cmp(&rhs)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "inf")
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for Frac {
+    fn from(v: u32) -> Frac {
+        Frac::new(v, 1)
+    }
+}
+
+/// Binary GCD (Stein's algorithm) — branch/shift only, no division, matching
+/// the i960-friendly arithmetic style.
+pub fn gcd(mut a: u32, mut b: u32) -> u32 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_real_values() {
+        let a = Frac::new(1, 3);
+        let b = Frac::new(2, 5);
+        assert!(a < b);
+        assert!(Frac::new(2, 4) == Frac::new(2, 4));
+        // Unreduced vs reduced compare AND test equal (value semantics).
+        assert_eq!(Frac::new(2, 4).cmp(&Frac::new(1, 2)), Ordering::Equal);
+        assert_eq!(Frac::new(2, 4), Frac::new(1, 2));
+    }
+
+    #[test]
+    fn hash_is_consistent_with_value_equality() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |f: Frac| {
+            let mut s = DefaultHasher::new();
+            f.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(Frac::new(2, 4)), h(Frac::new(1, 2)));
+        assert_eq!(h(Frac::new(0, 7)), h(Frac::ZERO));
+        assert_eq!(h(Frac::new(9, 0)), h(Frac::INF));
+    }
+
+    #[test]
+    fn infinity_dominates() {
+        assert!(Frac::INF > Frac::new(u32::MAX, 1));
+        assert_eq!(Frac::INF.cmp(&Frac::INF), Ordering::Equal);
+        assert!(Frac::new(0, 7) < Frac::INF);
+    }
+
+    #[test]
+    fn zero_forms() {
+        assert!(Frac::new(0, 9).is_zero());
+        assert_eq!(Frac::new(0, 0), Frac::ZERO);
+        assert!(!Frac::INF.is_zero());
+    }
+
+    #[test]
+    fn add_and_sub_are_exact_for_small_windows() {
+        let w = Frac::new(2, 8).add(Frac::new(1, 8));
+        assert_eq!(w.reduced(), Frac::new(3, 8));
+        let d = Frac::new(3, 8).saturating_sub(Frac::new(1, 8));
+        assert_eq!(d.reduced(), Frac::new(1, 4));
+        assert_eq!(Frac::new(1, 8).saturating_sub(Frac::new(3, 8)), Frac::ZERO);
+    }
+
+    #[test]
+    fn mul_reduces_magnitude() {
+        let p = Frac::new(3, 4).mul(Frac::new(2, 3));
+        assert_eq!(p.reduced(), Frac::new(1, 2));
+        assert_eq!(Frac::INF.mul(Frac::ZERO), Frac::ZERO);
+        assert_eq!(Frac::INF.mul(Frac::ONE), Frac::INF);
+    }
+
+    #[test]
+    fn shift_division() {
+        assert_eq!(Frac::new(3, 4).half().reduced(), Frac::new(3, 8));
+        assert_eq!(Frac::new(5, 1).shr(2).reduced(), Frac::new(5, 4));
+        // Denominator near the top: falls back to numerator shift without
+        // changing the ordering relation direction.
+        let tight = Frac::new(1024, u32::MAX - 1);
+        assert!(tight.half() <= tight);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(48, 36), 12);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Frac::new(3, 7)), "3/7");
+        assert_eq!(format!("{:?}", Frac::INF), "inf");
+    }
+}

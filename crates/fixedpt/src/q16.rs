@@ -1,0 +1,225 @@
+//! Q16.16 fixed-point scalar.
+//!
+//! Used where the NI code needs a *scalar* fixed-point quantity (bandwidth
+//! estimates, utilization accumulators) rather than an exact ratio: 16
+//! integer bits, 16 fractional bits, stored in an `i64` so intermediate
+//! products never overflow for the magnitudes the scheduler handles.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Fractional bits in the representation.
+pub const FRAC_BITS: u32 = 16;
+const ONE_RAW: i64 = 1 << FRAC_BITS;
+
+/// A Q16.16 fixed-point number backed by `i64`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Q16(i64);
+
+impl Q16 {
+    /// Zero.
+    pub const ZERO: Q16 = Q16(0);
+    /// One.
+    pub const ONE: Q16 = Q16(ONE_RAW);
+
+    /// From an integer.
+    #[inline]
+    pub const fn from_int(v: i32) -> Q16 {
+        Q16((v as i64) << FRAC_BITS)
+    }
+
+    /// From a ratio `num/den` (`den != 0`), rounding toward zero.
+    #[inline]
+    pub const fn from_ratio(num: i64, den: i64) -> Q16 {
+        Q16((num << FRAC_BITS) / den)
+    }
+
+    /// Raw fixed-point bits.
+    #[inline]
+    pub const fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Construct from raw fixed-point bits.
+    #[inline]
+    pub const fn from_raw(raw: i64) -> Q16 {
+        Q16(raw)
+    }
+
+    /// Truncated integer part.
+    #[inline]
+    pub const fn trunc(self) -> i64 {
+        self.0 >> FRAC_BITS
+    }
+
+    /// Nearest-integer rounding.
+    #[inline]
+    pub const fn round(self) -> i64 {
+        (self.0 + (ONE_RAW / 2)) >> FRAC_BITS
+    }
+
+    /// Lossy conversion for reporting.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / ONE_RAW as f64
+    }
+
+    /// Lossy construction from `f64` (test/report helper; the hot path never
+    /// touches floats).
+    pub fn from_f64(v: f64) -> Q16 {
+        Q16((v * ONE_RAW as f64) as i64)
+    }
+
+    /// Multiply by `2^k` (shift — the paper's division/multiplication idiom).
+    #[inline]
+    pub const fn shl(self, k: u32) -> Q16 {
+        Q16(self.0 << k)
+    }
+
+    /// Divide by `2^k` (arithmetic shift).
+    #[inline]
+    pub const fn shr(self, k: u32) -> Q16 {
+        Q16(self.0 >> k)
+    }
+
+    /// Saturating clamp into `[lo, hi]`.
+    pub fn clamp(self, lo: Q16, hi: Q16) -> Q16 {
+        Q16(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub const fn abs(self) -> Q16 {
+        Q16(self.0.abs())
+    }
+
+    /// Exponentially-weighted moving average step toward `sample` with weight
+    /// `1/2^k` — shift-only, the classic embedded smoothing update.
+    #[inline]
+    pub fn ewma_toward(self, sample: Q16, k: u32) -> Q16 {
+        Q16(self.0 + ((sample.0 - self.0) >> k))
+    }
+}
+
+impl Add for Q16 {
+    type Output = Q16;
+    #[inline]
+    fn add(self, rhs: Q16) -> Q16 {
+        Q16(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Q16 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Q16) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Q16 {
+    type Output = Q16;
+    #[inline]
+    fn sub(self, rhs: Q16) -> Q16 {
+        Q16(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Q16 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Q16) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul for Q16 {
+    type Output = Q16;
+    #[inline]
+    fn mul(self, rhs: Q16) -> Q16 {
+        Q16((self.0 * rhs.0) >> FRAC_BITS)
+    }
+}
+
+impl Div for Q16 {
+    type Output = Q16;
+    #[inline]
+    fn div(self, rhs: Q16) -> Q16 {
+        Q16((self.0 << FRAC_BITS) / rhs.0)
+    }
+}
+
+impl Neg for Q16 {
+    type Output = Q16;
+    #[inline]
+    fn neg(self) -> Q16 {
+        Q16(-self.0)
+    }
+}
+
+impl fmt::Debug for Q16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}q", self.to_f64())
+    }
+}
+
+impl fmt::Display for Q16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.to_f64())
+    }
+}
+
+impl From<i32> for Q16 {
+    fn from(v: i32) -> Q16 {
+        Q16::from_int(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip() {
+        for v in [-5, -1, 0, 1, 42, 30_000] {
+            assert_eq!(Q16::from_int(v).trunc(), i64::from(v));
+        }
+    }
+
+    #[test]
+    fn ratio_and_rounding() {
+        let third = Q16::from_ratio(1, 3);
+        assert_eq!(third.trunc(), 0);
+        assert_eq!((third + third + third).round(), 1);
+        assert_eq!(Q16::from_ratio(7, 2).round(), 4); // 3.5 rounds up
+    }
+
+    #[test]
+    fn mul_div_inverse() {
+        let a = Q16::from_ratio(355, 113);
+        let b = Q16::from_int(7);
+        let q = (a * b) / b;
+        assert!((q.to_f64() - a.to_f64()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn shifts_scale_by_powers_of_two() {
+        let v = Q16::from_int(5);
+        assert_eq!(v.shl(2).trunc(), 20);
+        assert_eq!(v.shr(1).to_f64(), 2.5);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut est = Q16::ZERO;
+        let target = Q16::from_int(100);
+        for _ in 0..200 {
+            est = est.ewma_toward(target, 3);
+        }
+        assert!((est.to_f64() - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Q16::from_ratio(1, 2) < Q16::ONE);
+        assert!(Q16::from_int(-1) < Q16::ZERO);
+        assert_eq!(Q16::from_int(3).clamp(Q16::ZERO, Q16::from_int(2)), Q16::from_int(2));
+    }
+}

@@ -1,0 +1,150 @@
+//! Data-cache pricing.
+//!
+//! Two behaviours the paper measures hinge on this model:
+//!
+//! * The i960's data cache can be globally enabled or disabled — "the
+//!   VxWorks driver we have used currently supports disk accesses with
+//!   data cache disabled" (§4.2) — flipping every descriptor touch between
+//!   DRAM latency and near-free (Tables 1 vs 2).
+//! * On the host, each context switch **pollutes** the cache: the first
+//!   touches after a switch miss. The paper blames host-scheduler
+//!   fragility partly on this (§1).
+
+use crate::calib;
+use simkit::SimDuration;
+
+/// A touch-pricing data cache.
+#[derive(Clone, Debug)]
+pub struct DataCache {
+    enabled: bool,
+    hz: u64,
+    hit_cycles: u64,
+    miss_cycles: u64,
+    /// Touches that miss after a context switch (pollution window).
+    pollution_window: u64,
+    /// Remaining cold touches in the current pollution window.
+    cold_remaining: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DataCache {
+    /// The i960 on-chip data cache (pollution-free: the NI runs a handful
+    /// of tasks and the paper's NI experiments don't switch mid-decision).
+    pub fn i960(enabled: bool) -> DataCache {
+        DataCache {
+            enabled,
+            hz: calib::I960_HZ,
+            hit_cycles: calib::TOUCH_HIT_CYCLES,
+            miss_cycles: calib::TOUCH_MISS_CYCLES,
+            pollution_window: 0,
+            cold_remaining: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The host CPU's cache view: always enabled, but polluted by context
+    /// switches.
+    pub fn host(pollution_window: u64) -> DataCache {
+        DataCache {
+            enabled: true,
+            hz: calib::HOST_HZ,
+            hit_cycles: 1,
+            miss_cycles: 40, // DRAM over the P6 front-side bus
+            pollution_window,
+            cold_remaining: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Whether the cache is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enable/disable (the i960 driver constraint: disk driver runs with
+    /// cache disabled; the experiment re-enables it after loading frames).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Note a context switch: the next `pollution_window` touches miss.
+    pub fn pollute(&mut self) {
+        self.cold_remaining = self.pollution_window;
+    }
+
+    /// Cycles for `n` data touches under current state.
+    pub fn touch_cycles(&mut self, n: u64) -> u64 {
+        if !self.enabled {
+            self.misses += n;
+            return n * self.miss_cycles;
+        }
+        let cold = n.min(self.cold_remaining);
+        self.cold_remaining -= cold;
+        let warm = n - cold;
+        self.hits += warm;
+        self.misses += cold;
+        cold * self.miss_cycles + warm * self.hit_cycles
+    }
+
+    /// Time for `n` data touches.
+    pub fn touch_time(&mut self, n: u64) -> SimDuration {
+        let cycles = self.touch_cycles(n);
+        SimDuration::for_cycles_at_hz(cycles, self.hz)
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_cache_charges_miss_for_everything() {
+        let mut c = DataCache::i960(false);
+        assert_eq!(c.touch_cycles(10), 10 * calib::TOUCH_MISS_CYCLES);
+        assert_eq!(c.stats(), (0, 10));
+    }
+
+    #[test]
+    fn enabled_cache_charges_hits() {
+        let mut c = DataCache::i960(true);
+        assert_eq!(c.touch_cycles(10), 10 * calib::TOUCH_HIT_CYCLES);
+        assert_eq!(c.stats(), (10, 0));
+    }
+
+    #[test]
+    fn toggle_matches_paper_scenario() {
+        // Disk load with cache off, then enable for scheduling.
+        let mut c = DataCache::i960(false);
+        let off = c.touch_cycles(100);
+        c.set_enabled(true);
+        let on = c.touch_cycles(100);
+        assert!(off > on * 5, "cache-on is much cheaper: {off} vs {on}");
+    }
+
+    #[test]
+    fn pollution_window_decays() {
+        let mut c = DataCache::host(8);
+        c.pollute();
+        // First 8 touches miss, rest hit.
+        let cycles = c.touch_cycles(10);
+        assert_eq!(cycles, 8 * 40 + 2);
+        assert_eq!(c.stats(), (2, 8));
+        // Window consumed: further touches hit.
+        assert_eq!(c.touch_cycles(5), 5);
+    }
+
+    #[test]
+    fn touch_time_scales_with_clock() {
+        let mut ni = DataCache::i960(false);
+        let t = ni.touch_time(66); // 66 × 13 cycles at 66 MHz = 13 µs
+        assert_eq!(t.as_micros(), 13);
+    }
+}

@@ -1,0 +1,234 @@
+//! SCSI disk and filesystem models (Table 4's frame-fetch latencies).
+//!
+//! Table 4 gives three calibration points for fetching a 1000-byte frame:
+//!
+//! * **≈ 4.2 ms** from a disk attached to the i960 NI running dosFs with
+//!   the data cache disabled — a raw seek+rotate+transfer every time.
+//! * **≈ 1 ms** *total* (disk + host + net) when Solaris UFS serves the
+//!   file: "UFS uses a logical block size of 8K, may cache and prefetch
+//!   blocks for better performance" — most reads hit the buffer cache.
+//! * **≈ 8 ms** total when the VxWorks dos filesystem is mounted on the
+//!   host: no read-ahead, FAT chain walks, sector-sized transfers.
+//!
+//! The disk is a period-correct 5400 rpm SCSI unit; the filesystems are
+//! request-stream models over it.
+
+use simkit::rng::Pcg32;
+use simkit::SimDuration;
+
+/// Rotational/seek/transfer model of a mid-90s SCSI disk serving a media
+/// stream. A frame stream is *mostly sequential*, so `avg_seek` and the
+/// rotational spread are effective values for short head moves within the
+/// file's extents — calibrated so a 1000-byte frame fetch averages the
+/// 4.2 ms the paper measures, not the full-stroke random-access figure.
+#[derive(Clone, Debug)]
+pub struct ScsiDisk {
+    /// Effective seek for intra-file head moves.
+    pub avg_seek: SimDuration,
+    /// Effective rotational + settle spread (uniform; mean = half).
+    pub rotation: SimDuration,
+    /// Media transfer rate, bytes/s.
+    pub transfer_bps: u64,
+    /// Controller + SCSI command overhead per request.
+    pub command_overhead: SimDuration,
+    /// Requests served.
+    pub requests: u64,
+}
+
+impl ScsiDisk {
+    /// Defaults that land a 1000-byte random read at ≈ 4.2 ms (Table 4).
+    pub fn new() -> ScsiDisk {
+        ScsiDisk {
+            avg_seek: SimDuration::from_micros(1_200),
+            rotation: SimDuration::from_micros(4_800),
+            transfer_bps: 10_000_000,
+            command_overhead: SimDuration::from_micros(200),
+            requests: 0,
+        }
+    }
+
+    /// Service time for a random-position read of `bytes`.
+    ///
+    /// `rng` supplies rotational-position variation (uniform half-rotation
+    /// mean); pass a seeded RNG for deterministic experiments.
+    pub fn random_read(&mut self, bytes: u64, rng: &mut Pcg32) -> SimDuration {
+        self.requests += 1;
+        let rot = SimDuration::from_nanos((self.rotation.as_nanos() as f64 * rng.f64()) as u64);
+        self.command_overhead + self.avg_seek + rot + self.transfer_time(bytes)
+    }
+
+    /// Service time for a sequential read (head already positioned).
+    pub fn sequential_read(&mut self, bytes: u64) -> SimDuration {
+        self.requests += 1;
+        self.command_overhead + self.transfer_time(bytes)
+    }
+
+    fn transfer_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_bytes_at_bps(bytes, self.transfer_bps * 8)
+    }
+
+    /// Expected (mean) random read time for `bytes` — deterministic
+    /// closed form used by calibration tests.
+    pub fn mean_random_read(&self, bytes: u64) -> SimDuration {
+        self.command_overhead + self.avg_seek + self.rotation / 2 + self.transfer_time(bytes)
+    }
+}
+
+impl Default for ScsiDisk {
+    fn default() -> Self {
+        ScsiDisk::new()
+    }
+}
+
+/// Filesystem read-path models over the disk.
+#[derive(Clone, Debug)]
+pub enum Filesystem {
+    /// VxWorks dosFs as used on the NI: no block cache (the disk driver
+    /// forces the data cache off), sector-granular FAT walks.
+    DosFs {
+        /// Extra FAT/ metadata overhead per read.
+        metadata_overhead: SimDuration,
+    },
+    /// Solaris UFS: 8 KB logical blocks, buffer cache with read-ahead; a
+    /// sequential frame stream mostly hits the cache.
+    Ufs {
+        /// Logical block size (8192 for the paper's system).
+        block_size: u64,
+        /// Cache/read-ahead hit fraction for sequential streams.
+        hit_rate: f64,
+        /// Time to copy a cached block out of the page cache.
+        cache_copy: SimDuration,
+    },
+    /// VxWorks dos filesystem *mounted on the host* (Table 4 Experiment I,
+    /// 8 ms variant): FAT walks through generic host glue, no read-ahead.
+    DosFsOnHost {
+        /// Per-read FAT walk + syscall glue.
+        metadata_overhead: SimDuration,
+    },
+}
+
+impl Filesystem {
+    /// The NI-local dosFs of Experiments II/III.
+    pub fn dosfs() -> Filesystem {
+        Filesystem::DosFs {
+            metadata_overhead: SimDuration::from_micros(300),
+        }
+    }
+
+    /// The host UFS of Experiment I (fast variant).
+    pub fn ufs() -> Filesystem {
+        Filesystem::Ufs {
+            block_size: 8_192,
+            hit_rate: 0.95,
+            cache_copy: SimDuration::from_micros(80),
+        }
+    }
+
+    /// The host-mounted VxWorks filesystem of Experiment I (slow variant).
+    pub fn dosfs_on_host() -> Filesystem {
+        Filesystem::DosFsOnHost {
+            metadata_overhead: SimDuration::from_micros(2_900),
+        }
+    }
+
+    /// Time to read one frame of `bytes` from a stream being consumed
+    /// sequentially.
+    pub fn read_frame(&self, disk: &mut ScsiDisk, bytes: u64, rng: &mut Pcg32) -> SimDuration {
+        match *self {
+            Filesystem::DosFs { metadata_overhead } => {
+                metadata_overhead + disk.random_read(bytes, rng)
+            }
+            Filesystem::Ufs { block_size, hit_rate, cache_copy } => {
+                if rng.f64() < hit_rate {
+                    cache_copy
+                } else {
+                    // Miss: fetch a whole logical block (read-ahead fills
+                    // the cache for subsequent frames).
+                    cache_copy + disk.random_read(block_size.max(bytes), rng)
+                }
+            }
+            Filesystem::DosFsOnHost { metadata_overhead } => {
+                // FAT-chain walk through host glue + the data read itself.
+                metadata_overhead + disk.random_read(bytes, rng)
+            }
+        }
+    }
+
+    /// Expected frame-read time (closed form, for calibration tests).
+    pub fn mean_read_frame(&self, disk: &ScsiDisk, bytes: u64) -> SimDuration {
+        match *self {
+            Filesystem::DosFs { metadata_overhead } => {
+                metadata_overhead + disk.mean_random_read(bytes)
+            }
+            Filesystem::Ufs { block_size, hit_rate, cache_copy } => {
+                let miss = disk.mean_random_read(block_size.max(bytes));
+                cache_copy + SimDuration::from_nanos((miss.as_nanos() as f64 * (1.0 - hit_rate)) as u64)
+            }
+            Filesystem::DosFsOnHost { metadata_overhead } => {
+                metadata_overhead + disk.mean_random_read(bytes)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ni_dosfs_frame_read_is_about_4_2ms() {
+        let disk = ScsiDisk::new();
+        let fs = Filesystem::dosfs();
+        let ms = fs.mean_read_frame(&disk, 1000).as_millis_f64();
+        assert!((3.9..=4.5).contains(&ms), "Table 4: ≈4.2 ms, got {ms:.2}");
+    }
+
+    #[test]
+    fn ufs_frame_read_is_sub_millisecond() {
+        let disk = ScsiDisk::new();
+        let fs = Filesystem::ufs();
+        let ms = fs.mean_read_frame(&disk, 1000).as_millis_f64();
+        assert!(ms < 1.0, "UFS cached path must leave room for net in the 1 ms total, got {ms:.2}");
+    }
+
+    #[test]
+    fn host_dosfs_is_much_slower() {
+        let disk = ScsiDisk::new();
+        let fs = Filesystem::dosfs_on_host();
+        let ms = fs.mean_read_frame(&disk, 1000).as_millis_f64();
+        assert!((6.0..=8.0).contains(&ms), "8 ms total minus net ≈ 6.8 ms disk-side, got {ms:.2}");
+    }
+
+    #[test]
+    fn sampled_reads_center_on_the_mean() {
+        let mut disk = ScsiDisk::new();
+        let fs = Filesystem::dosfs();
+        let mut rng = Pcg32::seeded(7);
+        let n = 2_000;
+        let total: f64 = (0..n)
+            .map(|_| fs.read_frame(&mut disk, 1000, &mut rng).as_millis_f64())
+            .sum();
+        let mean = total / n as f64;
+        let closed = fs.mean_read_frame(&ScsiDisk::new(), 1000).as_millis_f64();
+        assert!((mean - closed).abs() < 0.2, "sampled {mean:.2} vs closed {closed:.2}");
+        assert_eq!(disk.requests, n);
+    }
+
+    #[test]
+    fn sequential_beats_random() {
+        let mut disk = ScsiDisk::new();
+        let mut rng = Pcg32::seeded(1);
+        let seq = disk.sequential_read(8192);
+        let rnd = disk.random_read(8192, &mut rng);
+        assert!(seq < rnd);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let disk = ScsiDisk::new();
+        let small = disk.mean_random_read(1_000);
+        let large = disk.mean_random_read(1_000_000);
+        // 1 MB at 10 MB/s adds 100 ms of transfer.
+        assert!(large.as_millis() >= small.as_millis() + 95);
+    }
+}

@@ -1,0 +1,160 @@
+//! 100 Mb/s Ethernet model.
+//!
+//! Calibration point (Table 4): a 1000-byte frame from NI to remote client
+//! takes ≈ 1.2 ms end to end, "including traversal of network stacks at
+//! either end and wire transmission time". The wire itself is only 80 µs
+//! (plus preamble/IFG), so stack traversal dominates — we split the budget
+//! between the sending NI (UDP/IP in firmware), the switch, and the
+//! receiving host's kernel stack.
+//!
+//! The paper also notes "half an Ethernet frame time (≈ 120 µs)" for a
+//! full-size 1500-byte frame at 100 Mb/s, matching the serialization
+//! model exactly.
+
+use simkit::SimDuration;
+
+/// Ethernet + minimal UDP/IP encapsulation constants.
+pub mod frame {
+    /// Ethernet header + FCS.
+    pub const ETH_OVERHEAD: u64 = 18;
+    /// IP + UDP headers.
+    pub const IP_UDP_OVERHEAD: u64 = 28;
+    /// Preamble + start delimiter + inter-frame gap, in byte times.
+    pub const SILENT_OVERHEAD: u64 = 20;
+    /// Maximum payload per frame (MTU minus IP/UDP headers).
+    pub const MAX_PAYLOAD: u64 = 1_472;
+}
+
+/// One switched 100 Mb/s segment with per-end stack costs.
+#[derive(Clone, Debug)]
+pub struct Ethernet {
+    /// Link rate.
+    pub bits_per_sec: u64,
+    /// Sender-side stack + driver + DMA cost per packet.
+    pub send_stack: SimDuration,
+    /// Receiver-side stack cost per packet (interrupt, IP/UDP, socket
+    /// delivery).
+    pub recv_stack: SimDuration,
+    /// Store-and-forward switch latency (forwarding decision; the frame is
+    /// re-serialized on the output port).
+    pub switch_latency: SimDuration,
+    /// Packets carried.
+    pub packets: u64,
+    /// Payload bytes carried.
+    pub payload_bytes: u64,
+}
+
+impl Ethernet {
+    /// The experiment interconnect: NI firmware sender → switch → host
+    /// client receiver; budget lands 1000-byte end-to-end at ≈ 1.2 ms.
+    pub fn new() -> Ethernet {
+        Ethernet {
+            bits_per_sec: 100_000_000,
+            send_stack: SimDuration::from_micros(520),
+            recv_stack: SimDuration::from_micros(450),
+            switch_latency: SimDuration::from_micros(15),
+            packets: 0,
+            payload_bytes: 0,
+        }
+    }
+
+    /// Wire serialization time for a payload of `bytes` (one packet;
+    /// headers and silent overhead included).
+    pub fn wire_time(&self, bytes: u64) -> SimDuration {
+        let on_wire = bytes + frame::ETH_OVERHEAD + frame::IP_UDP_OVERHEAD + frame::SILENT_OVERHEAD;
+        SimDuration::for_bytes_at_bps(on_wire, self.bits_per_sec)
+    }
+
+    /// Packets needed for `bytes` of payload.
+    pub fn packets_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(frame::MAX_PAYLOAD).max(1)
+    }
+
+    /// End-to-end latency for a `bytes` payload (possibly fragmented):
+    /// sender stack per packet, two serializations (host→switch,
+    /// switch→client) pipelined per packet, receiver stack.
+    pub fn end_to_end(&mut self, bytes: u64) -> SimDuration {
+        let pkts = self.packets_for(bytes);
+        self.packets += pkts;
+        self.payload_bytes += bytes;
+        let mut total = SimDuration::ZERO;
+        let mut remaining = bytes;
+        for _ in 0..pkts {
+            let chunk = remaining.min(frame::MAX_PAYLOAD);
+            remaining -= chunk;
+            total += self.send_stack + self.wire_time(chunk) + self.switch_latency + self.wire_time(chunk) + self.recv_stack;
+        }
+        total
+    }
+
+    /// Sender-side occupancy only (what the NI CPU/DMA pays per packet) —
+    /// used when modelling pipelined streaming where the receiver is not
+    /// the bottleneck.
+    pub fn send_occupancy(&mut self, bytes: u64) -> SimDuration {
+        let pkts = self.packets_for(bytes);
+        self.packets += pkts;
+        self.payload_bytes += bytes;
+        let mut total = SimDuration::ZERO;
+        let mut remaining = bytes;
+        for _ in 0..pkts {
+            let chunk = remaining.min(frame::MAX_PAYLOAD);
+            remaining -= chunk;
+            total += self.send_stack + self.wire_time(chunk);
+        }
+        total
+    }
+}
+
+impl Default for Ethernet {
+    fn default() -> Self {
+        Ethernet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_frame_wire_time_is_about_120us() {
+        let eth = Ethernet::new();
+        // 1452-byte payload fills a 1500-byte IP packet + overheads.
+        let t = eth.wire_time(frame::MAX_PAYLOAD);
+        let us = t.as_micros_f64();
+        assert!((118.0..=125.0).contains(&us), "paper: ≈120 µs, got {us:.1}");
+    }
+
+    #[test]
+    fn thousand_byte_end_to_end_is_about_1_2ms() {
+        let mut eth = Ethernet::new();
+        let ms = eth.end_to_end(1000).as_millis_f64();
+        assert!((1.1..=1.3).contains(&ms), "Table 4: ≈1.2 ms, got {ms:.3}");
+    }
+
+    #[test]
+    fn fragmentation_counts_packets() {
+        let mut eth = Ethernet::new();
+        assert_eq!(eth.packets_for(1000), 1);
+        assert_eq!(eth.packets_for(1_473), 2);
+        assert_eq!(eth.packets_for(10_000), 7);
+        let one = eth.end_to_end(1_000);
+        let big = eth.end_to_end(10_000);
+        assert!(big > one * 6);
+        assert_eq!(eth.packets, 8);
+        assert_eq!(eth.payload_bytes, 11_000);
+    }
+
+    #[test]
+    fn send_occupancy_less_than_end_to_end() {
+        let mut a = Ethernet::new();
+        let mut b = Ethernet::new();
+        assert!(a.send_occupancy(1000) < b.end_to_end(1000));
+    }
+
+    #[test]
+    fn zero_byte_payload_still_one_packet() {
+        let eth = Ethernet::new();
+        assert_eq!(eth.packets_for(0), 1);
+        assert!(eth.wire_time(0).as_micros() > 0);
+    }
+}

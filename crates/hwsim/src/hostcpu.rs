@@ -1,0 +1,123 @@
+//! The host-CPU side: a 200 MHz Pentium Pro under Solaris.
+//!
+//! What the load experiments (Figures 6–8) need from the host model:
+//!
+//! * a DWCS decision costs ≈ 50 µs of CPU (§4.2.3's comparison figure);
+//! * context switches are expensive and pollute the cache (§1);
+//! * the frame path crosses bus domains: filesystem buffer → kernel →
+//!   NIC, consuming CPU per frame (Path A in Figure 3).
+//!
+//! CPU *allocation* under competing load is the job of
+//! `serversim::hostos`; this model prices the work items themselves.
+
+use crate::cache::DataCache;
+use crate::calib;
+use simkit::SimDuration;
+
+/// Pentium Pro work-item cost model.
+#[derive(Clone, Debug)]
+pub struct HostCpu {
+    /// Core clock.
+    pub hz: u64,
+    /// Cache with context-switch pollution.
+    pub cache: DataCache,
+    /// Cycles for one DWCS decision (hot cache).
+    pub decision_cycles: u64,
+    /// Cycles for a context switch (register state, kernel queues; the
+    /// pollution surcharge is applied via the cache model).
+    pub ctx_switch_cycles: u64,
+    /// Cycles to shepherd one frame from filesystem buffer to NIC ring
+    /// (copyout, protocol stack, driver) — Path A's host involvement.
+    pub frame_send_cycles: u64,
+    /// Context switches performed (diagnostics).
+    pub switches: u64,
+}
+
+impl HostCpu {
+    /// Defaults for the paper's server.
+    pub fn new() -> HostCpu {
+        HostCpu {
+            hz: calib::HOST_HZ,
+            cache: DataCache::host(64),
+            decision_cycles: calib::HOST_DECISION_CYCLES,
+            ctx_switch_cycles: calib::HOST_CTX_SWITCH_CYCLES,
+            frame_send_cycles: 36_000, // 180 µs of stack+copy per frame
+            switches: 0,
+        }
+    }
+
+    /// Time for one DWCS decision, including the cold-cache surcharge for
+    /// descriptor touches right after a switch.
+    pub fn decision_time(&mut self, descriptor_touches: u64) -> SimDuration {
+        let cycles = self.decision_cycles + self.cache.touch_cycles(descriptor_touches);
+        SimDuration::for_cycles_at_hz(cycles, self.hz)
+    }
+
+    /// Time for a context switch; pollutes the cache.
+    pub fn context_switch(&mut self) -> SimDuration {
+        self.switches += 1;
+        self.cache.pollute();
+        SimDuration::for_cycles_at_hz(self.ctx_switch_cycles, self.hz)
+    }
+
+    /// CPU time to push one frame of `bytes` through the kernel to the NIC
+    /// (scales mildly with size: copies).
+    pub fn frame_send_time(&mut self, bytes: u64) -> SimDuration {
+        // ~1 cycle per byte of copy on a P6 (two copies in the 90s stack),
+        // plus the fixed path.
+        let cycles = self.frame_send_cycles + bytes * 2;
+        SimDuration::for_cycles_at_hz(cycles, self.hz)
+    }
+
+    /// Time for generic work expressed in cycles.
+    pub fn cycles_time(&self, cycles: u64) -> SimDuration {
+        SimDuration::for_cycles_at_hz(cycles, self.hz)
+    }
+}
+
+impl Default for HostCpu {
+    fn default() -> Self {
+        HostCpu::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_decision_is_about_50us() {
+        let mut cpu = HostCpu::new();
+        // Warm cache, few touches.
+        let us = cpu.decision_time(8).as_micros_f64();
+        assert!((49.0..=53.0).contains(&us), "got {us:.1}");
+    }
+
+    #[test]
+    fn post_switch_decision_is_slower() {
+        let mut cpu = HostCpu::new();
+        let warm = cpu.decision_time(32);
+        let _ = cpu.context_switch();
+        let cold = cpu.decision_time(32);
+        assert!(cold > warm, "pollution surcharge: {cold} vs {warm}");
+    }
+
+    #[test]
+    fn context_switch_is_60us_plus_pollution() {
+        let mut cpu = HostCpu::new();
+        let us = cpu.context_switch().as_micros_f64();
+        assert!((59.0..=61.0).contains(&us));
+        assert_eq!(cpu.switches, 1);
+    }
+
+    #[test]
+    fn frame_send_scales_with_size() {
+        let mut cpu = HostCpu::new();
+        let small = cpu.frame_send_time(1_000);
+        let big = cpu.frame_send_time(100_000);
+        assert!(big > small);
+        // 1000-byte frame: ~190 µs of host CPU — the Path A tax.
+        let us = cpu.frame_send_time(1_000).as_micros_f64();
+        assert!((150.0..=250.0).contains(&us), "got {us:.0}");
+    }
+}

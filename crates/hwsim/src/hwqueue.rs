@@ -1,0 +1,175 @@
+//! The i960RD "hardware queues" (Table 3).
+//!
+//! §4.2.1: *"The 'Hardware Queues' on the i960 RD I2O card are a set of
+//! 1004 32-bit memory-mapped registers in local card address space.
+//! Accesses to the memory-mapped registers do not generate any external bus
+//! cycles."* The paper stores a circular buffer of frame descriptors in
+//! them and finds performance comparable to pinned memory.
+//!
+//! [`HwQueueRegs`] models the register file: fixed 1004-word capacity,
+//! index-register-driven circular head/tail, constant on-chip access cost
+//! (no cache interaction, no external bus cycles). It is a real data
+//! structure — the Table 3 reproduction actually stores descriptors in it.
+
+use crate::calib;
+
+/// Number of 32-bit registers in the file.
+pub const HWQ_REGISTERS: usize = 1004;
+
+/// The memory-mapped register file used as a circular descriptor queue.
+#[derive(Clone, Debug)]
+pub struct HwQueueRegs {
+    regs: Box<[u32; HWQ_REGISTERS]>,
+    head: usize,
+    tail: usize,
+    len: usize,
+    /// Register accesses performed (each costs
+    /// [`calib::HWQUEUE_TOUCH_CYCLES`], bus-cycle-free).
+    pub accesses: u64,
+}
+
+impl HwQueueRegs {
+    /// Empty register file.
+    pub fn new() -> HwQueueRegs {
+        HwQueueRegs {
+            regs: Box::new([0; HWQ_REGISTERS]),
+            head: 0,
+            tail: 0,
+            len: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Push a descriptor word at the tail. Returns `false` when all 1004
+    /// registers are occupied.
+    pub fn push(&mut self, word: u32) -> bool {
+        if self.len == HWQ_REGISTERS {
+            return false;
+        }
+        self.accesses += 1;
+        self.regs[self.tail] = word;
+        self.tail = (self.tail + 1) % HWQ_REGISTERS;
+        self.len += 1;
+        true
+    }
+
+    /// Pop the head descriptor word.
+    pub fn pop(&mut self) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        self.accesses += 1;
+        let w = self.regs[self.head];
+        self.head = (self.head + 1) % HWQ_REGISTERS;
+        self.len -= 1;
+        Some(w)
+    }
+
+    /// Read the word at logical position `i` (0 = head) without consuming —
+    /// the scheduler's descriptor scan.
+    pub fn peek_at(&mut self, i: usize) -> Option<u32> {
+        if i >= self.len {
+            return None;
+        }
+        self.accesses += 1;
+        Some(self.regs[(self.head + i) % HWQ_REGISTERS])
+    }
+
+    /// Overwrite the word at logical position `i` (descriptor update in
+    /// place).
+    pub fn write_at(&mut self, i: usize, word: u32) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.accesses += 1;
+        self.regs[(self.head + i) % HWQ_REGISTERS] = word;
+        true
+    }
+
+    /// Occupied registers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Free registers.
+    pub fn free(&self) -> usize {
+        HWQ_REGISTERS - self.len
+    }
+
+    /// Total access cycles accrued (all accesses × on-chip cost).
+    pub fn access_cycles(&self) -> u64 {
+        self.accesses * calib::HWQUEUE_TOUCH_CYCLES
+    }
+}
+
+impl Default for HwQueueRegs {
+    fn default() -> Self {
+        HwQueueRegs::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_semantics() {
+        let mut q = HwQueueRegs::new();
+        assert!(q.push(0xA000_0001));
+        assert!(q.push(0xA000_0002));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(0xA000_0001));
+        assert_eq!(q.pop(), Some(0xA000_0002));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_is_exactly_1004() {
+        let mut q = HwQueueRegs::new();
+        for i in 0..HWQ_REGISTERS as u32 {
+            assert!(q.push(i), "register {i} should fit");
+        }
+        assert!(!q.push(9999), "register file exhausted at 1004");
+        assert_eq!(q.free(), 0);
+        assert_eq!(q.pop(), Some(0));
+        assert!(q.push(9999), "space after pop");
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let mut q = HwQueueRegs::new();
+        for round in 0..3_000u32 {
+            assert!(q.push(round));
+            assert_eq!(q.pop(), Some(round));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_and_write_in_place() {
+        let mut q = HwQueueRegs::new();
+        q.push(10);
+        q.push(20);
+        q.push(30);
+        assert_eq!(q.peek_at(1), Some(20));
+        assert!(q.write_at(1, 21));
+        assert_eq!(q.peek_at(1), Some(21));
+        assert_eq!(q.peek_at(3), None);
+        assert!(!q.write_at(3, 0));
+    }
+
+    #[test]
+    fn access_accounting() {
+        let mut q = HwQueueRegs::new();
+        q.push(1); // 1
+        q.peek_at(0); // 2
+        q.pop(); // 3
+        assert_eq!(q.accesses, 3);
+        assert_eq!(q.access_cycles(), 3 * calib::HWQUEUE_TOUCH_CYCLES);
+    }
+}

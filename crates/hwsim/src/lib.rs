@@ -1,0 +1,51 @@
+//! # hwsim — calibrated models of the paper's hardware
+//!
+//! The evaluation platform — Intel i960RD I2O network interfaces in a Quad
+//! Pentium Pro running Solaris x86, 100 Mb/s switched Ethernet, SCSI disks —
+//! is unobtainable; every component here is a *cost model* calibrated
+//! against the paper's own measured primitives (see [`calib`] for the full
+//! table with sources). The models are pure and deterministic: they map
+//! operations (a scheduling decision's op counts, a DMA of n bytes, a disk
+//! frame fetch) to [`simkit::SimDuration`]s, and the `serversim` crate
+//! composes them into full experiment pipelines on the event kernel.
+//!
+//! Components:
+//!
+//! * [`i960::I960Core`] — the 66 MHz FPU-less co-processor: per-op cycle
+//!   tables (fixed-point vs software-FP builds), data-cache on/off memory
+//!   touch costs, scheduling-decision and dispatch-path costs (Tables 1–3).
+//! * [`cache::DataCache`] — enable/disable + touch pricing, including the
+//!   cold-after-context-switch pollution model used for the host CPU.
+//! * [`pci::PciBus`] — 33 MHz/32-bit shared bus: PIO word read/write, DMA
+//!   setup + streaming at the measured 66.27 MB/s, arbitration (Table 5).
+//! * [`disk::ScsiDisk`] + [`disk::Filesystem`] — seek/rotate/transfer plus
+//!   dosFs (uncached) vs UFS (8 KB blocks, cached/prefetching) behaviour
+//!   (Table 4's 4.2 ms vs 1 ms vs 8 ms frame fetches).
+//! * [`eth::Ethernet`] — 100 Mb/s serialization, per-end protocol-stack
+//!   costs, switch latency (the measured ~1.2 ms end-to-end frame time).
+//! * [`hostcpu::HostCpu`] — the 200 MHz Pentium Pro side: deep cache
+//!   hierarchy context-switch costs that make host scheduling fragile.
+//! * [`hwqueue::HwQueueRegs`] — the i960 "hardware queues": 1004 32-bit
+//!   memory-mapped registers whose accesses generate no external bus
+//!   cycles (Table 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod calib;
+pub mod disk;
+pub mod eth;
+pub mod hostcpu;
+pub mod hwqueue;
+pub mod i960;
+pub mod pci;
+pub mod profiles;
+
+pub use cache::DataCache;
+pub use disk::{Filesystem, ScsiDisk};
+pub use eth::Ethernet;
+pub use hostcpu::HostCpu;
+pub use hwqueue::HwQueueRegs;
+pub use i960::I960Core;
+pub use pci::PciBus;

@@ -1,0 +1,164 @@
+//! Device table: TIDs and device classes.
+//!
+//! Every addressable entity on an I2O IOP has a 12-bit TID (target id):
+//! the executive itself, each LAN port, each BSA (block storage) unit, and
+//! any vendor-private devices — which is where DVCM extension modules
+//! appear on the wire.
+
+use core::fmt;
+
+/// 12-bit target identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Tid(pub u16);
+
+/// The executive's well-known TID.
+pub const TID_IOP_EXEC: Tid = Tid(0);
+/// The host OS module's conventional TID.
+pub const TID_HOST: Tid = Tid(1);
+
+/// I2O device classes present in this system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeviceClass {
+    /// The IOP executive.
+    Executive,
+    /// A LAN port (one of the card's two 100 Mb/s Ethernet ports).
+    LanPort {
+        /// Port index on the card (0 or 1 on the i960RD).
+        port: u8,
+    },
+    /// A block-storage unit (disk on one of the card's two SCSI ports).
+    BlockStorage {
+        /// SCSI port index (0 or 1).
+        port: u8,
+    },
+    /// A vendor-private device (DVCM extension endpoint).
+    Private {
+        /// Organisation id.
+        org: u16,
+    },
+}
+
+/// A registered device.
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// Its TID.
+    pub tid: Tid,
+    /// Its class.
+    pub class: DeviceClass,
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// TID allocator + registry for one IOP.
+pub struct DeviceTable {
+    devices: Vec<Device>,
+    next_tid: u16,
+}
+
+impl Default for DeviceTable {
+    fn default() -> Self {
+        DeviceTable::new()
+    }
+}
+
+impl DeviceTable {
+    /// Table pre-populated with the executive (TID 0) and host (TID 1).
+    pub fn new() -> DeviceTable {
+        let mut t = DeviceTable {
+            devices: Vec::new(),
+            next_tid: 2,
+        };
+        t.devices.push(Device {
+            tid: TID_IOP_EXEC,
+            class: DeviceClass::Executive,
+            name: "iop-exec".into(),
+        });
+        t.devices.push(Device {
+            tid: TID_HOST,
+            class: DeviceClass::Executive,
+            name: "host-osm".into(),
+        });
+        t
+    }
+
+    /// Register a device; returns its freshly assigned TID.
+    pub fn register(&mut self, class: DeviceClass, name: impl Into<String>) -> Tid {
+        let tid = Tid(self.next_tid);
+        assert!(self.next_tid < 0xFFF, "TID space exhausted");
+        self.next_tid += 1;
+        self.devices.push(Device {
+            tid,
+            class,
+            name: name.into(),
+        });
+        tid
+    }
+
+    /// Look a device up by TID.
+    pub fn get(&self, tid: Tid) -> Option<&Device> {
+        self.devices.iter().find(|d| d.tid == tid)
+    }
+
+    /// All devices of a class predicate.
+    pub fn find(&self, pred: impl Fn(&DeviceClass) -> bool) -> Vec<&Device> {
+        self.devices.iter().filter(|d| pred(&d.class)).collect()
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether only the well-known devices exist.
+    pub fn is_empty(&self) -> bool {
+        self.devices.len() <= 2
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid{:03x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_tids_present() {
+        let t = DeviceTable::new();
+        assert_eq!(t.get(TID_IOP_EXEC).unwrap().name, "iop-exec");
+        assert_eq!(t.get(TID_HOST).unwrap().name, "host-osm");
+        assert!(t.is_empty(), "no user devices yet");
+    }
+
+    #[test]
+    fn registration_assigns_unique_tids() {
+        let mut t = DeviceTable::new();
+        let lan0 = t.register(DeviceClass::LanPort { port: 0 }, "eth0");
+        let lan1 = t.register(DeviceClass::LanPort { port: 1 }, "eth1");
+        let bsa = t.register(DeviceClass::BlockStorage { port: 0 }, "scsi0");
+        assert_ne!(lan0, lan1);
+        assert_ne!(lan1, bsa);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.get(bsa).unwrap().name, "scsi0");
+    }
+
+    #[test]
+    fn find_by_class() {
+        let mut t = DeviceTable::new();
+        t.register(DeviceClass::LanPort { port: 0 }, "eth0");
+        t.register(DeviceClass::BlockStorage { port: 0 }, "scsi0");
+        t.register(DeviceClass::BlockStorage { port: 1 }, "scsi1");
+        let disks = t.find(|c| matches!(c, DeviceClass::BlockStorage { .. }));
+        assert_eq!(disks.len(), 2);
+        let lans = t.find(|c| matches!(c, DeviceClass::LanPort { .. }));
+        assert_eq!(lans.len(), 1);
+    }
+
+    #[test]
+    fn tid_display() {
+        assert_eq!(format!("{}", Tid(0x2A)), "tid02a");
+    }
+}

@@ -1,0 +1,161 @@
+//! LAN class — the card's 100 Mb/s Ethernet ports.
+//!
+//! A `LanPacketSend` names a card-memory extent; the port reads the bytes
+//! out of [`CardMemory`] and appends them to its transmit log (what the
+//! wire would carry — serialization *time* is `hwsim::Ethernet`'s job).
+//! This is the final hop of the paper's Path B/C: "media may be streamed
+//! directly through to the network using the 100 Mbps ethernet port".
+//!
+//! Request payload: `[addr_hi, addr_lo, len_bytes]`; reply `[len_bytes]`.
+
+use crate::memory::CardMemory;
+use crate::message::{I2oFunction, MessageFrame};
+
+/// Completion statuses.
+pub mod status {
+    /// Success.
+    pub const OK: u8 = 0;
+    /// Malformed request.
+    pub const BAD_REQUEST: u8 = 2;
+    /// Source extent faulted.
+    pub const MEM_FAULT: u8 = 4;
+    /// Transmit queue full (backpressure).
+    pub const TX_FULL: u8 = 5;
+}
+
+/// One transmitted packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxRecord {
+    /// Source card address.
+    pub addr: u64,
+    /// The bytes as they left the card.
+    pub bytes: Vec<u8>,
+}
+
+/// A LAN port with a bounded transmit queue.
+pub struct LanPort {
+    /// Transmit log (drained by the wire model / tests).
+    pub tx: Vec<TxRecord>,
+    /// Maximum queued packets before backpressure.
+    pub tx_capacity: usize,
+    /// Packets sent.
+    pub packets: u64,
+    /// Bytes sent.
+    pub bytes: u64,
+    /// Rejected sends.
+    pub errors: u64,
+}
+
+impl LanPort {
+    /// Port with a transmit queue of `tx_capacity` packets.
+    pub fn new(tx_capacity: usize) -> LanPort {
+        LanPort {
+            tx: Vec::new(),
+            tx_capacity: tx_capacity.max(1),
+            packets: 0,
+            bytes: 0,
+            errors: 0,
+        }
+    }
+
+    /// Handle a `LanPacketSend`.
+    pub fn handle(&mut self, req: &MessageFrame, mem: &mut CardMemory) -> MessageFrame {
+        if req.function != I2oFunction::LanPacketSend {
+            self.errors += 1;
+            return req.reply(status::BAD_REQUEST, vec![]);
+        }
+        let p = &req.payload;
+        let (Some(&hi), Some(&lo), Some(&len)) = (p.first(), p.get(1), p.get(2)) else {
+            self.errors += 1;
+            return req.reply(status::BAD_REQUEST, vec![]);
+        };
+        if self.tx.len() >= self.tx_capacity {
+            self.errors += 1;
+            return req.reply(status::TX_FULL, vec![]);
+        }
+        let addr = (u64::from(hi) << 32) | u64::from(lo);
+        let Some(data) = mem.read(addr, len as usize) else {
+            self.errors += 1;
+            return req.reply(status::MEM_FAULT, vec![]);
+        };
+        let bytes = data.to_vec();
+        self.packets += 1;
+        self.bytes += u64::from(len);
+        self.tx.push(TxRecord { addr, bytes });
+        req.reply(status::OK, vec![len])
+    }
+
+    /// Drain the transmit queue (the wire took the packets).
+    pub fn drain(&mut self) -> Vec<TxRecord> {
+        std::mem::take(&mut self.tx)
+    }
+}
+
+/// Build a packet-send request for `len` bytes at card address `addr`.
+pub fn send_request(
+    target: crate::devices::Tid,
+    initiator: crate::devices::Tid,
+    context: u32,
+    addr: u64,
+    len: u32,
+) -> MessageFrame {
+    MessageFrame::new(
+        I2oFunction::LanPacketSend,
+        target,
+        initiator,
+        context,
+        vec![(addr >> 32) as u32, addr as u32, len],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::Tid;
+
+    fn st(r: &MessageFrame) -> u8 {
+        match r.function {
+            I2oFunction::Reply { status, .. } => status,
+            _ => 0xFF,
+        }
+    }
+
+    #[test]
+    fn send_reads_card_memory() {
+        let mut port = LanPort::new(8);
+        let mut mem = CardMemory::new(4096);
+        mem.write(0x100, b"mpeg-frame-payload");
+        let reply = port.handle(&send_request(Tid(4), Tid(1), 5, 0x100, 18), &mut mem);
+        assert_eq!(st(&reply), status::OK);
+        assert_eq!(port.packets, 1);
+        assert_eq!(port.bytes, 18);
+        let drained = port.drain();
+        assert_eq!(drained[0].bytes, b"mpeg-frame-payload");
+        assert!(port.tx.is_empty());
+    }
+
+    #[test]
+    fn backpressure_when_queue_full() {
+        let mut port = LanPort::new(2);
+        let mut mem = CardMemory::new(4096);
+        mem.write(0, &[1; 10]);
+        for _ in 0..2 {
+            assert_eq!(st(&port.handle(&send_request(Tid(4), Tid(1), 0, 0, 10), &mut mem)), status::OK);
+        }
+        let r = port.handle(&send_request(Tid(4), Tid(1), 0, 0, 10), &mut mem);
+        assert_eq!(st(&r), status::TX_FULL);
+        port.drain();
+        assert_eq!(st(&port.handle(&send_request(Tid(4), Tid(1), 0, 0, 10), &mut mem)), status::OK);
+    }
+
+    #[test]
+    fn faults_and_bad_requests() {
+        let mut port = LanPort::new(2);
+        let mut mem = CardMemory::new(64);
+        let r = port.handle(&send_request(Tid(4), Tid(1), 0, 60, 10), &mut mem);
+        assert_eq!(st(&r), status::MEM_FAULT);
+        let junk = MessageFrame::new(I2oFunction::UtilNop, Tid(4), Tid(1), 0, vec![]);
+        assert_eq!(st(&port.handle(&junk, &mut mem)), status::BAD_REQUEST);
+        assert_eq!(port.errors, 2);
+    }
+}

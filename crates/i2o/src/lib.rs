@@ -1,0 +1,51 @@
+//! # i2o — the I2O messaging layer
+//!
+//! The paper's NICs are **I2O-compliant** boards: host and I/O processor
+//! (IOP) communicate through the I2O message-passing protocol — fixed-size
+//! message frames living in IOP-local memory, addressed by MFAs (Message
+//! Frame Addresses) that circulate through four hardware FIFOs (inbound
+//! free/post, outbound free/post). "It allows portable device driver
+//! development by defining a message-passing protocol between the host and
+//! peer I/O devices … The focus is on relieving the host from tasks that
+//! may be offloaded to a programmable NI" (§5).
+//!
+//! This crate implements the protocol machinery the rest of the system
+//! rides on:
+//!
+//! * [`message`] — message frames: function codes for the device classes
+//!   the paper's system uses (Executive, LAN packet send, BSA block
+//!   storage reads, and the **private class** that carries DVCM extension
+//!   traffic), initiator/target TIDs, transaction contexts, bounded
+//!   payloads, and exact word-level encode/decode.
+//! * [`queues::MessageUnit`] — the four-FIFO messaging unit with an
+//!   MFA-indexed frame pool, faithful to the post/free discipline
+//!   (allocate → write → post; consume → reply → return).
+//! * [`devices`] — a TID-indexed device table for routing.
+//! * [`memory::CardMemory`] — the card's local memory arena (the 4 MB the
+//!   i960RD ships with), where the single copy of every frame lives.
+//! * [`bsa::BsaDevice`] — the Block Storage class: block reads DMA from
+//!   the disk image into card memory (SGL-style), as real I2O does.
+//! * [`lan::LanPort`] — the LAN class: packet sends read card-memory
+//!   extents out to a transmit queue.
+//!
+//! Transport *cost* is not modelled here — the host touches these FIFOs
+//! with PIO reads/writes and moves payloads by DMA, and `serversim` prices
+//! those through `hwsim::PciBus` (Table 5's 3.6/3.1 µs words and
+//! 66.27 MB/s bulk).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bsa;
+pub mod devices;
+pub mod lan;
+pub mod memory;
+pub mod message;
+pub mod queues;
+
+pub use bsa::BsaDevice;
+pub use devices::{DeviceClass, DeviceTable, Tid};
+pub use lan::LanPort;
+pub use memory::CardMemory;
+pub use message::{I2oFunction, MessageFrame};
+pub use queues::{Mfa, MessageUnit, PostError};

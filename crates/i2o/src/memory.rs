@@ -1,0 +1,107 @@
+//! Card-local memory — where the single copy of every frame lives.
+//!
+//! §3.1 of the paper: *"To conserve memory, we maintain a single copy of
+//! frames in NI memory and allow scheduling analysis and dispatch to
+//! manipulate addresses of frames."* The i960RD ships with 4 MB on board
+//! (expandable to 36 MB). [`CardMemory`] models that arena: a flat
+//! byte-addressed store that BSA block reads DMA into, producers address
+//! frames out of, and the LAN port transmits from — with bounds checking
+//! standing in for the card's fault behaviour.
+
+/// Default on-board memory (the i960RD's 4 MB).
+pub const DEFAULT_CARD_MEMORY: usize = 4 * 1024 * 1024;
+
+/// The card's local memory arena.
+pub struct CardMemory {
+    bytes: Vec<u8>,
+    /// Bytes written (diagnostics).
+    pub bytes_in: u64,
+    /// Bytes read out.
+    pub bytes_out: u64,
+    /// Rejected out-of-bounds accesses.
+    pub faults: u64,
+}
+
+impl CardMemory {
+    /// Arena of `size` bytes.
+    pub fn new(size: usize) -> CardMemory {
+        CardMemory {
+            bytes: vec![0; size],
+            bytes_in: 0,
+            bytes_out: 0,
+            faults: 0,
+        }
+    }
+
+    /// The i960RD's stock configuration.
+    pub fn i960rd() -> CardMemory {
+        CardMemory::new(DEFAULT_CARD_MEMORY)
+    }
+
+    /// Capacity in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Write `data` at `addr`; `false` (fault) if out of bounds.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> bool {
+        let Ok(start) = usize::try_from(addr) else {
+            self.faults += 1;
+            return false;
+        };
+        let Some(end) = start.checked_add(data.len()) else {
+            self.faults += 1;
+            return false;
+        };
+        if end > self.bytes.len() {
+            self.faults += 1;
+            return false;
+        }
+        self.bytes[start..end].copy_from_slice(data);
+        self.bytes_in += data.len() as u64;
+        true
+    }
+
+    /// Read `len` bytes at `addr`.
+    pub fn read(&mut self, addr: u64, len: usize) -> Option<&[u8]> {
+        let start = usize::try_from(addr).ok()?;
+        let end = start.checked_add(len)?;
+        if end > self.bytes.len() {
+            self.faults += 1;
+            return None;
+        }
+        self.bytes_out += len as u64;
+        Some(&self.bytes[start..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = CardMemory::new(1024);
+        assert!(m.write(100, b"frame-bytes"));
+        assert_eq!(m.read(100, 11).unwrap(), b"frame-bytes");
+        assert_eq!(m.bytes_in, 11);
+        assert_eq!(m.bytes_out, 11);
+        assert_eq!(m.faults, 0);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let mut m = CardMemory::new(64);
+        assert!(!m.write(60, &[0; 8]));
+        assert!(m.read(60, 8).is_none());
+        assert!(!m.write(u64::MAX - 2, &[0; 8]));
+        assert_eq!(m.faults, 3);
+        // In-bounds still works afterwards.
+        assert!(m.write(0, &[1; 64]));
+    }
+
+    #[test]
+    fn stock_size_is_4mb() {
+        assert_eq!(CardMemory::i960rd().size(), 4 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,269 @@
+//! The messaging unit: MFA FIFOs and the frame pool.
+//!
+//! Protocol discipline, exactly as on the i960RD:
+//!
+//! * **Host → IOP**: read an MFA from the *inbound free* FIFO (a PIO read —
+//!   the expensive 3.6 µs kind), write the message frame at that address,
+//!   post the MFA to the *inbound post* FIFO (a PIO write).
+//! * **IOP → host**: IOP takes an MFA from *outbound free*, writes the
+//!   reply, posts to *outbound post*; the host drains it (interrupt or
+//!   poll) and returns the MFA to *outbound free*.
+//!
+//! An MFA whose frame slot is still occupied cannot re-enter a free list
+//! (use-after-free of card memory) — the unit enforces that.
+
+use crate::message::MessageFrame;
+use std::collections::VecDeque;
+
+/// Message Frame Address: index into the IOP's frame pool (the real thing
+/// is a card-local byte address; the pool slot index is its image).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Mfa(pub u32);
+
+/// Errors from FIFO operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PostError {
+    /// No free MFAs available (producer outrunning consumer).
+    NoFreeFrames,
+    /// Posting an MFA that was never allocated from the free list, or
+    /// double-posting.
+    BadMfa,
+    /// Post FIFO at capacity.
+    FifoFull,
+}
+
+/// One direction's FIFO pair + frame slots.
+struct Channel {
+    free: VecDeque<Mfa>,
+    post: VecDeque<Mfa>,
+    slots: Vec<Option<MessageFrame>>,
+    fifo_depth: usize,
+}
+
+impl Channel {
+    fn new(frames: usize, fifo_depth: usize) -> Channel {
+        Channel {
+            free: (0..frames as u32).map(Mfa).collect(),
+            post: VecDeque::with_capacity(fifo_depth),
+            slots: (0..frames).map(|_| None).collect(),
+            fifo_depth,
+        }
+    }
+
+    fn alloc(&mut self) -> Option<Mfa> {
+        self.free.pop_front()
+    }
+
+    fn post(&mut self, mfa: Mfa, frame: MessageFrame) -> Result<(), PostError> {
+        let slot = self.slots.get_mut(mfa.0 as usize).ok_or(PostError::BadMfa)?;
+        if slot.is_some() {
+            return Err(PostError::BadMfa); // double post
+        }
+        if self.post.len() >= self.fifo_depth {
+            return Err(PostError::FifoFull);
+        }
+        *slot = Some(frame);
+        self.post.push_back(mfa);
+        Ok(())
+    }
+
+    fn consume(&mut self) -> Option<(Mfa, MessageFrame)> {
+        let mfa = self.post.pop_front()?;
+        let frame = self.slots[mfa.0 as usize].take().expect("posted MFA has a frame");
+        Some((mfa, frame))
+    }
+
+    fn release(&mut self, mfa: Mfa) -> Result<(), PostError> {
+        let slot = self.slots.get(mfa.0 as usize).ok_or(PostError::BadMfa)?;
+        if slot.is_some() {
+            return Err(PostError::BadMfa); // frame not consumed yet
+        }
+        if self.free.contains(&mfa) {
+            return Err(PostError::BadMfa); // double free
+        }
+        self.free.push_back(mfa);
+        Ok(())
+    }
+}
+
+/// The IOP messaging unit: inbound (host→IOP) and outbound (IOP→host)
+/// channels.
+pub struct MessageUnit {
+    inbound: Channel,
+    outbound: Channel,
+    /// Requests consumed by the IOP.
+    pub requests_handled: u64,
+    /// Replies drained by the host.
+    pub replies_drained: u64,
+}
+
+impl MessageUnit {
+    /// Unit with `frames` message frames and `fifo_depth` FIFO entries per
+    /// direction (typical IOP configurations: tens of frames).
+    pub fn new(frames: usize, fifo_depth: usize) -> MessageUnit {
+        MessageUnit {
+            inbound: Channel::new(frames, fifo_depth),
+            outbound: Channel::new(frames, fifo_depth),
+            requests_handled: 0,
+            replies_drained: 0,
+        }
+    }
+
+    // ----- host side -----
+
+    /// Host: allocate an inbound frame (PIO read of the inbound-free FIFO).
+    pub fn host_alloc(&mut self) -> Option<Mfa> {
+        self.inbound.alloc()
+    }
+
+    /// Host: write + post a request frame.
+    pub fn host_post(&mut self, mfa: Mfa, frame: MessageFrame) -> Result<(), PostError> {
+        self.inbound.post(mfa, frame)
+    }
+
+    /// Host: drain one reply from the outbound post FIFO.
+    pub fn host_drain_reply(&mut self) -> Option<(Mfa, MessageFrame)> {
+        let r = self.outbound.consume();
+        if r.is_some() {
+            self.replies_drained += 1;
+        }
+        r
+    }
+
+    /// Host: return a drained reply MFA to the outbound free list.
+    pub fn host_release_reply(&mut self, mfa: Mfa) -> Result<(), PostError> {
+        self.outbound.release(mfa)
+    }
+
+    // ----- IOP side -----
+
+    /// IOP: take the next request.
+    pub fn iop_next_request(&mut self) -> Option<(Mfa, MessageFrame)> {
+        let r = self.inbound.consume();
+        if r.is_some() {
+            self.requests_handled += 1;
+        }
+        r
+    }
+
+    /// IOP: return a consumed request MFA to the inbound free list.
+    pub fn iop_release_request(&mut self, mfa: Mfa) -> Result<(), PostError> {
+        self.inbound.release(mfa)
+    }
+
+    /// IOP: allocate an outbound frame for a reply/notification.
+    pub fn iop_alloc_reply(&mut self) -> Option<Mfa> {
+        self.outbound.alloc()
+    }
+
+    /// IOP: post a reply.
+    pub fn iop_post_reply(&mut self, mfa: Mfa, frame: MessageFrame) -> Result<(), PostError> {
+        self.outbound.post(mfa, frame)
+    }
+
+    /// Depth of the inbound post FIFO (requests waiting for the IOP).
+    pub fn inbound_backlog(&self) -> usize {
+        self.inbound.post.len()
+    }
+
+    /// Depth of the outbound post FIFO (replies waiting for the host).
+    pub fn outbound_backlog(&self) -> usize {
+        self.outbound.post.len()
+    }
+
+    /// Free inbound frames.
+    pub fn inbound_free(&self) -> usize {
+        self.inbound.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::Tid;
+    use crate::message::I2oFunction;
+
+    fn frame(ctx: u32) -> MessageFrame {
+        MessageFrame::new(I2oFunction::UtilNop, Tid(2), Tid(1), ctx, vec![])
+    }
+
+    fn unit() -> MessageUnit {
+        MessageUnit::new(4, 4)
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let mut mu = unit();
+        // Host posts a request.
+        let mfa = mu.host_alloc().unwrap();
+        mu.host_post(mfa, frame(7)).unwrap();
+        assert_eq!(mu.inbound_backlog(), 1);
+        // IOP consumes, replies, releases.
+        let (req_mfa, req) = mu.iop_next_request().unwrap();
+        assert_eq!(req.context, 7);
+        mu.iop_release_request(req_mfa).unwrap();
+        let rep_mfa = mu.iop_alloc_reply().unwrap();
+        mu.iop_post_reply(rep_mfa, req.reply(0, vec![])).unwrap();
+        // Host drains and releases.
+        let (out_mfa, rep) = mu.host_drain_reply().unwrap();
+        assert_eq!(rep.context, 7);
+        mu.host_release_reply(out_mfa).unwrap();
+        assert_eq!(mu.requests_handled, 1);
+        assert_eq!(mu.replies_drained, 1);
+        assert_eq!(mu.inbound_free(), 4);
+    }
+
+    #[test]
+    fn free_list_exhaustion_backpressures() {
+        let mut mu = unit();
+        let mfas: Vec<Mfa> = std::iter::from_fn(|| mu.host_alloc()).collect();
+        assert_eq!(mfas.len(), 4);
+        assert!(mu.host_alloc().is_none(), "no frames left");
+        // Posting and consuming one recycles it.
+        mu.host_post(mfas[0], frame(0)).unwrap();
+        let (m, _) = mu.iop_next_request().unwrap();
+        mu.iop_release_request(m).unwrap();
+        assert!(mu.host_alloc().is_some());
+    }
+
+    #[test]
+    fn double_post_and_double_free_rejected() {
+        let mut mu = unit();
+        let mfa = mu.host_alloc().unwrap();
+        mu.host_post(mfa, frame(1)).unwrap();
+        assert_eq!(mu.host_post(mfa, frame(2)), Err(PostError::BadMfa));
+        let (m, _) = mu.iop_next_request().unwrap();
+        mu.iop_release_request(m).unwrap();
+        assert_eq!(mu.iop_release_request(m), Err(PostError::BadMfa));
+    }
+
+    #[test]
+    fn release_before_consume_rejected() {
+        let mut mu = unit();
+        let mfa = mu.host_alloc().unwrap();
+        mu.host_post(mfa, frame(1)).unwrap();
+        // Frame still posted: cannot return to free list.
+        assert_eq!(mu.iop_release_request(mfa), Err(PostError::BadMfa));
+    }
+
+    #[test]
+    fn bogus_mfa_rejected() {
+        let mut mu = unit();
+        assert_eq!(mu.host_post(Mfa(99), frame(0)), Err(PostError::BadMfa));
+        assert_eq!(mu.host_release_reply(Mfa(99)), Err(PostError::BadMfa));
+    }
+
+    #[test]
+    fn fifo_ordering_is_preserved() {
+        let mut mu = unit();
+        for i in 0..3 {
+            let mfa = mu.host_alloc().unwrap();
+            mu.host_post(mfa, frame(i)).unwrap();
+        }
+        for i in 0..3 {
+            let (m, f) = mu.iop_next_request().unwrap();
+            assert_eq!(f.context, i);
+            mu.iop_release_request(m).unwrap();
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Group-of-pictures structure.
+
+use crate::model::PictureKind;
+use core::fmt;
+use core::str::FromStr;
+
+/// A validated GOP pattern in *display* order, e.g. `IBBPBBPBB`.
+///
+/// Constraints enforced: non-empty, starts with `I`, contains only
+/// `I`/`P`/`B`. Trailing `B` pictures are legal (open-GOP display order:
+/// they reference the next GOP's `I`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GopPattern {
+    kinds: Vec<PictureKind>,
+}
+
+/// Error from parsing a GOP pattern string.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GopError {
+    /// Empty pattern.
+    Empty,
+    /// First picture must be `I`.
+    MustStartWithI,
+    /// Character other than `I`, `P`, `B`.
+    BadSymbol(char),
+}
+
+impl fmt::Display for GopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GopError::Empty => write!(f, "GOP pattern is empty"),
+            GopError::MustStartWithI => write!(f, "GOP pattern must start with an I picture"),
+            GopError::BadSymbol(c) => write!(f, "invalid picture type {c:?} (expected I, P or B)"),
+        }
+    }
+}
+
+impl std::error::Error for GopError {}
+
+impl GopPattern {
+    /// The pattern used throughout the experiments: `IBBPBBPBB` (the common
+    /// MPEG-1 N=9, M=3 structure).
+    pub fn classic() -> GopPattern {
+        "IBBPBBPBB".parse().expect("static pattern is valid")
+    }
+
+    /// Pictures per GOP.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the pattern is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Picture kind at display position `i` within the GOP.
+    pub fn kind_at(&self, i: usize) -> PictureKind {
+        self.kinds[i % self.kinds.len()]
+    }
+
+    /// All kinds in display order.
+    pub fn kinds(&self) -> &[PictureKind] {
+        &self.kinds
+    }
+
+    /// Count of a given picture kind per GOP.
+    pub fn count(&self, kind: PictureKind) -> usize {
+        self.kinds.iter().filter(|&&k| k == kind).count()
+    }
+
+    /// Infinite display-order iterator over picture kinds.
+    pub fn cycle(&self) -> impl Iterator<Item = PictureKind> + '_ {
+        self.kinds.iter().copied().cycle()
+    }
+}
+
+impl FromStr for GopPattern {
+    type Err = GopError;
+
+    fn from_str(s: &str) -> Result<GopPattern, GopError> {
+        if s.is_empty() {
+            return Err(GopError::Empty);
+        }
+        let mut kinds = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            kinds.push(match c.to_ascii_uppercase() {
+                'I' => PictureKind::I,
+                'P' => PictureKind::P,
+                'B' => PictureKind::B,
+                other => return Err(GopError::BadSymbol(other)),
+            });
+        }
+        if kinds[0] != PictureKind::I {
+            return Err(GopError::MustStartWithI);
+        }
+        Ok(GopPattern { kinds })
+    }
+}
+
+impl fmt::Display for GopPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for k in &self.kinds {
+            write!(f, "{}", k.letter())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_pattern() {
+        let g = GopPattern::classic();
+        assert_eq!(g.len(), 9);
+        assert_eq!(g.count(PictureKind::I), 1);
+        assert_eq!(g.count(PictureKind::P), 2);
+        assert_eq!(g.count(PictureKind::B), 6);
+        assert_eq!(g.to_string(), "IBBPBBPBB");
+    }
+
+    #[test]
+    fn parsing_is_case_insensitive() {
+        let g: GopPattern = "ibbp".parse().unwrap();
+        assert_eq!(g.to_string(), "IBBP");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!("".parse::<GopPattern>(), Err(GopError::Empty));
+        assert_eq!("PBB".parse::<GopPattern>(), Err(GopError::MustStartWithI));
+        assert_eq!("IXB".parse::<GopPattern>(), Err(GopError::BadSymbol('X')));
+        assert_eq!("IBB".parse::<GopPattern>().unwrap().len(), 3);
+        assert_eq!("I".parse::<GopPattern>().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cycle_wraps() {
+        let g: GopPattern = "IBP".parse().unwrap();
+        let kinds: Vec<_> = g.cycle().take(7).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PictureKind::I,
+                PictureKind::B,
+                PictureKind::P,
+                PictureKind::I,
+                PictureKind::B,
+                PictureKind::P,
+                PictureKind::I
+            ]
+        );
+        assert_eq!(g.kind_at(5), PictureKind::P);
+    }
+}

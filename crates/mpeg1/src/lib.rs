@@ -1,0 +1,55 @@
+//! # mpeg1 — MPEG-1 video bitstream synthesis and segmentation
+//!
+//! The paper's unit of streaming and scheduling is the **MPEG-I frame**. Its
+//! experiments use "an MPEG segmentation program … for segmenting an MPEG
+//! encoded file into I, P and B frames", which "serves as a stream producer"
+//! and "emulates the MPEG file segmentation process in an MPEG player"
+//! (§4.1). We do not have the authors' MPEG files, so this crate provides
+//! both halves of that pipeline:
+//!
+//! * [`encode::SyntheticEncoder`] — writes a structurally valid MPEG-1 video
+//!   elementary stream (sequence header → GOP headers → picture headers →
+//!   slice payloads → sequence end code, per ISO/IEC 11172-2 syntax at the
+//!   header level) with frame sizes drawn from a calibrated per-type model
+//!   ([`model::FrameSizeModel`]): I-frames large, P medium, B small, sized
+//!   so the stream hits a requested bitrate. Payload bytes are noise with
+//!   start-code emulation prevented.
+//! * [`segment::Segmenter`] — the segmentation program rebuilt: scans for
+//!   start codes, decodes picture headers (temporal reference + coding
+//!   type), and yields per-frame descriptors `(kind, offset, length)` that
+//!   producers inject into scheduler queues.
+//! * [`gop::GopPattern`] — GOP structure (e.g. `IBBPBBPBB`) parsing and
+//!   validation.
+//!
+//! Round-tripping is the core invariant (property-tested): segmenting a
+//! synthesized stream recovers exactly the frame sequence the encoder
+//! emitted, with byte-accurate lengths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod gop;
+pub mod model;
+pub mod segment;
+
+pub use encode::{EncoderConfig, SyntheticEncoder};
+pub use gop::GopPattern;
+pub use model::{FrameSizeModel, PictureKind, StreamProfile};
+pub use segment::{SegmentError, SegmentedFrame, Segmenter};
+
+/// MPEG start codes used by this crate (32-bit big-endian on the wire).
+pub mod start_codes {
+    /// Picture start code.
+    pub const PICTURE: u32 = 0x0000_0100;
+    /// First slice start code (slices 0x101..=0x1AF).
+    pub const SLICE_FIRST: u32 = 0x0000_0101;
+    /// Last slice start code.
+    pub const SLICE_LAST: u32 = 0x0000_01AF;
+    /// Sequence header code.
+    pub const SEQUENCE_HEADER: u32 = 0x0000_01B3;
+    /// Group-of-pictures start code.
+    pub const GOP: u32 = 0x0000_01B8;
+    /// Sequence end code.
+    pub const SEQUENCE_END: u32 = 0x0000_01B7;
+}

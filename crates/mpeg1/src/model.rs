@@ -1,0 +1,205 @@
+//! Picture kinds and the frame-size model.
+//!
+//! Typical MPEG-1 compression yields strongly type-dependent frame sizes
+//! (I ≫ P ≫ B); the synthetic encoder draws sizes from this model so a
+//! stream at a requested bitrate exhibits the bursty size sequence a real
+//! MPEG-1 file would, which is what makes frame scheduling non-trivial.
+
+use core::fmt;
+
+/// MPEG-1 picture coding types (ISO/IEC 11172-2 picture_coding_type).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PictureKind {
+    /// Intra-coded.
+    I,
+    /// Forward-predicted.
+    P,
+    /// Bidirectionally predicted.
+    B,
+}
+
+impl PictureKind {
+    /// Wire value of `picture_coding_type` (3 bits).
+    pub fn coding_type(self) -> u8 {
+        match self {
+            PictureKind::I => 1,
+            PictureKind::P => 2,
+            PictureKind::B => 3,
+        }
+    }
+
+    /// Decode from the wire value.
+    pub fn from_coding_type(v: u8) -> Option<PictureKind> {
+        match v {
+            1 => Some(PictureKind::I),
+            2 => Some(PictureKind::P),
+            3 => Some(PictureKind::B),
+            _ => None,
+        }
+    }
+
+    /// Letter used in GOP pattern strings.
+    pub fn letter(self) -> char {
+        match self {
+            PictureKind::I => 'I',
+            PictureKind::P => 'P',
+            PictureKind::B => 'B',
+        }
+    }
+}
+
+impl fmt::Display for PictureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Relative size weights and dispersion for each picture type.
+///
+/// Defaults reflect the commonly measured I:P:B ≈ 5:3:1 compression ratio
+/// of MPEG-1 at SIF resolution. Given a GOP pattern and target bitrate,
+/// [`FrameSizeModel::mean_size`] solves for per-type mean byte counts such
+/// that one GOP of frames carries exactly `bitrate / fps × gop_len` bits on
+/// average.
+#[derive(Clone, Debug)]
+pub struct FrameSizeModel {
+    /// Relative weight of an I frame.
+    pub w_i: f64,
+    /// Relative weight of a P frame.
+    pub w_p: f64,
+    /// Relative weight of a B frame.
+    pub w_b: f64,
+    /// Multiplicative jitter (fraction of the mean; sizes are clamped to
+    /// ±3σ and a hard floor so headers always fit).
+    pub jitter: f64,
+}
+
+impl Default for FrameSizeModel {
+    fn default() -> FrameSizeModel {
+        FrameSizeModel {
+            w_i: 5.0,
+            w_p: 3.0,
+            w_b: 1.0,
+            jitter: 0.15,
+        }
+    }
+}
+
+impl FrameSizeModel {
+    /// Weight of a picture kind.
+    pub fn weight(&self, kind: PictureKind) -> f64 {
+        match kind {
+            PictureKind::I => self.w_i,
+            PictureKind::P => self.w_p,
+            PictureKind::B => self.w_b,
+        }
+    }
+
+    /// Mean frame size in bytes for `kind`, such that the GOP averages to
+    /// the target bitrate at the given frame rate.
+    pub fn mean_size(&self, kind: PictureKind, pattern: &crate::gop::GopPattern, bitrate_bps: u64, fps: f64) -> f64 {
+        let bytes_per_gop = bitrate_bps as f64 / 8.0 / fps * pattern.len() as f64;
+        let total_weight: f64 = pattern.kinds().iter().map(|&k| self.weight(k)).sum();
+        bytes_per_gop * self.weight(kind) / total_weight
+    }
+}
+
+/// Summary of a parsed (or generated) stream, as the paper's segmentation
+/// program would report it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StreamProfile {
+    /// Frames of each kind (I, P, B).
+    pub count_i: u64,
+    /// P-frame count.
+    pub count_p: u64,
+    /// B-frame count.
+    pub count_b: u64,
+    /// Total payload bytes across all frames.
+    pub total_bytes: u64,
+    /// Largest single frame.
+    pub max_frame: u32,
+    /// Smallest single frame.
+    pub min_frame: u32,
+}
+
+impl StreamProfile {
+    /// Record one frame.
+    pub fn note(&mut self, kind: PictureKind, len: u32) {
+        match kind {
+            PictureKind::I => self.count_i += 1,
+            PictureKind::P => self.count_p += 1,
+            PictureKind::B => self.count_b += 1,
+        }
+        self.total_bytes += u64::from(len);
+        self.max_frame = self.max_frame.max(len);
+        self.min_frame = if self.min_frame == 0 { len } else { self.min_frame.min(len) };
+    }
+
+    /// Total frames.
+    pub fn frames(&self) -> u64 {
+        self.count_i + self.count_p + self.count_b
+    }
+
+    /// Mean frame size in bytes.
+    pub fn mean_frame(&self) -> f64 {
+        if self.frames() == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.frames() as f64
+        }
+    }
+
+    /// Bitrate this stream represents at the given frame rate.
+    pub fn bitrate_at(&self, fps: f64) -> f64 {
+        self.mean_frame() * 8.0 * fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gop::GopPattern;
+
+    #[test]
+    fn coding_type_round_trip() {
+        for k in [PictureKind::I, PictureKind::P, PictureKind::B] {
+            assert_eq!(PictureKind::from_coding_type(k.coding_type()), Some(k));
+        }
+        assert_eq!(PictureKind::from_coding_type(0), None);
+        assert_eq!(PictureKind::from_coding_type(4), None);
+    }
+
+    #[test]
+    fn mean_sizes_hit_bitrate() {
+        let model = FrameSizeModel::default();
+        let gop = GopPattern::classic();
+        let bitrate = 1_500_000u64; // 1.5 Mb/s, classic MPEG-1
+        let fps = 25.0;
+        let per_gop: f64 = gop
+            .kinds()
+            .iter()
+            .map(|&k| model.mean_size(k, &gop, bitrate, fps))
+            .sum();
+        let expected = bitrate as f64 / 8.0 / fps * gop.len() as f64;
+        assert!((per_gop - expected).abs() < 1e-6);
+        // I frames are the largest.
+        let i = model.mean_size(PictureKind::I, &gop, bitrate, fps);
+        let b = model.mean_size(PictureKind::B, &gop, bitrate, fps);
+        assert!(i > 4.9 * b && i < 5.1 * b);
+    }
+
+    #[test]
+    fn profile_accumulates() {
+        let mut p = StreamProfile::default();
+        p.note(PictureKind::I, 10_000);
+        p.note(PictureKind::B, 2_000);
+        p.note(PictureKind::B, 1_000);
+        assert_eq!(p.frames(), 3);
+        assert_eq!(p.total_bytes, 13_000);
+        assert_eq!(p.max_frame, 10_000);
+        assert_eq!(p.min_frame, 1_000);
+        assert!((p.mean_frame() - 13_000.0 / 3.0).abs() < 1e-9);
+        // 30 fps with these frames → ~1.04 Mb/s
+        assert!((p.bitrate_at(30.0) - 13_000.0 / 3.0 * 240.0).abs() < 1e-6);
+    }
+}

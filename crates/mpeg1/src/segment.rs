@@ -1,0 +1,259 @@
+//! The MPEG segmentation program, rebuilt.
+//!
+//! §4.1 of the paper: *"An MPEG segmentation program … is used for
+//! segmenting an MPEG encoded file into I, P and B frames and serves as a
+//! stream producer."* This module is that program: a start-code scanner
+//! that walks an MPEG-1 video elementary stream and produces one descriptor
+//! per picture — kind, byte offset, byte length, temporal reference — which
+//! producers then inject into scheduler queues (each descriptor's
+//! `(offset, len)` is exactly the DMA source the NI would fetch).
+//!
+//! The scanner is tolerant: unknown start codes are skipped, truncated
+//! trailing pictures are still reported, and garbage before the first start
+//! code is ignored. Only a picture header too short to contain its type
+//! bits is an error.
+
+use crate::model::{PictureKind, StreamProfile};
+use crate::start_codes;
+use core::fmt;
+
+/// One segmented picture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentedFrame {
+    /// Picture kind from the picture header.
+    pub kind: PictureKind,
+    /// Byte offset of the picture start code.
+    pub offset: usize,
+    /// Bytes from the picture start code up to the next picture/GOP/
+    /// sequence boundary (i.e. the picture with all its slices).
+    pub len: u32,
+    /// `temporal_reference` (display order within the GOP).
+    pub temporal_ref: u16,
+}
+
+/// Segmentation failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentError {
+    /// A picture start code too close to the end of the buffer to carry a
+    /// picture header.
+    TruncatedPictureHeader {
+        /// Offset of the offending start code.
+        offset: usize,
+    },
+    /// The picture header carried a reserved/invalid coding type.
+    BadCodingType {
+        /// Offset of the picture start code.
+        offset: usize,
+        /// The reserved value found.
+        value: u8,
+    },
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::TruncatedPictureHeader { offset } => {
+                write!(f, "truncated picture header at byte {offset}")
+            }
+            SegmentError::BadCodingType { offset, value } => {
+                write!(f, "invalid picture_coding_type {value} at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// Start-code scanner over a byte buffer.
+pub struct Segmenter<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Segmenter<'a> {
+    /// Segmenter over a complete elementary stream buffer.
+    pub fn new(data: &'a [u8]) -> Segmenter<'a> {
+        Segmenter { data, pos: 0 }
+    }
+
+    /// Segment the whole buffer into pictures.
+    pub fn segment_all(mut self) -> Result<Vec<SegmentedFrame>, SegmentError> {
+        let mut frames = Vec::new();
+        while let Some(f) = self.next_frame()? {
+            frames.push(f);
+        }
+        Ok(frames)
+    }
+
+    /// Produce the next picture, or `None` at end of stream.
+    pub fn next_frame(&mut self) -> Result<Option<SegmentedFrame>, SegmentError> {
+        // Find the next picture start code.
+        let Some(start) = self.find_code_at_or_after(self.pos, |c| c == start_codes::PICTURE) else {
+            self.pos = self.data.len();
+            return Ok(None);
+        };
+        // Picture header: 10 bits temporal_reference + 3 bits coding type
+        // live in the 2 bytes after the 4-byte start code.
+        if start + 6 > self.data.len() {
+            return Err(SegmentError::TruncatedPictureHeader { offset: start });
+        }
+        let b0 = u16::from(self.data[start + 4]);
+        let b1 = u16::from(self.data[start + 5]);
+        let temporal_ref = (b0 << 2) | (b1 >> 6);
+        let type_bits = ((b1 >> 3) & 0x7) as u8;
+        let kind = PictureKind::from_coding_type(type_bits).ok_or(SegmentError::BadCodingType {
+            offset: start,
+            value: type_bits,
+        })?;
+
+        // The picture extends to the next picture/GOP/sequence-level code.
+        let end = self
+            .find_code_at_or_after(start + 4, |c| {
+                c == start_codes::PICTURE
+                    || c == start_codes::GOP
+                    || c == start_codes::SEQUENCE_HEADER
+                    || c == start_codes::SEQUENCE_END
+            })
+            .unwrap_or(self.data.len());
+        self.pos = end;
+        Ok(Some(SegmentedFrame {
+            kind,
+            offset: start,
+            len: (end - start) as u32,
+            temporal_ref,
+        }))
+    }
+
+    /// Byte offset of the first start code at/after `from` whose 32-bit
+    /// value satisfies `pred`.
+    fn find_code_at_or_after(&self, from: usize, pred: impl Fn(u32) -> bool) -> Option<usize> {
+        let d = self.data;
+        let mut i = from;
+        while i + 4 <= d.len() {
+            // Fast scan for the 00 00 01 prefix.
+            if d[i] == 0 && d[i + 1] == 0 && d[i + 2] == 1 {
+                let code = 0x0000_0100 | u32::from(d[i + 3]);
+                if pred(code) {
+                    return Some(i);
+                }
+                i += 3; // skip past the prefix, keep scanning
+            } else if d[i + 2] > 1 {
+                i += 3; // cannot be inside a prefix ending at i+2
+            } else {
+                i += 1;
+            }
+        }
+        None
+    }
+}
+
+/// Segment and summarize in one pass (what the paper's producer does before
+/// registering a stream).
+pub fn profile(data: &[u8]) -> Result<(Vec<SegmentedFrame>, StreamProfile), SegmentError> {
+    let frames = Segmenter::new(data).segment_all()?;
+    let mut p = StreamProfile::default();
+    for f in &frames {
+        p.note(f.kind, f.len);
+    }
+    Ok((frames, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{EncoderConfig, SyntheticEncoder};
+    use crate::gop::GopPattern;
+
+    #[test]
+    fn round_trip_matches_ground_truth() {
+        let (bytes, truth) = SyntheticEncoder::new(EncoderConfig::default()).encode(45);
+        let frames = Segmenter::new(&bytes).segment_all().unwrap();
+        assert_eq!(frames.len(), truth.len());
+        for (seg, emitted) in frames.iter().zip(&truth) {
+            assert_eq!(seg.kind, emitted.kind);
+            assert_eq!(seg.offset, emitted.offset);
+            assert_eq!(seg.temporal_ref, emitted.temporal_ref);
+        }
+        // Lengths: every segmented frame ends where the next boundary
+        // begins; the sum of lengths plus headers equals the stream.
+        let total: u64 = frames.iter().map(|f| u64::from(f.len)).sum();
+        assert!(total <= bytes.len() as u64);
+        assert!(total > bytes.len() as u64 * 9 / 10, "headers are a small fraction");
+    }
+
+    #[test]
+    fn emitted_lengths_match_except_interleaved_gop_headers() {
+        // The encoder's ground-truth length is picture-to-boundary too, so
+        // they must agree exactly.
+        let (bytes, truth) = SyntheticEncoder::new(EncoderConfig::default()).encode(20);
+        let frames = Segmenter::new(&bytes).segment_all().unwrap();
+        for (seg, emitted) in frames.iter().zip(&truth) {
+            // A GOP header (8 bytes) follows the last frame of each GOP and
+            // is attributed to the *preceding* picture's extent by the
+            // scanner (it scans to the next boundary).
+            assert_eq!(seg.len, emitted.len, "{seg:?} vs {emitted:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_garbage_streams() {
+        assert!(Segmenter::new(&[]).segment_all().unwrap().is_empty());
+        let garbage = vec![0xAB; 1024];
+        assert!(Segmenter::new(&garbage).segment_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_picture_header_is_an_error() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&start_codes::PICTURE.to_be_bytes());
+        bytes.push(0x00); // only 1 of 2 header bytes
+        let err = Segmenter::new(&bytes).segment_all().unwrap_err();
+        assert_eq!(err, SegmentError::TruncatedPictureHeader { offset: 0 });
+    }
+
+    #[test]
+    fn reserved_coding_type_is_an_error() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&start_codes::PICTURE.to_be_bytes());
+        // temporal_ref = 0, coding type = 7 (reserved): b1 = 00 111 000
+        bytes.push(0x00);
+        bytes.push(0b0011_1000);
+        bytes.extend_from_slice(&[0x55; 8]);
+        let err = Segmenter::new(&bytes).segment_all().unwrap_err();
+        assert_eq!(err, SegmentError::BadCodingType { offset: 0, value: 7 });
+    }
+
+    #[test]
+    fn truncated_final_picture_still_reported() {
+        let (bytes, truth) = SyntheticEncoder::new(EncoderConfig::default()).encode(9);
+        // Chop off the sequence end code and half the last picture.
+        let cut = truth.last().unwrap().offset + 10;
+        let frames = Segmenter::new(&bytes[..cut]).segment_all().unwrap();
+        assert_eq!(frames.len(), truth.len());
+        assert_eq!(frames.last().unwrap().len, 10);
+    }
+
+    #[test]
+    fn profile_counts_match_pattern() {
+        let cfg = EncoderConfig {
+            gop: "IBBPBBPBB".parse::<GopPattern>().unwrap(),
+            ..EncoderConfig::default()
+        };
+        let (bytes, _) = SyntheticEncoder::new(cfg).encode(27); // 3 GOPs
+        let (frames, prof) = profile(&bytes).unwrap();
+        assert_eq!(frames.len(), 27);
+        assert_eq!(prof.count_i, 3);
+        assert_eq!(prof.count_p, 6);
+        assert_eq!(prof.count_b, 18);
+        assert_eq!(prof.frames(), 27);
+        assert!(prof.max_frame >= prof.min_frame);
+    }
+
+    #[test]
+    fn scanner_not_fooled_by_slice_codes() {
+        let (bytes, truth) = SyntheticEncoder::new(EncoderConfig::default()).encode(9);
+        let frames = Segmenter::new(&bytes).segment_all().unwrap();
+        // Slices (one per picture) must not create extra frames.
+        assert_eq!(frames.len(), truth.len());
+    }
+}

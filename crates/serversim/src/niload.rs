@@ -1,0 +1,259 @@
+//! NI-based scheduling — Figures 9 and 10.
+//!
+//! The counterpart experiment (§4.2.3): one CPU online, web load on one
+//! NI, and the i960 NI running the DWCS scheduler serving the MPEG
+//! clients directly. "The NI based scheduler is completely immune to web
+//! server loading": the NI kernel runs only the scheduler task and network
+//! services; frame producers DMA descriptors in without consuming NI-CPU
+//! at service time; and the dispatch path never crosses the host bus.
+//!
+//! The model composes the full NI stack — frames segmented by `mpeg1`,
+//! descriptors injected through the DVCM media-scheduler extension,
+//! decisions priced by the `hwsim` i960 model, transmissions priced by the
+//! NI Ethernet model — and (structurally) takes no input from the host
+//! load at all. The experiment still *runs* the host web-load world in
+//! parallel to produce Figure 6-style utilization evidence that the host
+//! was indeed busy while the NI streams stayed flat.
+
+use crate::hostload::{self, HostLoadConfig, HostLoadResult, StreamSeries};
+use crate::report::RateWindow;
+use dvcm::instr::{StreamSpec, VcmInstruction};
+use dvcm::{ExtensionModule, MediaSchedExt};
+use dwcs::scheduler::Pacing;
+use dwcs::{SchedulerConfig, StreamId};
+use hwsim::i960::dwcs_work;
+use hwsim::{Ethernet, I960Core};
+use simkit::{SimDuration, SimTime};
+use workload::mpegclient::ClientPlan;
+use workload::profile::LoadProfile;
+
+/// Experiment configuration.
+#[derive(Clone, Debug)]
+pub struct NiLoadConfig {
+    /// Streaming clients.
+    pub plan: ClientPlan,
+    /// Frames per stream.
+    pub frames_per_stream: usize,
+    /// Simulated run length.
+    pub run: SimDuration,
+    /// Web load applied to the *host* (shown alongside; cannot affect the
+    /// NI pipeline).
+    pub host_web: LoadProfile,
+    /// Data cache on the NI (scheduler-only NIs enable it: "exclusively
+    /// running the scheduler thread, with no disks attached allowing data
+    /// caching").
+    pub ni_cache: bool,
+}
+
+impl Default for NiLoadConfig {
+    fn default() -> NiLoadConfig {
+        NiLoadConfig {
+            plan: ClientPlan::two_streams(100),
+            frames_per_stream: 3_000,
+            run: SimDuration::from_secs(100),
+            host_web: LoadProfile::none(),
+            ni_cache: true,
+        }
+    }
+}
+
+/// Outcome: per-stream series from the NI plus the host-side utilization
+/// evidence.
+#[derive(Clone, Debug)]
+pub struct NiLoadResult {
+    /// Per-stream bandwidth/queuing-delay series (Figures 9/10).
+    pub streams: Vec<StreamSeries>,
+    /// The host world running the web load concurrently (Figure 6-style
+    /// evidence). `None` when `host_web` is empty.
+    pub host: Option<HostLoadResult>,
+    /// Mean NI scheduling decision time observed (µs).
+    pub mean_decision_us: f64,
+}
+
+/// Run the NI experiment.
+pub fn run(cfg: NiLoadConfig) -> NiLoadResult {
+    // --- The NI pipeline (host load cannot reach it by construction). ---
+    let mut core = I960Core::new().with_cache(cfg.ni_cache);
+    let mut eth = Ethernet::new();
+
+    let sched_cfg = SchedulerConfig {
+        pacing: Pacing::DeadlinePaced,
+        ..SchedulerConfig::default()
+    };
+    let mut ext = MediaSchedExt::with_config(cfg.plan.clients.len().max(1), sched_cfg);
+
+    // Open streams and inject every frame descriptor through the DVCM
+    // instruction path (producers on a disk-NI DMA frames across the PCI
+    // bus; only descriptors reach the scheduler).
+    let mut sids = Vec::new();
+    for c in &cfg.plan.clients {
+        let reply = ext.on_instruction(
+            VcmInstruction::OpenStream(StreamSpec {
+                period: c.period,
+                loss_num: c.loss_num,
+                loss_den: c.loss_den,
+                droppable: true,
+            }),
+            0,
+        );
+        assert_eq!(reply.status, 0, "stream admission");
+        sids.push(StreamId(reply.payload[0]));
+    }
+    for (i, c) in cfg.plan.clients.iter().enumerate() {
+        let len = ClientPlan::frame_bytes(c);
+        let t0 = c.connect_at.as_nanos();
+        for k in 0..cfg.frames_per_stream {
+            ext.on_instruction(
+                VcmInstruction::EnqueueFrame {
+                    stream: sids[i],
+                    addr: 0xA000_0000 + (k as u64) * u64::from(len),
+                    len,
+                    kind: dwcs::FrameKind::P,
+                },
+                t0,
+            );
+        }
+    }
+
+    // NI service loop: sleep to the next eligible deadline, decide, send.
+    let n = cfg.plan.clients.len();
+    let mut bw: Vec<RateWindow> = (0..n).map(|_| RateWindow::new(SimDuration::from_secs(1))).collect();
+    let mut qdelay: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n];
+    let mut sent = vec![0u64; n];
+    let mut now = SimTime::ZERO;
+    let end = SimTime::ZERO + cfg.run;
+    let mut decision_total = SimDuration::ZERO;
+    let mut decisions = 0u64;
+
+    while now < end {
+        let Some(next) = ext.scheduler_mut().next_eligible() else { break };
+        let next_t = SimTime::from_nanos(next);
+        if next_t >= end {
+            break;
+        }
+        now = now.max(next_t);
+        let d = ext.poll_decision(now.as_nanos());
+        let work = dwcs_work::Work {
+            compares: d.work.compares,
+            touches: d.work.touches,
+        };
+        let backlog: u64 = sids.iter().map(|&s| ext.scheduler().backlog(s) as u64).sum();
+        let cost = core.decision_time(work, backlog.min(64));
+        decision_total += cost;
+        decisions += 1;
+        now += cost;
+        if let Some(rec) = ext.pop_dispatch() {
+            // Dispatch + wire occupancy on the NI's own port.
+            now += core.dispatch_time();
+            now += eth.send_occupancy(u64::from(rec.frame.desc.len));
+            let si = rec.frame.desc.stream.index();
+            sent[si] += 1;
+            bw[si].record(now, u64::from(rec.frame.desc.len));
+            let delay_ms = now.as_nanos().saturating_sub(rec.frame.desc.enqueued_at) as f64 / 1e6;
+            qdelay[si].push((sent[si], delay_ms));
+        }
+    }
+
+    let mut streams = Vec::new();
+    for (i, c) in cfg.plan.clients.iter().enumerate() {
+        let stats = ext.scheduler().stats(sids[i]);
+        streams.push(StreamSeries {
+            name: c.name.clone(),
+            bandwidth: bw.remove(0).finish(end),
+            qdelay: std::mem::take(&mut qdelay[i]),
+            sent: stats.sent(),
+            dropped: stats.dropped,
+            violations: stats.violations,
+            mean_jitter_ms: stats.mean_jitter() as f64 / 1e6,
+        });
+    }
+
+    // --- Host-side web load, for the utilization evidence only. ---
+    let host = if cfg.host_web.starts_at().is_some() {
+        let host_cfg = HostLoadConfig {
+            cpus: 1, // "one CPU is brought off-line for a total of one on-line CPU"
+            web: cfg.host_web.clone(),
+            plan: ClientPlan { clients: Vec::new() }, // streams are on the NI
+            frames_per_stream: 0,
+            run: cfg.run,
+            ..HostLoadConfig::default()
+        };
+        Some(hostload::run(host_cfg))
+    } else {
+        None
+    };
+
+    NiLoadResult {
+        streams,
+        host,
+        mean_decision_us: if decisions == 0 {
+            0.0
+        } else {
+            decision_total.as_micros_f64() / decisions as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::profile::LoadProfile;
+
+    fn quick() -> NiLoadConfig {
+        NiLoadConfig {
+            plan: ClientPlan::two_streams(30),
+            frames_per_stream: 900,
+            run: SimDuration::from_secs(30),
+            ..NiLoadConfig::default()
+        }
+    }
+
+    #[test]
+    fn ni_streams_settle_at_stream_rate() {
+        let r = run(quick());
+        assert_eq!(r.streams.len(), 2);
+        for s in &r.streams {
+            let settle = s.bandwidth.settling_value(0.5).unwrap();
+            assert!((220_000.0..=300_000.0).contains(&settle), "{}: {settle:.0}", s.name);
+            assert_eq!(s.dropped, 0, "NI never falls behind");
+            assert_eq!(s.violations, 0);
+        }
+    }
+
+    #[test]
+    fn ni_is_immune_to_host_load() {
+        let unloaded = run(quick());
+        let mut cfg = quick();
+        cfg.host_web = LoadProfile::experiment(5, 2, 30, 400.0);
+        let loaded = run(cfg);
+        // Identical NI-side series, bit for bit.
+        for (a, b) in unloaded.streams.iter().zip(&loaded.streams) {
+            assert_eq!(a.sent, b.sent);
+            assert_eq!(a.qdelay, b.qdelay, "{} series must be identical under host load", a.name);
+        }
+        // ...while the host really was loaded.
+        let host = loaded.host.expect("host world ran");
+        assert!(host.avg_util > 30.0, "host avg {:.1} %", host.avg_util);
+    }
+
+    #[test]
+    fn ni_decision_time_matches_paper_65us() {
+        let r = run(quick());
+        assert!(
+            (55.0..=80.0).contains(&r.mean_decision_us),
+            "i960 decision ≈65 µs, got {:.1}",
+            r.mean_decision_us
+        );
+    }
+
+    #[test]
+    fn ni_queuing_delay_grows_linearly_like_figure10() {
+        let r = run(quick());
+        let q = &r.streams[0].qdelay;
+        let (n, d) = q[89];
+        assert_eq!(n, 90);
+        // Frame 90 waited ≈ 90 periods ≈ 3 s.
+        assert!((2_500.0..=3_500.0).contains(&d), "delay at frame 90 = {d:.0} ms");
+        assert!(q.windows(2).all(|w| w[1].1 >= w[0].1 - 1.0), "monotone");
+    }
+}

@@ -1,0 +1,236 @@
+//! Critical-path benchmarks — Table 4 — and PCI transfers — Table 5.
+//!
+//! Figure 3's three frame-transfer paths, each measured as "the latency of
+//! a 1000 byte frame transfer from disk to remote client … averaged over
+//! 1000 transfers":
+//!
+//! * **Path A** (Experiment I): system disk → host filesystem → host CPU →
+//!   I/O bus → a conventional NI → network. Two variants, exactly as the
+//!   paper ran them: Solaris **UFS** (cached/prefetching → ≈ 1 ms) and the
+//!   **VxWorks dos filesystem mounted on the host** (≈ 8 ms).
+//! * **Path C** (Experiment II): disk attached to the i960 NI → NI CPU →
+//!   network; no host involvement at all (≈ 5.4 ms, dominated by the
+//!   4.2 ms dosFs disk access).
+//! * **Path B** (Experiment III): disk on one NI → PCI peer-to-peer DMA →
+//!   scheduler NI → network (≈ 5.415 ms = 4.2 disk + 1.2 net + 0.015 PCI).
+
+use hwsim::{Ethernet, Filesystem, HostCpu, PciBus, ScsiDisk};
+use simkit::rng::Pcg32;
+use simkit::SimDuration;
+
+/// Latency breakdown of one path (mean over the configured transfers).
+#[derive(Clone, Copy, Debug)]
+pub struct PathBreakdown {
+    /// Disk + filesystem component (ms).
+    pub disk_ms: f64,
+    /// Host CPU component (ms) — zero for NI-only paths.
+    pub host_ms: f64,
+    /// PCI peer-to-peer component (ms) — Path B only.
+    pub pci_ms: f64,
+    /// Network component, end to end (ms).
+    pub net_ms: f64,
+    /// Total (ms).
+    pub total_ms: f64,
+}
+
+fn breakdown(disk: SimDuration, host: SimDuration, pci: SimDuration, net: SimDuration) -> PathBreakdown {
+    let total = disk + host + pci + net;
+    PathBreakdown {
+        disk_ms: disk.as_millis_f64(),
+        host_ms: host.as_millis_f64(),
+        pci_ms: pci.as_millis_f64(),
+        net_ms: net.as_millis_f64(),
+        total_ms: total.as_millis_f64(),
+    }
+}
+
+/// Benchmark configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PathConfig {
+    /// Frame size (the paper uses 1000 bytes).
+    pub frame_bytes: u64,
+    /// Transfers to average over (the paper uses 1000).
+    pub transfers: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PathConfig {
+    fn default() -> PathConfig {
+        PathConfig {
+            frame_bytes: 1000,
+            transfers: 1000,
+            seed: 0x7061_7468, // "path"
+        }
+    }
+}
+
+fn mean<F: FnMut(&mut Pcg32) -> SimDuration>(cfg: &PathConfig, stream: u64, mut f: F) -> SimDuration {
+    let mut rng = Pcg32::new(cfg.seed, stream);
+    let mut total = SimDuration::ZERO;
+    for _ in 0..cfg.transfers {
+        total += f(&mut rng);
+    }
+    total / u64::from(cfg.transfers)
+}
+
+/// Path A with Solaris UFS (Experiment I, fast variant).
+///
+/// Host-side sending is cheaper than the NI firmware path: a 200 MHz CPU
+/// drives the Intel 82557 with a mature Solaris stack (send side ≈ 100 µs
+/// vs the i960's 520 µs).
+pub fn path_a_ufs(cfg: &PathConfig) -> PathBreakdown {
+    let mut disk = ScsiDisk::new();
+    let fs = Filesystem::ufs();
+    let mut cpu = HostCpu::new();
+    let mut eth = host_sender_eth();
+
+    let disk_t = mean(cfg, 1, |rng| fs.read_frame(&mut disk, cfg.frame_bytes, rng));
+    let host_t = mean(cfg, 2, |_| cpu.frame_send_time(cfg.frame_bytes));
+    let net_t = mean(cfg, 3, |_| eth.end_to_end(cfg.frame_bytes));
+    breakdown(disk_t, host_t, SimDuration::ZERO, net_t)
+}
+
+/// Path A with the VxWorks dos filesystem mounted on the host
+/// (Experiment I, slow variant).
+pub fn path_a_vxfs(cfg: &PathConfig) -> PathBreakdown {
+    let mut disk = ScsiDisk::new();
+    let fs = Filesystem::dosfs_on_host();
+    let mut cpu = HostCpu::new();
+    let mut eth = host_sender_eth();
+
+    let disk_t = mean(cfg, 1, |rng| fs.read_frame(&mut disk, cfg.frame_bytes, rng));
+    let host_t = mean(cfg, 2, |_| cpu.frame_send_time(cfg.frame_bytes));
+    let net_t = mean(cfg, 3, |_| eth.end_to_end(cfg.frame_bytes));
+    breakdown(disk_t, host_t, SimDuration::ZERO, net_t)
+}
+
+/// Path C (Experiment II): NI-attached disk, NI CPU, network. "Bus
+/// activity is reduced to a minimum by disabling other cards"; the NI's
+/// dosFs runs with the data cache disabled.
+pub fn path_c(cfg: &PathConfig) -> PathBreakdown {
+    let mut disk = ScsiDisk::new();
+    let fs = Filesystem::dosfs();
+    let mut eth = Ethernet::new(); // NI firmware sender
+
+    let disk_t = mean(cfg, 1, |rng| fs.read_frame(&mut disk, cfg.frame_bytes, rng));
+    let net_t = mean(cfg, 3, |_| eth.end_to_end(cfg.frame_bytes));
+    breakdown(disk_t, SimDuration::ZERO, SimDuration::ZERO, net_t)
+}
+
+/// Path B (Experiment III): disk on one NI, PCI peer-to-peer DMA to the
+/// scheduler NI, then the network. "This transfer does not involve
+/// consumption of host memory, host CPU cycles or host system bus
+/// bandwidth."
+pub fn path_b(cfg: &PathConfig) -> PathBreakdown {
+    let mut disk = ScsiDisk::new();
+    let fs = Filesystem::dosfs();
+    let mut bus = PciBus::new();
+    let mut eth = Ethernet::new();
+
+    let disk_t = mean(cfg, 1, |rng| fs.read_frame(&mut disk, cfg.frame_bytes, rng));
+    let pci_t = mean(cfg, 2, |_| bus.dma_time(cfg.frame_bytes));
+    let net_t = mean(cfg, 3, |_| eth.end_to_end(cfg.frame_bytes));
+    breakdown(disk_t, SimDuration::ZERO, pci_t, net_t)
+}
+
+/// The host-NIC (Intel 82557 + Solaris stack) Ethernet variant used by
+/// Path A.
+fn host_sender_eth() -> Ethernet {
+    let mut eth = Ethernet::new();
+    eth.send_stack = SimDuration::from_micros(100);
+    eth.recv_stack = SimDuration::from_micros(450);
+    eth
+}
+
+/// Table 5 rows: the raw PCI card-to-card benchmarks.
+#[derive(Clone, Copy, Debug)]
+pub struct Table5 {
+    /// DMA time for the 773 665-byte MPEG file (µs).
+    pub file_dma_us: f64,
+    /// Effective bandwidth of that transfer (MB/s).
+    pub file_dma_mbps: f64,
+    /// PIO word read (µs).
+    pub pio_read_us: f64,
+    /// PIO word write (µs).
+    pub pio_write_us: f64,
+}
+
+/// Run the Table 5 benchmarks.
+pub fn table5() -> Table5 {
+    let mut bus = PciBus::new();
+    let t = bus.dma_time(773_665);
+    Table5 {
+        file_dma_us: t.as_micros_f64(),
+        file_dma_mbps: 773_665.0 / t.as_secs_f64() / 1e6,
+        pio_read_us: bus.pio_read_time(1).as_micros_f64(),
+        pio_write_us: bus.pio_write_time(1).as_micros_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PathConfig {
+        PathConfig::default()
+    }
+
+    #[test]
+    fn path_a_ufs_lands_near_1ms() {
+        let b = path_a_ufs(&cfg());
+        assert!((0.7..=1.5).contains(&b.total_ms), "Table 4: ≈1 ms, got {:.2}", b.total_ms);
+    }
+
+    #[test]
+    fn path_a_vxfs_lands_near_8ms() {
+        let b = path_a_vxfs(&cfg());
+        assert!((6.5..=9.0).contains(&b.total_ms), "Table 4: ≈8 ms, got {:.2}", b.total_ms);
+    }
+
+    #[test]
+    fn path_c_lands_near_5_4ms() {
+        let b = path_c(&cfg());
+        assert!((5.0..=5.8).contains(&b.total_ms), "Table 4: 5.4 ms, got {:.2}", b.total_ms);
+        assert!((3.9..=4.5).contains(&b.disk_ms), "disk ≈4.2 ms, got {:.2}", b.disk_ms);
+        assert!((1.0..=1.3).contains(&b.net_ms), "net ≈1.2 ms, got {:.2}", b.net_ms);
+        assert_eq!(b.host_ms, 0.0, "no host CPU on Path C");
+    }
+
+    #[test]
+    fn path_b_is_path_c_plus_15us() {
+        let b = path_b(&cfg());
+        let c = path_c(&cfg());
+        assert!((5.0..=5.8).contains(&b.total_ms), "Table 4: 5.415 ms, got {:.2}", b.total_ms);
+        let extra_ms = b.total_ms - c.total_ms;
+        assert!((0.010..=0.025).contains(&extra_ms), "PCI hop ≈0.015 ms, got {extra_ms:.4}");
+        assert!((0.014..=0.017).contains(&b.pci_ms));
+    }
+
+    #[test]
+    fn ni_paths_beat_host_vxfs_path_but_lose_to_ufs() {
+        // The paper's punchline for Table 4: with the same filesystem the
+        // NI path wins big (5.4 vs 8 ms); a cached host UFS beats both.
+        let ufs = path_a_ufs(&cfg()).total_ms;
+        let vxfs = path_a_vxfs(&cfg()).total_ms;
+        let ni = path_c(&cfg()).total_ms;
+        assert!(ni < vxfs, "NI {ni:.2} < host-vxfs {vxfs:.2}");
+        assert!(ufs < ni, "cached UFS {ufs:.2} < NI {ni:.2}");
+    }
+
+    #[test]
+    fn table5_matches_paper() {
+        let t = table5();
+        assert!((11_600.0..=11_750.0).contains(&t.file_dma_us), "{:.2}", t.file_dma_us);
+        assert!((65.5..=66.5).contains(&t.file_dma_mbps), "{:.2}", t.file_dma_mbps);
+        assert!((t.pio_read_us - 3.6).abs() < 0.01);
+        assert!((t.pio_write_us - 3.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = path_c(&cfg());
+        let b = path_c(&cfg());
+        assert_eq!(a.total_ms, b.total_ms);
+    }
+}

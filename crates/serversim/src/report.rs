@@ -1,0 +1,174 @@
+//! Collectors and formatting shared by the experiment binaries.
+
+use simkit::{SimDuration, SimTime, Trace};
+
+/// Windowed rate collector: accumulate byte counts, emit one bits/second
+/// sample per window — how the figures' "Bandwidth (bps)" traces are made.
+pub struct RateWindow {
+    window: SimDuration,
+    window_start: SimTime,
+    bytes_in_window: u64,
+    trace: Trace,
+}
+
+impl RateWindow {
+    /// Collector with the given window (the figures use 1 s).
+    pub fn new(window: SimDuration) -> RateWindow {
+        RateWindow {
+            window,
+            window_start: SimTime::ZERO,
+            bytes_in_window: 0,
+            trace: Trace::new(),
+        }
+    }
+
+    /// Record `bytes` delivered at time `t`.
+    pub fn record(&mut self, t: SimTime, bytes: u64) {
+        self.roll(t);
+        self.bytes_in_window += bytes;
+    }
+
+    fn roll(&mut self, t: SimTime) {
+        while t.since(self.window_start) >= self.window {
+            let end = self.window_start + self.window;
+            let bps = self.bytes_in_window as f64 * 8.0 / self.window.as_secs_f64();
+            self.trace.push(end, bps);
+            self.window_start = end;
+            self.bytes_in_window = 0;
+        }
+    }
+
+    /// Close out at `t` and return the bps trace.
+    pub fn finish(mut self, t: SimTime) -> Trace {
+        self.roll(t);
+        self.trace
+    }
+}
+
+/// Average several traces pointwise (they must share sampling instants,
+/// which our samplers guarantee by construction). Used to aggregate
+/// per-CPU utilization into the total Perfmeter-style series of Figure 6.
+pub fn average_traces(traces: &[Trace]) -> Trace {
+    let mut out = Trace::new();
+    let Some(first) = traces.first() else {
+        return out;
+    };
+    for (i, &(t, _)) in first.points().iter().enumerate() {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for tr in traces {
+            if let Some(&(_, v)) = tr.points().get(i) {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            out.push(t, sum / n as f64);
+        }
+    }
+    out
+}
+
+/// Render an aligned text table: `header` then rows. Column widths adapt
+/// to content. Used by every `repro_*` binary so outputs diff cleanly.
+pub fn format_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncol) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let rule: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    out.push_str(&rule);
+    out.push('\n');
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&rule);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_nanos(s * 1_000_000_000)
+    }
+
+    #[test]
+    fn rate_window_computes_bps() {
+        let mut rw = RateWindow::new(SimDuration::from_secs(1));
+        // 32 500 bytes each second = 260 kb/s.
+        for sec in 0..5u64 {
+            for _ in 0..10 {
+                rw.record(t(sec) + SimDuration::from_millis(50), 3_250);
+            }
+        }
+        let tr = rw.finish(t(5));
+        assert_eq!(tr.len(), 5);
+        for &(_, bps) in tr.points() {
+            assert!((bps - 260_000.0).abs() < 1e-6, "got {bps}");
+        }
+    }
+
+    #[test]
+    fn rate_window_empty_windows_are_zero() {
+        let mut rw = RateWindow::new(SimDuration::from_secs(1));
+        rw.record(t(0) + SimDuration::from_millis(1), 1_000);
+        rw.record(t(3) + SimDuration::from_millis(1), 1_000);
+        let tr = rw.finish(t(4));
+        let vals: Vec<f64> = tr.points().iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![8_000.0, 0.0, 0.0, 8_000.0]);
+    }
+
+    #[test]
+    fn averaging_traces() {
+        let mut a = Trace::new();
+        let mut b = Trace::new();
+        for s in 1..=3u64 {
+            a.push(t(s), 10.0);
+            b.push(t(s), 30.0);
+        }
+        let avg = average_traces(&[a, b]);
+        assert_eq!(avg.len(), 3);
+        for &(_, v) in avg.points() {
+            assert_eq!(v, 20.0);
+        }
+    }
+
+    #[test]
+    fn table_formatting_aligns() {
+        let s = format_table(
+            "Table X",
+            &["Microbenchmark", "us"],
+            &[
+                vec!["Total Sched time".into(), "16425.36".into()],
+                vec!["Avg".into(), "108.48".into()],
+            ],
+        );
+        assert!(s.contains("Table X"));
+        assert!(s.contains("| 16425.36"));
+        let lines: Vec<&str> = s.lines().collect();
+        // All data lines equal width.
+        assert_eq!(lines[2].len(), lines[4].len());
+    }
+}

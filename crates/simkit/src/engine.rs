@@ -1,0 +1,297 @@
+//! The event-scheduling executive.
+//!
+//! A binary heap of `(time, sequence, event)` entries. The sequence number
+//! makes simultaneous events fire in scheduling order (FIFO-stable), which
+//! the hardware models rely on for determinism (e.g. two DMA completions in
+//! the same nanosecond).
+//!
+//! Events are boxed `FnOnce(&mut W, &mut Engine<W>)` closures: the *world*
+//! `W` is whatever struct the caller composes out of hardware models, and
+//! the engine hands it back mutably to each event together with itself so
+//! the event can schedule follow-ups. Keeping the world outside the engine
+//! avoids interior mutability entirely.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A scheduled event: a one-shot closure over the world and the engine.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+/// Identifier of a scheduled event, usable with [`Engine::cancel`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first, and
+        // among equals lowest sequence first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event engine for worlds of type `W`.
+pub struct Engine<W> {
+    now: SimTime,
+    heap: BinaryHeap<Entry<W>>,
+    seq: u64,
+    cancelled: HashSet<u64>,
+    fired: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// A fresh engine at t = 0 with an empty calendar.
+    pub fn new() -> Engine<W> {
+        Engine {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            cancelled: HashSet::new(),
+            fired: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far (diagnostics).
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Schedule `f` at absolute time `at`. Scheduling in the past is a logic
+    /// error in a model; it fires immediately at `now` instead (clamped) and
+    /// is flagged in debug builds.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Engine<W>) + 'static) -> EventId {
+        debug_assert!(at >= self.now, "event scheduled in the past: {at:?} < {:?}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, f: Box::new(f) });
+        EventId(seq)
+    }
+
+    /// Schedule `f` after a delay from now.
+    pub fn schedule_in(&mut self, dt: SimDuration, f: impl FnOnce(&mut W, &mut Engine<W>) + 'static) -> EventId {
+        self.schedule_at(self.now + dt, f)
+    }
+
+    /// Schedule `f` at the current instant, after all already-queued events
+    /// for this instant (FIFO ordering by sequence).
+    pub fn schedule_now(&mut self, f: impl FnOnce(&mut W, &mut Engine<W>) + 'static) -> EventId {
+        self.schedule_at(self.now, f)
+    }
+
+    /// Cancel a pending event. Cancelling an already-fired or unknown id is
+    /// a no-op (timers race with their own expiry; that is normal).
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Fire the next event, if any. Returns `false` when the calendar is
+    /// exhausted.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            self.fired += 1;
+            (entry.f)(world, self);
+            return true;
+        }
+        false
+    }
+
+    /// Run until the calendar is empty.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Run while events exist at or before `t`; then advance the clock to
+    /// exactly `t` (even if the calendar goes quiet earlier).
+    pub fn run_until(&mut self, world: &mut W, t: SimTime) {
+        while let Some(next) = self.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step(world);
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Run at most `n` events (watchdog for potentially livelocked models).
+    /// Returns the number actually fired.
+    pub fn run_steps(&mut self, world: &mut W, n: u64) -> u64 {
+        let mut fired = 0;
+        while fired < n && self.step(world) {
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Time of the next pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.schedule_at(at(30), |w: &mut World, e| w.log.push((e.now().as_nanos(), "c")));
+        eng.schedule_at(at(10), |w: &mut World, e| w.log.push((e.now().as_nanos(), "a")));
+        eng.schedule_at(at(20), |w: &mut World, e| w.log.push((e.now().as_nanos(), "b")));
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!(eng.events_fired(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        for name in ["first", "second", "third"] {
+            eng.schedule_at(at(5), move |w: &mut World, _| w.log.push((5, name)));
+        }
+        eng.run(&mut w);
+        assert_eq!(w.log.iter().map(|&(_, n)| n).collect::<Vec<_>>(), ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.schedule_at(at(1), |_w: &mut World, e| {
+            e.schedule_in(SimDuration::from_nanos(9), |w: &mut World, e| {
+                w.log.push((e.now().as_nanos(), "chained"));
+            });
+        });
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(10, "chained")]);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let id = eng.schedule_at(at(10), |w: &mut World, _| w.log.push((10, "no")));
+        eng.schedule_at(at(20), |w: &mut World, _| w.log.push((20, "yes")));
+        eng.cancel(id);
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(20, "yes")]);
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.schedule_at(at(10), |w: &mut World, _| w.log.push((10, "in")));
+        eng.schedule_at(at(100), |w: &mut World, _| w.log.push((100, "out")));
+        eng.run_until(&mut w, at(50));
+        assert_eq!(w.log, vec![(10, "in")]);
+        assert_eq!(eng.now(), at(50));
+        eng.run(&mut w);
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn run_until_advances_even_when_quiet() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.run_until(&mut w, at(1_000));
+        assert_eq!(eng.now(), at(1_000));
+    }
+
+    #[test]
+    fn step_returns_false_on_empty() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        assert!(!eng.step(&mut w));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut eng: Engine<World> = Engine::new();
+        let id = eng.schedule_at(at(5), |_: &mut World, _| {});
+        eng.schedule_at(at(7), |_: &mut World, _| {});
+        eng.cancel(id);
+        assert_eq!(eng.peek_time(), Some(at(7)));
+    }
+
+    #[test]
+    fn run_steps_bounds_execution() {
+        // A self-rescheduling event would otherwise run forever.
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        fn tick(w: &mut World, e: &mut Engine<World>) {
+            w.log.push((e.now().as_nanos(), "tick"));
+            e.schedule_in(SimDuration::from_nanos(1), tick);
+        }
+        eng.schedule_at(at(0), tick);
+        let fired = eng.run_steps(&mut w, 5);
+        assert_eq!(fired, 5);
+        assert_eq!(w.log.len(), 5);
+    }
+}

@@ -1,0 +1,44 @@
+//! # simkit — a deterministic discrete-event simulation kernel
+//!
+//! The paper's evaluation ran on hardware that no longer exists (Intel i960RD
+//! I2O network interfaces in a Quad Pentium Pro Solaris x86 host). Every
+//! experiment in this repository therefore runs on a *calibrated model* of
+//! that hardware, and this crate is the kernel those models are built on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution virtual clock.
+//!   All paper quantities (µs scheduling overheads, ms disk accesses, Mb/s
+//!   links) are exactly representable.
+//! * [`Engine`] — a classic event-scheduling executive: a priority queue of
+//!   `(time, seq, closure)` entries, FIFO-stable among simultaneous events,
+//!   with cancellable timers. The engine is generic over the *world* type so
+//!   hardware models compose as plain Rust structs with no `Rc<RefCell<…>>`
+//!   plumbing.
+//! * [`Resource`] — a FIFO-granted exclusive resource (PCI bus arbitration,
+//!   disk head, CPU) with built-in busy-time and queue-length accounting.
+//! * [`rng`] — a self-contained PCG32 RNG plus the distributions the
+//!   workload models need (uniform, exponential, bounded Pareto, normal).
+//!   Determinism across runs and platforms is a requirement: every
+//!   experiment binary seeds explicitly and reproduces byte-identical
+//!   output.
+//! * [`stats`] — time-series traces, windowed utilization sampling,
+//!   log-binned histograms, and summary reducers used to regenerate the
+//!   paper's figures.
+//!
+//! The kernel is deliberately single-threaded: experiment *sweeps* are
+//! parallelised across OS processes/threads by the harness, while each
+//! simulated world stays sequential and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Engine, EventFn, EventId};
+pub use resource::Resource;
+pub use rng::Pcg32;
+pub use stats::{Counter, Histogram, Summary, Trace, UtilizationSampler};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,216 @@
+//! Deterministic random numbers for the workload models.
+//!
+//! A self-contained PCG32 keeps every experiment byte-reproducible across
+//! platforms and crate upgrades (an external RNG crate changing its stream
+//! between versions would silently change "measured" figures). The
+//! distributions are exactly the ones the web/media workload generators
+//! need: uniform, exponential (Poisson arrivals), bounded Pareto (web file
+//! sizes), and normal (timing noise).
+
+/// PCG-XSH-RR 64/32 (O'Neill 2014). Small, fast, statistically solid.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Seed with a seed value and stream id. Different streams are
+    /// independent; experiments use one stream per model component.
+    pub fn new(seed: u64, stream: u64) -> Pcg32 {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Convenience: stream 0.
+    pub fn seeded(seed: u64) -> Pcg32 {
+        Pcg32::new(seed, 0)
+    }
+
+    /// Next raw 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next raw 64-bit output (two draws).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform in `[0, bound)` via Lemire's multiply-shift with rejection
+    /// (unbiased).
+    pub fn below(&mut self, bound: u32) -> u32 {
+        debug_assert!(bound > 0);
+        let mut x = self.next_u32();
+        let mut m = u64::from(x) * u64::from(bound);
+        let mut lo = m as u32;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u32();
+                m = u64::from(x) * u64::from(bound);
+                lo = m as u32;
+            }
+        }
+        (m >> 32) as u32
+    }
+
+    /// Uniform in `[lo, hi]` inclusive.
+    pub fn range_inclusive(&mut self, lo: u32, hi: u32) -> u32 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)` with 53-bit resolution.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `(0, 1]` (safe for `ln`).
+    #[inline]
+    pub fn f64_open(&mut self) -> f64 {
+        1.0 - self.f64()
+    }
+
+    /// Exponential with the given mean (inter-arrival times).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        -mean * self.f64_open().ln()
+    }
+
+    /// Bounded Pareto on `[lo, hi]` with shape `alpha` — the standard heavy
+    /// tail for web object sizes (httperf-style load realism).
+    pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        debug_assert!(alpha > 0.0 && lo > 0.0 && hi > lo);
+        let u = self.f64();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha);
+        x.clamp(lo, hi)
+    }
+
+    /// Normal via Box–Muller (timing noise around mean costs).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = self.f64_open();
+        let u2 = self.f64();
+        mean + std_dev * (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+
+    /// Bernoulli with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u32 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Pcg32::new(42, 7);
+        let mut b = Pcg32::new(42, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = Pcg32::new(42, 1);
+        let mut b = Pcg32::new(42, 2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should be effectively independent");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Pcg32::seeded(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = Pcg32::seeded(2);
+        for _ in 0..1_000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+            let w = rng.f64_open();
+            assert!(w > 0.0 && w <= 1.0);
+        }
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut rng = Pcg32::seeded(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exp(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_bounds_and_skews_low() {
+        let mut rng = Pcg32::seeded(4);
+        let mut below_mid = 0;
+        for _ in 0..5_000 {
+            let v = rng.bounded_pareto(1.2, 1_000.0, 1_000_000.0);
+            assert!((1_000.0..=1_000_000.0).contains(&v));
+            if v < 500_500.0 {
+                below_mid += 1;
+            }
+        }
+        assert!(below_mid > 4_500, "heavy tail: mass concentrates near lo ({below_mid})");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Pcg32::seeded(5);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg32::seeded(6);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "astronomically unlikely identity");
+    }
+}

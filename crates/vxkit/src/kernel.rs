@@ -1,0 +1,1008 @@
+//! The wind-style kernel: 256-priority preemptive scheduler.
+//!
+//! Execution model: the embedding (an `hwsim` CPU model, or a bare test
+//! loop) repeatedly calls [`Kernel::step`], which polls the
+//! highest-priority ready task once and reports the cycles consumed; the
+//! embedding converts cycles to simulated time and calls
+//! [`Kernel::tick_announce`] at every tick boundary (VxWorks `sysClkRate`,
+//! 60 Hz by default). Device interrupts are injected through the ISR-level
+//! entry points ([`Kernel::isr_sem_give`], [`Kernel::isr_msg_send`]), which
+//! may ready a higher-priority task — the next `step` then context-switches
+//! exactly like `windExit` would.
+//!
+//! Blocking is Mesa-style: a task that pends is readied when the object is
+//! signalled and *re-attempts* its operation; a higher-priority task may
+//! win the race, in which case the waiter re-pends. This matches the
+//! retry discipline of real condition-style synchronisation and keeps the
+//! kernel single-owner (no token teleportation).
+
+use crate::sync::{MsgQueue, QId, SemId, SemKind, Semaphore};
+use crate::task::{BlockOn, StepResult, TaskBody, TaskCtx, TaskId, TaskState};
+use crate::timer::{IsrAction, Watchdog, WatchdogId};
+use std::collections::VecDeque;
+
+/// Number of priority levels (VxWorks: 0 = highest, 255 = lowest).
+pub const PRIORITY_LEVELS: usize = 256;
+
+/// Kernel configuration.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// CPU clock (66 MHz on the i960RD I2O card).
+    pub cpu_hz: u64,
+    /// System clock rate (`sysClkRateGet`, default 60 Hz).
+    pub tick_hz: u64,
+    /// Cycles charged per context switch (register save/restore + queue
+    /// manipulation; small on the shallow-pipeline i960, see §1 of the
+    /// paper on why host-CPU switches are *much* worse).
+    pub context_switch_cycles: u64,
+    /// Round-robin time slice in ticks for equal-priority tasks
+    /// (`kernelTimeSlice`); `None` = FIFO within priority.
+    pub round_robin_ticks: Option<u64>,
+}
+
+impl Default for KernelConfig {
+    fn default() -> KernelConfig {
+        KernelConfig {
+            cpu_hz: 66_000_000,
+            tick_hz: 60,
+            context_switch_cycles: 250,
+            round_robin_ticks: Some(1),
+        }
+    }
+}
+
+/// What one [`Kernel::step`] did.
+#[derive(Debug, PartialEq, Eq)]
+pub enum KernelEvent {
+    /// A task ran for `cycles` (including `switch_cycles` if a context
+    /// switch occurred).
+    Ran {
+        /// The task that ran.
+        task: TaskId,
+        /// Total cycles consumed, context switch included.
+        cycles: u64,
+        /// Whether a context switch preceded the poll.
+        switched: bool,
+    },
+    /// No task is ready; the embedding should advance time to the next
+    /// tick (or next external event) and call [`Kernel::tick_announce`].
+    Idle,
+}
+
+/// Where a pended task waits (for timeout-driven removal).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PendingOn {
+    Sem(SemId),
+    Recv(QId),
+    Send(QId),
+}
+
+struct Tcb {
+    name: String,
+    base_priority: u8,
+    /// Effective priority (≤ base under priority inheritance).
+    priority: u8,
+    state: TaskState,
+    delayed_until: Option<u64>,
+    /// Tick at which a pend times out (`semTake(sem, ticks)` semantics).
+    timeout_at: Option<u64>,
+    /// Object the task pends on (timeout removal needs to find it).
+    pending_on: Option<PendingOn>,
+    /// Set when the last pend ended by timeout rather than signal —
+    /// bodies observe it through [`TaskCtx::take_timed_out`].
+    timed_out: bool,
+    /// Value a blocked `msgQSend` is waiting to deliver.
+    pending_send: Option<(QId, u64)>,
+    /// Cycles consumed by this task's body (excl. switches).
+    cpu_cycles: u64,
+    /// Times this task was readied.
+    wakeups: u64,
+}
+
+struct ReadyQueue {
+    levels: Vec<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn new() -> ReadyQueue {
+        ReadyQueue {
+            levels: (0..PRIORITY_LEVELS).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    fn push_back(&mut self, prio: u8, t: TaskId) {
+        self.levels[prio as usize].push_back(t);
+    }
+
+    fn push_front(&mut self, prio: u8, t: TaskId) {
+        self.levels[prio as usize].push_front(t);
+    }
+
+    fn best(&self) -> Option<(u8, TaskId)> {
+        self.levels
+            .iter()
+            .enumerate()
+            .find_map(|(p, q)| q.front().map(|&t| (p as u8, t)))
+    }
+
+    fn remove(&mut self, prio: u8, t: TaskId) {
+        self.levels[prio as usize].retain(|&x| x != t);
+    }
+
+    fn rotate(&mut self, prio: u8) {
+        let q = &mut self.levels[prio as usize];
+        if q.len() > 1 {
+            let front = q.pop_front().expect("len > 1");
+            q.push_back(front);
+        }
+    }
+
+    fn peers(&self, prio: u8) -> usize {
+        self.levels[prio as usize].len()
+    }
+}
+
+/// The kernel.
+pub struct Kernel {
+    cfg: KernelConfig,
+    tcbs: Vec<Tcb>,
+    bodies: Vec<Option<Box<dyn TaskBody>>>,
+    ready: ReadyQueue,
+    sems: Vec<Semaphore>,
+    queues: Vec<MsgQueue>,
+    watchdogs: Vec<Watchdog>,
+    tick: u64,
+    current: Option<TaskId>,
+    slice_start_tick: u64,
+    total_cycles: u64,
+    idle_polls: u64,
+    switches: u64,
+}
+
+impl Kernel {
+    /// A kernel with the given configuration and no tasks.
+    pub fn new(cfg: KernelConfig) -> Kernel {
+        Kernel {
+            cfg,
+            tcbs: Vec::new(),
+            bodies: Vec::new(),
+            ready: ReadyQueue::new(),
+            sems: Vec::new(),
+            queues: Vec::new(),
+            watchdogs: Vec::new(),
+            tick: 0,
+            current: None,
+            slice_start_tick: 0,
+            total_cycles: 0,
+            idle_polls: 0,
+            switches: 0,
+        }
+    }
+
+    /// `taskSpawn`: create a ready task at `priority` (0 = highest).
+    pub fn spawn(&mut self, priority: u8, body: Box<dyn TaskBody>) -> TaskId {
+        let id = TaskId(self.tcbs.len() as u32);
+        self.tcbs.push(Tcb {
+            name: body.name().to_string(),
+            base_priority: priority,
+            priority,
+            state: TaskState::Ready,
+            delayed_until: None,
+            timeout_at: None,
+            pending_on: None,
+            timed_out: false,
+            pending_send: None,
+            cpu_cycles: 0,
+            wakeups: 0,
+        });
+        self.bodies.push(Some(body));
+        self.ready.push_back(priority, id);
+        id
+    }
+
+    /// `semBCreate` / `semCCreate` / `semMCreate`.
+    pub fn create_sem(&mut self, kind: SemKind, initial: u32) -> SemId {
+        self.sems.push(Semaphore::new(kind, initial));
+        SemId((self.sems.len() - 1) as u32)
+    }
+
+    /// `msgQCreate`.
+    pub fn create_queue(&mut self, capacity: usize) -> QId {
+        self.queues.push(MsgQueue::new(capacity));
+        QId((self.queues.len() - 1) as u32)
+    }
+
+    /// `wdCreate`.
+    pub fn create_watchdog(&mut self) -> WatchdogId {
+        self.watchdogs.push(Watchdog::disarmed());
+        WatchdogId((self.watchdogs.len() - 1) as u32)
+    }
+
+    /// `wdStart` from task or ISR level.
+    pub fn wd_start(&mut self, wd: WatchdogId, delay_ticks: u64, action: IsrAction) {
+        let dog = &mut self.watchdogs[wd.0 as usize];
+        dog.fire_at = Some(self.tick + delay_ticks.max(1));
+        dog.action = action;
+    }
+
+    /// Arm a periodic watchdog.
+    pub fn wd_start_periodic(&mut self, wd: WatchdogId, period_ticks: u64, action: IsrAction) {
+        let period = period_ticks.max(1);
+        let dog = &mut self.watchdogs[wd.0 as usize];
+        dog.fire_at = Some(self.tick + period);
+        dog.action = action;
+        dog.period = Some(period);
+    }
+
+    /// `wdCancel`.
+    pub fn wd_cancel(&mut self, wd: WatchdogId) {
+        self.watchdogs[wd.0 as usize] = Watchdog::disarmed();
+    }
+
+    /// ISR-level `semGive` (device interrupt, or another CPU's doorbell).
+    pub fn isr_sem_give(&mut self, sem: SemId) {
+        if let Some(waiter) = self.sems[sem.0 as usize].give(None) {
+            self.make_ready(waiter);
+        }
+        self.apply_inheritance(sem);
+    }
+
+    /// ISR-level `msgQSend(NO_WAIT)`.
+    pub fn isr_msg_send(&mut self, q: QId, msg: u64) -> bool {
+        let ok = self.queues[q.0 as usize].send_nowait(msg);
+        if ok {
+            if let Some(waiter) = self.queues[q.0 as usize].recv_waiters.pop() {
+                self.make_ready(waiter);
+            }
+        }
+        ok
+    }
+
+    /// Drain a message from a queue at ISR/embedding level.
+    pub fn isr_msg_recv(&mut self, q: QId) -> Option<u64> {
+        let msg = self.queues[q.0 as usize].recv_nowait();
+        if msg.is_some() {
+            // Space freed: wake a blocked sender.
+            if let Some((task, _)) = self.queues[q.0 as usize].send_waiters.first().copied() {
+                self.queues[q.0 as usize].send_waiters.remove(0);
+                self.make_ready(task);
+            }
+        }
+        msg
+    }
+
+    /// Execute one poll of the best ready task.
+    pub fn step(&mut self) -> KernelEvent {
+        let Some((prio, task)) = self.ready.best() else {
+            self.idle_polls += 1;
+            return KernelEvent::Idle;
+        };
+        let switched = self.current != Some(task);
+        let mut cycles = 0;
+        if switched {
+            cycles += self.cfg.context_switch_cycles;
+            self.switches += 1;
+            self.current = Some(task);
+            self.slice_start_tick = self.tick;
+        }
+
+        // Poll the body through a context façade that borrows the kernel
+        // around the body (the body itself is taken out during the call).
+        let mut body = self.bodies[task.index()].take().expect("ready task has a body");
+        let result = {
+            let mut ctx = Ctx { k: self, me: task };
+            body.step(&mut ctx)
+        };
+        self.bodies[task.index()] = Some(body);
+
+        let body_cycles = match &result {
+            StepResult::Ran { cycles }
+            | StepResult::Yield { cycles }
+            | StepResult::Block { cycles, .. }
+            | StepResult::Exit { cycles } => *cycles,
+        };
+        cycles += body_cycles;
+        self.tcbs[task.index()].cpu_cycles += body_cycles;
+        self.total_cycles += cycles;
+
+        match result {
+            StepResult::Ran { .. } => {}
+            StepResult::Yield { .. } => {
+                self.ready.rotate(prio);
+                self.current = None;
+            }
+            StepResult::Block { on, .. } => self.block(task, prio, on),
+            StepResult::Exit { .. } => {
+                self.ready.remove(prio, task);
+                self.tcbs[task.index()].state = TaskState::Done;
+                self.bodies[task.index()] = None;
+                self.current = None;
+            }
+        }
+        KernelEvent::Ran { task, cycles, switched }
+    }
+
+    fn block(&mut self, task: TaskId, prio: u8, on: BlockOn) {
+        // Leaving the ready queue in all cases below.
+        let pend = |k: &mut Kernel| {
+            k.ready.remove(prio, task);
+            k.tcbs[task.index()].state = TaskState::Pended;
+            k.current = None;
+        };
+        match on {
+            BlockOn::Delay(n) => {
+                if n == 0 {
+                    self.ready.rotate(prio);
+                    self.current = None;
+                    return;
+                }
+                self.ready.remove(prio, task);
+                self.tcbs[task.index()].state = TaskState::Delayed;
+                self.tcbs[task.index()].delayed_until = Some(self.tick + n);
+                self.current = None;
+            }
+            BlockOn::SemTake(sem, timeout) => {
+                // Mesa: if it became available since the body checked,
+                // stay ready and let the body retry.
+                if self.sems[sem.0 as usize].count > 0 {
+                    return;
+                }
+                pend(self);
+                let p = self.tcbs[task.index()].priority;
+                self.sems[sem.0 as usize].waiters.push(task, p);
+                self.arm_timeout(task, PendingOn::Sem(sem), timeout);
+                self.boost_owner(sem, p);
+            }
+            BlockOn::MsgRecv(q, timeout) => {
+                if !self.queues[q.0 as usize].is_empty() {
+                    return;
+                }
+                pend(self);
+                let p = self.tcbs[task.index()].priority;
+                self.queues[q.0 as usize].recv_waiters.push(task, p);
+                self.arm_timeout(task, PendingOn::Recv(q), timeout);
+            }
+            BlockOn::MsgSend(q, timeout) => {
+                let _ = timeout; // armed below once actually pended
+                // The value to send rides in pending_send; delivered by
+                // the kernel when space appears.
+                let Some((_, msg)) = self.tcbs[task.index()].pending_send else {
+                    return; // body forgot to stage the message: treat as ready
+                };
+                if self.queues[q.0 as usize].send_nowait(msg) {
+                    self.tcbs[task.index()].pending_send = None;
+                    if let Some(w) = self.queues[q.0 as usize].recv_waiters.pop() {
+                        self.make_ready(w);
+                    }
+                    return;
+                }
+                pend(self);
+                self.queues[q.0 as usize].send_waiters.push((task, msg));
+                self.arm_timeout(task, PendingOn::Send(q), timeout);
+            }
+        }
+    }
+
+    fn arm_timeout(&mut self, task: TaskId, on: PendingOn, timeout: Option<u64>) {
+        let tcb = &mut self.tcbs[task.index()];
+        tcb.pending_on = Some(on);
+        tcb.timeout_at = timeout.map(|t| self.tick + t.max(1));
+    }
+
+    /// Priority inheritance: boost an inversion-safe mutex owner to the
+    /// best waiter priority.
+    fn boost_owner(&mut self, sem: SemId, waiter_prio: u8) {
+        let s = &self.sems[sem.0 as usize];
+        if let SemKind::Mutex { inversion_safe: true } = s.kind {
+            if let Some(owner) = s.owner {
+                let tcb = &mut self.tcbs[owner.index()];
+                if waiter_prio < tcb.priority {
+                    let old = tcb.priority;
+                    tcb.priority = waiter_prio;
+                    if tcb.state == TaskState::Ready {
+                        self.ready.remove(old, owner);
+                        self.ready.push_front(waiter_prio, owner);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restore an owner's base priority when an inversion-safe mutex is no
+    /// longer held by it.
+    fn apply_inheritance(&mut self, sem: SemId) {
+        let s = &self.sems[sem.0 as usize];
+        if let SemKind::Mutex { inversion_safe: true } = s.kind {
+            if s.owner.is_none() {
+                // Whoever gave it may have been boosted; restore every
+                // boosted live task that no longer owns this mutex. (One
+                // mutex per boost in our models; a full implementation
+                // would track boost chains.)
+                for (i, tcb) in self.tcbs.iter_mut().enumerate() {
+                    if tcb.priority < tcb.base_priority && tcb.state != TaskState::Done {
+                        let still_owner = self
+                            .sems
+                            .iter()
+                            .any(|m| matches!(m.kind, SemKind::Mutex { inversion_safe: true }) && m.owner == Some(TaskId(i as u32)) && !m.waiters.is_empty());
+                        if !still_owner {
+                            let old = tcb.priority;
+                            let base = tcb.base_priority;
+                            tcb.priority = base;
+                            if tcb.state == TaskState::Ready {
+                                self.ready.remove(old, TaskId(i as u32));
+                                self.ready.push_back(base, TaskId(i as u32));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn make_ready(&mut self, task: TaskId) {
+        let tcb = &mut self.tcbs[task.index()];
+        if matches!(tcb.state, TaskState::Pended | TaskState::Delayed) {
+            tcb.state = TaskState::Ready;
+            tcb.delayed_until = None;
+            tcb.timeout_at = None;
+            tcb.pending_on = None;
+            tcb.wakeups += 1;
+            self.ready.push_back(tcb.priority, task);
+        }
+    }
+
+    /// Whether the task's last pend ended in a timeout; reading clears it
+    /// (`errno == S_objLib_OBJ_TIMEOUT` semantics).
+    pub fn take_timed_out(&mut self, task: TaskId) -> bool {
+        core::mem::take(&mut self.tcbs[task.index()].timed_out)
+    }
+
+    /// Announce one system clock tick: wake expired delays, fire
+    /// watchdogs, rotate round-robin slices.
+    pub fn tick_announce(&mut self) {
+        self.tick += 1;
+
+        // Delayed tasks.
+        let due: Vec<TaskId> = self
+            .tcbs
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == TaskState::Delayed && t.delayed_until.is_some_and(|d| d <= self.tick))
+            .map(|(i, _)| TaskId(i as u32))
+            .collect();
+        for t in due {
+            self.make_ready(t);
+        }
+
+        // Pend timeouts: remove from the wait queue, flag, ready.
+        let expired: Vec<(TaskId, PendingOn)> = self
+            .tcbs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                (t.state == TaskState::Pended && t.timeout_at.is_some_and(|d| d <= self.tick))
+                    .then_some((TaskId(i as u32), t.pending_on))
+            })
+            .filter_map(|(t, on)| on.map(|o| (t, o)))
+            .collect();
+        for (t, on) in expired {
+            match on {
+                PendingOn::Sem(s) => {
+                    self.sems[s.0 as usize].waiters.remove(t);
+                }
+                PendingOn::Recv(q) => {
+                    self.queues[q.0 as usize].recv_waiters.remove(t);
+                }
+                PendingOn::Send(q) => {
+                    self.queues[q.0 as usize].send_waiters.retain(|&(w, _)| w != t);
+                    self.tcbs[t.index()].pending_send = None;
+                }
+            }
+            self.tcbs[t.index()].timed_out = true;
+            self.make_ready(t);
+        }
+
+        // Watchdogs.
+        for i in 0..self.watchdogs.len() {
+            let fire = self.watchdogs[i].fire_at.is_some_and(|f| f <= self.tick);
+            if fire {
+                let action = self.watchdogs[i].action;
+                match self.watchdogs[i].period {
+                    Some(p) => self.watchdogs[i].fire_at = Some(self.tick + p),
+                    None => self.watchdogs[i].fire_at = None,
+                }
+                match action {
+                    IsrAction::SemGive(s) => self.isr_sem_give(s),
+                    IsrAction::MsgSend(q, m) => {
+                        let _ = self.isr_msg_send(q, m);
+                    }
+                    IsrAction::None => {}
+                }
+            }
+        }
+
+        // Round-robin among equal priorities.
+        if let Some(slice) = self.cfg.round_robin_ticks {
+            if let Some(cur) = self.current {
+                let prio = self.tcbs[cur.index()].priority;
+                if self.tick.saturating_sub(self.slice_start_tick) >= slice && self.ready.peers(prio) > 1 {
+                    self.ready.rotate(prio);
+                    self.current = None;
+                }
+            }
+        }
+    }
+
+    /// Current tick count (`tickGet`).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Total cycles consumed (bodies + switches).
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Context switches performed.
+    pub fn context_switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Cycles consumed by one task's body.
+    pub fn task_cycles(&self, t: TaskId) -> u64 {
+        self.tcbs[t.index()].cpu_cycles
+    }
+
+    /// A task's state.
+    pub fn task_state(&self, t: TaskId) -> TaskState {
+        self.tcbs[t.index()].state
+    }
+
+    /// A task's current (possibly boosted) priority.
+    pub fn task_priority(&self, t: TaskId) -> u8 {
+        self.tcbs[t.index()].priority
+    }
+
+    /// A task's name.
+    pub fn task_name(&self, t: TaskId) -> &str {
+        &self.tcbs[t.index()].name
+    }
+
+    /// Direct queue access for embeddings (depth checks, draining).
+    pub fn queue(&mut self, q: QId) -> &mut MsgQueue {
+        &mut self.queues[q.0 as usize]
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    /// Stage a message for a blocking send from inside a task body, then
+    /// return `Block(MsgSend(..))` from the step.
+    pub fn stage_send(&mut self, task: TaskId, q: QId, msg: u64) {
+        self.tcbs[task.index()].pending_send = Some((q, msg));
+    }
+}
+
+/// Task-level context handed to bodies during a step.
+struct Ctx<'a> {
+    k: &'a mut Kernel,
+    me: TaskId,
+}
+
+impl TaskCtx for Ctx<'_> {
+    fn sem_give(&mut self, sem: SemId) {
+        self.k.isr_sem_give(sem);
+    }
+
+    fn msg_send_nowait(&mut self, q: QId, msg: u64) -> bool {
+        self.k.isr_msg_send(q, msg)
+    }
+
+    fn msg_recv_nowait(&mut self, q: QId) -> Option<u64> {
+        self.k.isr_msg_recv(q)
+    }
+
+    fn sem_take_nowait(&mut self, sem: SemId) -> bool {
+        self.k.sems[sem.0 as usize].try_take(self.me)
+    }
+
+    fn tick_get(&self) -> u64 {
+        self.k.tick
+    }
+
+    fn task_self(&self) -> TaskId {
+        self.me
+    }
+
+    fn wd_start(&mut self, wd: WatchdogId, delay: u64, action: IsrAction) {
+        self.k.wd_start(wd, delay, action);
+    }
+
+    fn wd_cancel(&mut self, wd: WatchdogId) {
+        self.k.wd_cancel(wd);
+    }
+
+    fn take_timed_out(&mut self) -> bool {
+        self.k.take_timed_out(self.me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::FnTask;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn run_budget(k: &mut Kernel, max_steps: u32) {
+        for _ in 0..max_steps {
+            if k.step() == KernelEvent::Idle {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn highest_priority_runs_first() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (name, prio) in [("low", 200u8), ("high", 10), ("mid", 100)] {
+            let log = Rc::clone(&log);
+            k.spawn(
+                prio,
+                Box::new(FnTask::new(name, move |_ctx| {
+                    log.borrow_mut().push(name);
+                    StepResult::Exit { cycles: 100 }
+                })),
+            );
+        }
+        run_budget(&mut k, 10);
+        assert_eq!(*log.borrow(), vec!["high", "mid", "low"]);
+    }
+
+    #[test]
+    fn preemption_via_isr_give() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let sem = k.create_sem(SemKind::Binary, 0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+
+        let l = Rc::clone(&log);
+        let high = k.spawn(
+            10,
+            Box::new(FnTask::new("high", move |ctx| {
+                if ctx.sem_take_nowait(SemId(0)) {
+                    l.borrow_mut().push("high-ran");
+                    StepResult::Exit { cycles: 10 }
+                } else {
+                    StepResult::Block { cycles: 5, on: BlockOn::SemTake(SemId(0), None) }
+                }
+            })),
+        );
+        let l = Rc::clone(&log);
+        k.spawn(
+            100,
+            Box::new(FnTask::new("low", move |_ctx| {
+                l.borrow_mut().push("low-step");
+                StepResult::Ran { cycles: 50 }
+            })),
+        );
+
+        // High blocks on the semaphore; low runs.
+        run_budget(&mut k, 3);
+        assert_eq!(k.task_state(high), TaskState::Pended);
+        assert!(log.borrow().contains(&"low-step"));
+        // Interrupt gives the semaphore: high preempts at the next step.
+        k.isr_sem_give(sem);
+        let e = k.step();
+        match e {
+            KernelEvent::Ran { task, switched, .. } => {
+                assert_eq!(task, high);
+                assert!(switched);
+            }
+            other => panic!("expected high to run, got {other:?}"),
+        }
+        assert!(log.borrow().contains(&"high-ran"));
+    }
+
+    #[test]
+    fn delay_wakes_on_tick() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let t = k.spawn(
+            50,
+            Box::new(FnTask::new("sleeper", |_ctx| StepResult::Block {
+                cycles: 5,
+                on: BlockOn::Delay(3),
+            })),
+        );
+        k.step();
+        assert_eq!(k.task_state(t), TaskState::Delayed);
+        k.tick_announce();
+        k.tick_announce();
+        assert_eq!(k.task_state(t), TaskState::Delayed);
+        k.tick_announce();
+        assert_eq!(k.task_state(t), TaskState::Ready);
+    }
+
+    #[test]
+    fn round_robin_shares_among_equals() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in ["a", "b"] {
+            let log = Rc::clone(&log);
+            k.spawn(
+                50,
+                Box::new(FnTask::new(name, move |_ctx| {
+                    log.borrow_mut().push(name);
+                    StepResult::Ran { cycles: 1000 }
+                })),
+            );
+        }
+        // Run a; tick expires the slice; run b; etc.
+        for _ in 0..4 {
+            k.step();
+            k.tick_announce();
+        }
+        let l = log.borrow();
+        assert!(l.contains(&"a") && l.contains(&"b"), "both ran: {l:?}");
+    }
+
+    #[test]
+    fn fifo_within_priority_without_time_slice() {
+        let cfg = KernelConfig {
+            round_robin_ticks: None,
+            ..KernelConfig::default()
+        };
+        let mut k = Kernel::new(cfg);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in ["a", "b"] {
+            let log = Rc::clone(&log);
+            k.spawn(
+                50,
+                Box::new(FnTask::new(name, move |_ctx| {
+                    log.borrow_mut().push(name);
+                    StepResult::Ran { cycles: 1000 }
+                })),
+            );
+        }
+        for _ in 0..4 {
+            k.step();
+            k.tick_announce();
+        }
+        assert_eq!(*log.borrow(), vec!["a", "a", "a", "a"], "no rotation without slicing");
+    }
+
+    #[test]
+    fn producer_consumer_over_msgq() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let q = k.create_queue(4);
+        let got = Rc::new(RefCell::new(Vec::new()));
+
+        let g = Rc::clone(&got);
+        k.spawn(
+            20,
+            Box::new(FnTask::new("consumer", move |ctx| {
+                match ctx.msg_recv_nowait(QId(0)) {
+                    Some(m) => {
+                        g.borrow_mut().push(m);
+                        if m == 99 {
+                            StepResult::Exit { cycles: 10 }
+                        } else {
+                            StepResult::Ran { cycles: 10 }
+                        }
+                    }
+                    None => StepResult::Block { cycles: 5, on: BlockOn::MsgRecv(QId(0), None) },
+                }
+            })),
+        );
+        let sent = Rc::new(RefCell::new(0u64));
+        let s = Rc::clone(&sent);
+        k.spawn(
+            30,
+            Box::new(FnTask::new("producer", move |ctx| {
+                let mut n = s.borrow_mut();
+                let msg = if *n == 2 { 99 } else { *n };
+                ctx.msg_send_nowait(QId(0), msg);
+                *n += 1;
+                if *n > 2 {
+                    StepResult::Exit { cycles: 10 }
+                } else {
+                    StepResult::Ran { cycles: 10 }
+                }
+            })),
+        );
+        run_budget(&mut k, 50);
+        assert_eq!(*got.borrow(), vec![0, 1, 99]);
+        let _ = q;
+    }
+
+    #[test]
+    fn watchdog_fires_and_wakes_pended_task() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let sem = k.create_sem(SemKind::Binary, 0);
+        let wd = k.create_watchdog();
+        let t = k.spawn(
+            40,
+            Box::new(FnTask::new("waiter", move |ctx| {
+                if ctx.sem_take_nowait(SemId(0)) {
+                    StepResult::Exit { cycles: 10 }
+                } else {
+                    StepResult::Block { cycles: 5, on: BlockOn::SemTake(SemId(0), None) }
+                }
+            })),
+        );
+        k.step();
+        assert_eq!(k.task_state(t), TaskState::Pended);
+        k.wd_start(wd, 2, IsrAction::SemGive(sem));
+        k.tick_announce();
+        assert_eq!(k.task_state(t), TaskState::Pended, "not yet");
+        k.tick_announce();
+        assert_eq!(k.task_state(t), TaskState::Ready, "watchdog gave the sem");
+        run_budget(&mut k, 5);
+        assert_eq!(k.task_state(t), TaskState::Done);
+    }
+
+    #[test]
+    fn periodic_watchdog_refires() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let q = k.create_queue(16);
+        let wd = k.create_watchdog();
+        k.wd_start_periodic(wd, 2, IsrAction::MsgSend(q, 7));
+        for _ in 0..6 {
+            k.tick_announce();
+        }
+        assert_eq!(k.queue(q).len(), 3, "fired at ticks 2, 4, 6");
+    }
+
+    #[test]
+    fn priority_inheritance_boosts_mutex_owner() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let m = k.create_sem(SemKind::Mutex { inversion_safe: true }, 1);
+        // Low-priority task takes the mutex and then runs forever.
+        let low = k.spawn(
+            200,
+            Box::new(FnTask::new("low", move |ctx| {
+                ctx.sem_take_nowait(SemId(0));
+                StepResult::Ran { cycles: 10 }
+            })),
+        );
+        k.step(); // low takes the mutex
+        assert_eq!(k.task_priority(low), 200);
+        // High-priority task arrives and pends on it.
+        let high = k.spawn(
+            10,
+            Box::new(FnTask::new("high", move |ctx| {
+                if ctx.sem_take_nowait(SemId(0)) {
+                    StepResult::Exit { cycles: 5 }
+                } else {
+                    StepResult::Block { cycles: 5, on: BlockOn::SemTake(SemId(0), None) }
+                }
+            })),
+        );
+        k.step(); // high runs, fails take, pends
+        assert_eq!(k.task_state(high), TaskState::Pended);
+        assert_eq!(k.task_priority(low), 10, "owner boosted to waiter priority");
+        let _ = m;
+    }
+
+    #[test]
+    fn context_switches_are_charged() {
+        let mut k = Kernel::new(KernelConfig::default());
+        for name in ["a", "b"] {
+            k.spawn(
+                50,
+                Box::new(FnTask::new(name, |_| StepResult::Yield { cycles: 100 })),
+            );
+        }
+        k.step(); // switch to a (+250) run 100, yield
+        k.step(); // switch to b (+250) run 100, yield
+        assert_eq!(k.context_switches(), 2);
+        assert_eq!(k.total_cycles(), 2 * (250 + 100));
+    }
+
+    #[test]
+    fn sem_take_timeout_expires_and_flags() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let _sem = k.create_sem(SemKind::Binary, 0);
+        let outcomes = Rc::new(RefCell::new(Vec::new()));
+        let o = Rc::clone(&outcomes);
+        let t = k.spawn(
+            30,
+            Box::new(FnTask::new("waiter", move |ctx| {
+                if ctx.take_timed_out() {
+                    o.borrow_mut().push("timed-out");
+                    return StepResult::Exit { cycles: 5 };
+                }
+                if ctx.sem_take_nowait(SemId(0)) {
+                    o.borrow_mut().push("got-it");
+                    StepResult::Exit { cycles: 5 }
+                } else {
+                    StepResult::Block { cycles: 5, on: BlockOn::SemTake(SemId(0), Some(3)) }
+                }
+            })),
+        );
+        k.step();
+        assert_eq!(k.task_state(t), TaskState::Pended);
+        k.tick_announce();
+        k.tick_announce();
+        assert_eq!(k.task_state(t), TaskState::Pended, "not yet expired");
+        k.tick_announce();
+        assert_eq!(k.task_state(t), TaskState::Ready, "timeout readied it");
+        run_budget(&mut k, 3);
+        assert_eq!(*outcomes.borrow(), vec!["timed-out"]);
+        assert_eq!(k.task_state(t), TaskState::Done);
+    }
+
+    #[test]
+    fn signal_beats_timeout() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let sem = k.create_sem(SemKind::Binary, 0);
+        let outcomes = Rc::new(RefCell::new(Vec::new()));
+        let o = Rc::clone(&outcomes);
+        k.spawn(
+            30,
+            Box::new(FnTask::new("waiter", move |ctx| {
+                if ctx.take_timed_out() {
+                    o.borrow_mut().push("timed-out");
+                    return StepResult::Exit { cycles: 5 };
+                }
+                if ctx.sem_take_nowait(SemId(0)) {
+                    o.borrow_mut().push("got-it");
+                    StepResult::Exit { cycles: 5 }
+                } else {
+                    StepResult::Block { cycles: 5, on: BlockOn::SemTake(SemId(0), Some(10)) }
+                }
+            })),
+        );
+        k.step();
+        k.tick_announce();
+        k.isr_sem_give(sem); // signal well before tick 10
+        run_budget(&mut k, 3);
+        assert_eq!(*outcomes.borrow(), vec!["got-it"]);
+        // Later ticks must not re-fire a stale timeout.
+        for _ in 0..15 {
+            k.tick_announce();
+        }
+    }
+
+    #[test]
+    fn recv_timeout_removes_from_wait_queue() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let q = k.create_queue(4);
+        let t = k.spawn(
+            30,
+            Box::new(FnTask::new("rx", move |ctx| {
+                if ctx.take_timed_out() {
+                    return StepResult::Exit { cycles: 5 };
+                }
+                match ctx.msg_recv_nowait(QId(0)) {
+                    Some(_) => StepResult::Exit { cycles: 5 },
+                    None => StepResult::Block { cycles: 5, on: BlockOn::MsgRecv(QId(0), Some(2)) },
+                }
+            })),
+        );
+        k.step();
+        k.tick_announce();
+        k.tick_announce();
+        run_budget(&mut k, 3);
+        assert_eq!(k.task_state(t), TaskState::Done);
+        // The queue's waiter list is clean: a later send just queues.
+        assert!(k.isr_msg_send(q, 1));
+        assert_eq!(k.queue(q).len(), 1);
+    }
+
+    #[test]
+    fn idle_when_everything_blocked() {
+        let mut k = Kernel::new(KernelConfig::default());
+        k.spawn(
+            50,
+            Box::new(FnTask::new("sleeper", |_| StepResult::Block {
+                cycles: 1,
+                on: BlockOn::Delay(100),
+            })),
+        );
+        k.step();
+        assert_eq!(k.step(), KernelEvent::Idle);
+    }
+}

@@ -1,0 +1,47 @@
+//! # vxkit — a VxWorks-like embedded RTOS model
+//!
+//! The paper's NI firmware runs on *"an embedded system configuration of the
+//! VxWorks real-time operating system offering support for memory
+//! management, task creation, deletion, and scheduling, and device access"*,
+//! extended by the authors with a *"fixed-point library …, driver
+//! front-ends …, timestamp counter rollover management, circular queues and
+//! heaps"* (§2). The host-side comparison hinges on the NI kernel running
+//! *"few system tasks (threads) scheduled by the native `wind`
+//! scheduler"* so the DWCS task receives CPU at low variability (§4.2.3).
+//!
+//! This crate models that kernel faithfully enough to reproduce those
+//! effects, deterministic and embeddable in the discrete-event simulation:
+//!
+//! * [`kernel::Kernel`] — a *wind*-style scheduler: 256 priority levels
+//!   (0 highest), strict priority preemption, optional round-robin time
+//!   slicing among equal priorities, context-switch accounting.
+//! * [`task`] — tasks as resumable state machines ([`task::TaskBody`]):
+//!   each step reports cycles consumed and the blocking action taken, so
+//!   the embedding (`hwsim` CPU models) can convert execution into
+//!   simulated time exactly.
+//! * [`sync`] — binary/counting/mutex semaphores (priority-ordered wait
+//!   queues, optional priority inheritance on mutexes) and bounded message
+//!   queues, VxWorks `semLib`/`msgQLib` style.
+//! * [`timer`] — `tickLib` (tick counter + delayed tasks + watchdog
+//!   timers whose expiry routines are restricted to ISR-safe actions, as on
+//!   real VxWorks) and the **timestamp counter rollover manager** the paper
+//!   calls out: a 32-bit cycle counter at CPU frequency wraps in about a
+//!   minute at 66 MHz; [`timer::TimestampManager`] extends it to 64 bits.
+//!
+//! The kernel executes no real machine code — task bodies are Rust closures
+//! over model state — but its *scheduling decisions* (who runs, when, what
+//! blocks, what a context switch costs) are the real thing, which is what
+//! the paper's load-immunity argument rests on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod sync;
+pub mod task;
+pub mod timer;
+
+pub use kernel::{Kernel, KernelConfig, KernelEvent};
+pub use sync::{MsgQueue, QId, SemId, Semaphore};
+pub use task::{BlockOn, StepResult, TaskBody, TaskId, TaskState};
+pub use timer::{IsrAction, TimestampManager, WatchdogId};

@@ -1,0 +1,344 @@
+//! Semaphores and message queues (`semLib` / `msgQLib`).
+//!
+//! Wait queues are **priority-ordered with FIFO tiebreak** (VxWorks
+//! `SEM_Q_PRIORITY`). Mutex semaphores optionally apply **priority
+//! inheritance** (`SEM_INVERSION_SAFE`): while a task holds the mutex, its
+//! effective priority is raised to the highest priority among waiters,
+//! restored on give.
+//!
+//! These structures hold task ids and values only; the kernel performs the
+//! actual ready/pend transitions, so everything here is plain, testable
+//! data manipulation.
+
+use crate::task::TaskId;
+use std::collections::VecDeque;
+
+/// Semaphore identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SemId(pub u32);
+
+/// Message queue identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct QId(pub u32);
+
+/// Semaphore flavours.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SemKind {
+    /// Binary semaphore (event signalling). Gives beyond 1 are lost.
+    Binary,
+    /// Counting semaphore.
+    Counting,
+    /// Mutual-exclusion semaphore with ownership; optionally
+    /// inversion-safe.
+    Mutex {
+        /// Apply priority inheritance while held.
+        inversion_safe: bool,
+    },
+}
+
+/// A wait queue ordered by (priority, FIFO seq).
+#[derive(Debug, Default)]
+pub struct WaitQueue {
+    entries: Vec<(u8, u64, TaskId)>,
+    seq: u64,
+}
+
+impl WaitQueue {
+    /// Enqueue a waiter with its current priority.
+    pub fn push(&mut self, task: TaskId, priority: u8) {
+        let seq = self.seq;
+        self.seq += 1;
+        let pos = self
+            .entries
+            .iter()
+            .position(|&(p, s, _)| (p, s) > (priority, seq))
+            .unwrap_or(self.entries.len());
+        self.entries.insert(pos, (priority, seq, task));
+    }
+
+    /// Remove and return the best waiter.
+    pub fn pop(&mut self) -> Option<TaskId> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0).2)
+        }
+    }
+
+    /// Remove a specific task (timeout or deletion).
+    pub fn remove(&mut self, task: TaskId) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&(_, _, t)| t == task) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Highest waiter priority (lowest number), if any.
+    pub fn best_priority(&self) -> Option<u8> {
+        self.entries.first().map(|&(p, _, _)| p)
+    }
+
+    /// Number of waiters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no tasks wait.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Semaphore control block.
+#[derive(Debug)]
+pub struct Semaphore {
+    /// Flavour.
+    pub kind: SemKind,
+    /// Current count (binary: 0/1; mutex: 1 = free).
+    pub count: u32,
+    /// Pending takers.
+    pub waiters: WaitQueue,
+    /// Mutex owner, if held.
+    pub owner: Option<TaskId>,
+    /// Recursion depth for mutex re-takes by the owner.
+    pub recursion: u32,
+}
+
+impl Semaphore {
+    /// New semaphore with an initial count.
+    pub fn new(kind: SemKind, initial: u32) -> Semaphore {
+        let count = match kind {
+            SemKind::Binary => initial.min(1),
+            SemKind::Counting => initial,
+            SemKind::Mutex { .. } => 1,
+        };
+        Semaphore {
+            kind,
+            count,
+            waiters: WaitQueue::default(),
+            owner: None,
+            recursion: 0,
+        }
+    }
+
+    /// Non-blocking take attempt by `task`. Returns success.
+    pub fn try_take(&mut self, task: TaskId) -> bool {
+        match self.kind {
+            SemKind::Mutex { .. } => {
+                if self.owner == Some(task) {
+                    self.recursion += 1;
+                    true
+                } else if self.count > 0 {
+                    self.count = 0;
+                    self.owner = Some(task);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => {
+                if self.count > 0 {
+                    self.count -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Give, Mesa-style: the token is banked on the semaphore and the best
+    /// waiter (if any) is returned for the kernel to ready — the waiter
+    /// *re-attempts* the take when it next runs, and re-pends if a
+    /// higher-priority task got there first. For mutexes only the owner may
+    /// give; recursion unwinds first.
+    pub fn give(&mut self, giver: Option<TaskId>) -> Option<TaskId> {
+        if let SemKind::Mutex { .. } = self.kind {
+            if let Some(owner) = self.owner {
+                if giver.is_some() && giver != Some(owner) {
+                    return None; // foreign give on a held mutex: ignored
+                }
+                if self.recursion > 0 {
+                    self.recursion -= 1;
+                    return None;
+                }
+            }
+            self.owner = None;
+            self.count = 1;
+            return self.waiters.pop();
+        }
+        self.count = match self.kind {
+            SemKind::Binary => 1,
+            _ => self.count + 1,
+        };
+        self.waiters.pop()
+    }
+}
+
+/// Bounded message queue carrying `u64` message words (the I2O layer packs
+/// descriptors/MFAs into single words exactly like the real hardware
+/// queues).
+#[derive(Debug)]
+pub struct MsgQueue {
+    /// Buffered messages.
+    pub messages: VecDeque<u64>,
+    /// Capacity in messages.
+    pub capacity: usize,
+    /// Tasks pending on receive.
+    pub recv_waiters: WaitQueue,
+    /// Tasks pending on send (queue full), with the value they tried to
+    /// send.
+    pub send_waiters: Vec<(TaskId, u64)>,
+    /// Messages dropped by `send_nowait` on a full queue (diagnostics).
+    pub dropped: u64,
+}
+
+impl MsgQueue {
+    /// Queue with capacity `cap` messages.
+    pub fn new(cap: usize) -> MsgQueue {
+        MsgQueue {
+            messages: VecDeque::with_capacity(cap),
+            capacity: cap.max(1),
+            recv_waiters: WaitQueue::default(),
+            send_waiters: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Non-blocking send; false (and counted drop) when full.
+    pub fn send_nowait(&mut self, msg: u64) -> bool {
+        if self.messages.len() >= self.capacity {
+            self.dropped += 1;
+            false
+        } else {
+            self.messages.push_back(msg);
+            true
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn recv_nowait(&mut self) -> Option<u64> {
+        self.messages.pop_front()
+    }
+
+    /// Queue depth.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Whether at capacity.
+    pub fn is_full(&self) -> bool {
+        self.messages.len() >= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_queue_priority_then_fifo() {
+        let mut q = WaitQueue::default();
+        q.push(TaskId(1), 50);
+        q.push(TaskId(2), 10);
+        q.push(TaskId(3), 50);
+        q.push(TaskId(4), 10);
+        assert_eq!(q.pop(), Some(TaskId(2)), "priority 10 first, FIFO among equals");
+        assert_eq!(q.pop(), Some(TaskId(4)));
+        assert_eq!(q.pop(), Some(TaskId(1)));
+        assert_eq!(q.pop(), Some(TaskId(3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wait_queue_remove() {
+        let mut q = WaitQueue::default();
+        q.push(TaskId(1), 5);
+        q.push(TaskId(2), 5);
+        assert!(q.remove(TaskId(1)));
+        assert!(!q.remove(TaskId(1)));
+        assert_eq!(q.pop(), Some(TaskId(2)));
+    }
+
+    #[test]
+    fn binary_semaphore_saturates() {
+        let mut s = Semaphore::new(SemKind::Binary, 0);
+        assert!(!s.try_take(TaskId(0)));
+        assert_eq!(s.give(None), None);
+        assert_eq!(s.give(None), None); // second give lost
+        assert!(s.try_take(TaskId(0)));
+        assert!(!s.try_take(TaskId(0)));
+    }
+
+    #[test]
+    fn counting_semaphore_accumulates() {
+        let mut s = Semaphore::new(SemKind::Counting, 0);
+        s.give(None);
+        s.give(None);
+        assert!(s.try_take(TaskId(0)));
+        assert!(s.try_take(TaskId(0)));
+        assert!(!s.try_take(TaskId(0)));
+    }
+
+    #[test]
+    fn give_banks_token_and_wakes_best_waiter() {
+        let mut s = Semaphore::new(SemKind::Binary, 0);
+        s.waiters.push(TaskId(7), 100);
+        s.waiters.push(TaskId(8), 10);
+        assert_eq!(s.give(None), Some(TaskId(8)));
+        assert_eq!(s.count, 1, "Mesa-style: token banked, waiter re-takes");
+        assert!(s.try_take(TaskId(8)));
+    }
+
+    #[test]
+    fn mutex_ownership_and_recursion() {
+        let mut s = Semaphore::new(SemKind::Mutex { inversion_safe: true }, 1);
+        let a = TaskId(1);
+        assert!(s.try_take(a));
+        assert!(s.try_take(a), "recursive take by owner");
+        assert_eq!(s.give(Some(a)), None, "recursion unwinds");
+        assert_eq!(s.owner, Some(a), "still held");
+        assert_eq!(s.give(Some(a)), None);
+        assert_eq!(s.owner, None, "released");
+        assert!(s.try_take(TaskId(2)));
+    }
+
+    #[test]
+    fn mutex_foreign_give_ignored() {
+        let mut s = Semaphore::new(SemKind::Mutex { inversion_safe: false }, 1);
+        assert!(s.try_take(TaskId(1)));
+        assert_eq!(s.give(Some(TaskId(2))), None);
+        assert_eq!(s.owner, Some(TaskId(1)), "ownership unchanged");
+    }
+
+    #[test]
+    fn mutex_give_wakes_waiter_who_retakes() {
+        let mut s = Semaphore::new(SemKind::Mutex { inversion_safe: true }, 1);
+        assert!(s.try_take(TaskId(1)));
+        s.waiters.push(TaskId(2), 20);
+        assert_eq!(s.give(Some(TaskId(1))), Some(TaskId(2)));
+        assert_eq!(s.owner, None, "Mesa-style: waiter re-takes on wakeup");
+        assert!(s.try_take(TaskId(2)));
+        assert_eq!(s.owner, Some(TaskId(2)));
+    }
+
+    #[test]
+    fn msgq_bounded_fifo() {
+        let mut q = MsgQueue::new(2);
+        assert!(q.send_nowait(1));
+        assert!(q.send_nowait(2));
+        assert!(!q.send_nowait(3));
+        assert_eq!(q.dropped, 1);
+        assert!(q.is_full());
+        assert_eq!(q.recv_nowait(), Some(1));
+        assert_eq!(q.recv_nowait(), Some(2));
+        assert_eq!(q.recv_nowait(), None);
+    }
+}

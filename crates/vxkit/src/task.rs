@@ -1,0 +1,137 @@
+//! Tasks as resumable state machines.
+//!
+//! A task body is polled by the kernel when it is the highest-priority
+//! ready task. Each poll performs a bounded amount of (modelled) work and
+//! reports how many CPU cycles that work cost plus what the task does next
+//! — keep running, block on a kernel object, delay, or exit. This
+//! "execution by accounting" style lets the same task bodies run under any
+//! clock (the hwsim i960 at 66 MHz, a host CPU at 200 MHz) with exact,
+//! deterministic timing.
+
+/// Task identifier (dense index into the kernel's TCB table).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a task is blocked on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlockOn {
+    /// `semTake` — pend until the semaphore is given (optional tick
+    /// timeout).
+    SemTake(crate::sync::SemId, Option<u64>),
+    /// `msgQReceive` — pend until a message arrives (optional timeout).
+    MsgRecv(crate::sync::QId, Option<u64>),
+    /// `msgQSend` on a full queue — pend until space (optional timeout).
+    MsgSend(crate::sync::QId, Option<u64>),
+    /// `taskDelay(n)` — sleep for `n` ticks.
+    Delay(u64),
+}
+
+/// Outcome of one poll of a task body.
+#[derive(Debug)]
+pub enum StepResult {
+    /// Consumed `cycles` and remains ready (will be polled again when it is
+    /// still the highest-priority ready task).
+    Ran {
+        /// CPU cycles consumed by this step.
+        cycles: u64,
+    },
+    /// Consumed `cycles`, then voluntarily yielded the CPU to equal-priority
+    /// peers (`taskDelay(0)` idiom).
+    Yield {
+        /// CPU cycles consumed by this step.
+        cycles: u64,
+    },
+    /// Consumed `cycles`, then blocked.
+    Block {
+        /// CPU cycles consumed before blocking.
+        cycles: u64,
+        /// What the task pends on.
+        on: BlockOn,
+    },
+    /// Consumed `cycles`, then exited (`taskDelete(self)`).
+    Exit {
+        /// CPU cycles consumed by the final step.
+        cycles: u64,
+    },
+}
+
+/// A task body: the modelled workload. `ctx` exposes the ISR-safe and
+/// task-level kernel services a body may invoke mid-step (semGive,
+/// msgQSend-NoWait, tickGet, …).
+pub trait TaskBody {
+    /// Execute one bounded step.
+    fn step(&mut self, ctx: &mut dyn TaskCtx) -> StepResult;
+
+    /// Diagnostic task name (`taskName`).
+    fn name(&self) -> &str {
+        "task"
+    }
+}
+
+/// Kernel services callable from inside a task step. Mirrors the subset of
+/// the VxWorks API that is callable without pending (pending is expressed
+/// through [`StepResult::Block`] instead).
+pub trait TaskCtx {
+    /// `semGive` — non-blocking.
+    fn sem_give(&mut self, sem: crate::sync::SemId);
+    /// `msgQSend(NO_WAIT)` — returns false if the queue is full.
+    fn msg_send_nowait(&mut self, q: crate::sync::QId, msg: u64) -> bool;
+    /// `msgQReceive(NO_WAIT)` — returns `None` if empty.
+    fn msg_recv_nowait(&mut self, q: crate::sync::QId) -> Option<u64>;
+    /// `semTake(NO_WAIT)` — returns false if unavailable.
+    fn sem_take_nowait(&mut self, sem: crate::sync::SemId) -> bool;
+    /// `tickGet` — kernel tick counter.
+    fn tick_get(&self) -> u64;
+    /// The calling task's id (`taskIdSelf`).
+    fn task_self(&self) -> TaskId;
+    /// Start (or restart) a watchdog: fire `action` after `delay` ticks.
+    fn wd_start(&mut self, wd: crate::timer::WatchdogId, delay: u64, action: crate::timer::IsrAction);
+    /// Cancel a watchdog.
+    fn wd_cancel(&mut self, wd: crate::timer::WatchdogId);
+    /// Whether the calling task's last pend ended by timeout (reading
+    /// clears the flag — `S_objLib_OBJ_TIMEOUT` semantics).
+    fn take_timed_out(&mut self) -> bool;
+}
+
+/// Task lifecycle states (windALib's state vector, simplified).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TaskState {
+    /// Eligible to run.
+    Ready,
+    /// Blocked on a kernel object.
+    Pended,
+    /// Sleeping until a tick deadline.
+    Delayed,
+    /// Exited.
+    Done,
+}
+
+/// A closure-backed task body for simple tasks and tests.
+pub struct FnTask<F> {
+    name: String,
+    f: F,
+}
+
+impl<F: FnMut(&mut dyn TaskCtx) -> StepResult> FnTask<F> {
+    /// Wrap a closure as a task body.
+    pub fn new(name: impl Into<String>, f: F) -> FnTask<F> {
+        FnTask { name: name.into(), f }
+    }
+}
+
+impl<F: FnMut(&mut dyn TaskCtx) -> StepResult> TaskBody for FnTask<F> {
+    fn step(&mut self, ctx: &mut dyn TaskCtx) -> StepResult {
+        (self.f)(ctx)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}

@@ -1,0 +1,130 @@
+//! `tickLib`, watchdog timers, and timestamp-counter rollover management.
+//!
+//! The watchdog expiry path mirrors real VxWorks: expiry routines run at
+//! interrupt level and may therefore only perform ISR-safe actions —
+//! modelled by the closed [`IsrAction`] enum (give a semaphore, send a
+//! message without waiting, or restart the dog). General callbacks are
+//! deliberately impossible, same as the real restriction.
+//!
+//! [`TimestampManager`] is the extension the paper lists explicitly
+//! ("timestamp counter rollover management"): the i960's free-running
+//! 32-bit cycle counter at 66 MHz wraps every ~65 s, so microbenchmarks
+//! longer than that need software epoch extension. The manager requires
+//! only that consecutive reads are less than one wrap apart.
+
+use crate::sync::{QId, SemId};
+
+/// Watchdog identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WatchdogId(pub u32);
+
+/// ISR-safe actions a watchdog expiry routine may take.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IsrAction {
+    /// `semGive` from interrupt level.
+    SemGive(SemId),
+    /// `msgQSend(NO_WAIT)` from interrupt level.
+    MsgSend(QId, u64),
+    /// No-op (cancelled dog that fired anyway — counted, ignored).
+    None,
+}
+
+/// One armed watchdog.
+#[derive(Clone, Copy, Debug)]
+pub struct Watchdog {
+    /// Tick at which to fire; `None` = disarmed.
+    pub fire_at: Option<u64>,
+    /// Action on expiry.
+    pub action: IsrAction,
+    /// Auto-restart period in ticks (periodic dogs), if any.
+    pub period: Option<u64>,
+}
+
+impl Watchdog {
+    /// A disarmed watchdog.
+    pub fn disarmed() -> Watchdog {
+        Watchdog {
+            fire_at: None,
+            action: IsrAction::None,
+            period: None,
+        }
+    }
+}
+
+/// Software extension of a wrapping 32-bit cycle counter to 64 bits.
+///
+/// Correct as long as reads are spaced closer than one wrap period
+/// (2³² cycles ≈ 65 s at 66 MHz) — the kernel tick handler reads it every
+/// tick, which guarantees that.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimestampManager {
+    last_raw: u32,
+    epochs: u64,
+}
+
+impl TimestampManager {
+    /// Fresh manager; the first raw read establishes the base.
+    pub fn new() -> TimestampManager {
+        TimestampManager::default()
+    }
+
+    /// Extend a raw 32-bit counter read to 64 bits, accounting for wraps
+    /// since the previous read.
+    pub fn extend(&mut self, raw: u32) -> u64 {
+        if raw < self.last_raw {
+            self.epochs += 1;
+        }
+        self.last_raw = raw;
+        (self.epochs << 32) | u64::from(raw)
+    }
+
+    /// Number of rollovers observed.
+    pub fn rollovers(&self) -> u64 {
+        self.epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extends_across_single_rollover() {
+        let mut ts = TimestampManager::new();
+        assert_eq!(ts.extend(100), 100);
+        assert_eq!(ts.extend(u32::MAX), u64::from(u32::MAX));
+        // Wrap: raw goes backwards.
+        assert_eq!(ts.extend(50), (1u64 << 32) + 50);
+        assert_eq!(ts.rollovers(), 1);
+    }
+
+    #[test]
+    fn extends_across_many_rollovers() {
+        let mut ts = TimestampManager::new();
+        let mut prev = 0u64;
+        let mut raw = 0u32;
+        for _ in 0..1000 {
+            raw = raw.wrapping_add(0x4000_0000); // quarter wrap per read
+            let ext = ts.extend(raw);
+            assert!(ext > prev, "extended time must be monotone");
+            prev = ext;
+        }
+        assert_eq!(ts.rollovers(), 250, "quarter-wrap steps wrap every 4 reads");
+    }
+
+    #[test]
+    fn monotone_without_wraps() {
+        let mut ts = TimestampManager::new();
+        for raw in [0u32, 10, 20, 1_000_000, u32::MAX - 1] {
+            assert_eq!(ts.extend(raw), u64::from(raw));
+        }
+        assert_eq!(ts.rollovers(), 0);
+    }
+
+    #[test]
+    fn watchdog_default_disarmed() {
+        let wd = Watchdog::disarmed();
+        assert!(wd.fire_at.is_none());
+        assert_eq!(wd.action, IsrAction::None);
+    }
+}

@@ -1,0 +1,182 @@
+//! httperf-style open-loop web load generation.
+//!
+//! `httperf` issues requests at a fixed rate regardless of server progress
+//! (open loop) — that is precisely what makes it a good overload tool, and
+//! the paper uses its `--rate`/`--num-conns`/`--num-calls` controls. The
+//! generator reproduces that: exponential inter-arrivals around the target
+//! rate (Poisson traffic), a ceiling on total calls, and heavy-tailed
+//! object sizes.
+
+use simkit::rng::Pcg32;
+use simkit::SimDuration;
+
+/// One generated web request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WebRequest {
+    /// Monotone request id.
+    pub id: u64,
+    /// Response body size in bytes (bounded Pareto: mostly small pages,
+    /// occasional big objects).
+    pub response_bytes: u64,
+    /// Logical connection issuing the call (round-robin over the
+    /// configured connection count, like httperf's `--num-conns`).
+    pub connection: u32,
+}
+
+/// Generator configuration (httperf's knobs).
+#[derive(Clone, Debug)]
+pub struct HttperfConfig {
+    /// Target request rate (requests/second) — `--rate`.
+    pub rate: f64,
+    /// Number of concurrent logical connections — `--num-conns`.
+    pub connections: u32,
+    /// Ceiling on total calls — `--num-calls` (`None` = unbounded).
+    pub total_calls: Option<u64>,
+    /// Pareto shape for response sizes (1.2 is the classic web value).
+    pub size_alpha: f64,
+    /// Smallest response (bytes).
+    pub size_min: f64,
+    /// Largest response (bytes).
+    pub size_max: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HttperfConfig {
+    fn default() -> HttperfConfig {
+        HttperfConfig {
+            rate: 100.0,
+            connections: 16,
+            total_calls: None,
+            size_alpha: 1.2,
+            size_min: 1_024.0,
+            size_max: 512_000.0,
+            seed: 0x6874_7470, // "http"
+        }
+    }
+}
+
+/// The open-loop generator.
+pub struct HttperfGen {
+    cfg: HttperfConfig,
+    rng: Pcg32,
+    issued: u64,
+}
+
+impl HttperfGen {
+    /// Generator from a configuration.
+    pub fn new(cfg: HttperfConfig) -> HttperfGen {
+        let seed = cfg.seed;
+        HttperfGen {
+            cfg,
+            rng: Pcg32::new(seed, 0x48_54_54_50),
+            issued: 0,
+        }
+    }
+
+    /// Next request: `(inter-arrival delay, request)`, or `None` once the
+    /// call ceiling is reached or the rate is zero. (Intentionally not an
+    /// `Iterator` impl: the rate can be changed between draws.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(SimDuration, WebRequest)> {
+        if self.cfg.rate <= 0.0 {
+            return None;
+        }
+        if let Some(max) = self.cfg.total_calls {
+            if self.issued >= max {
+                return None;
+            }
+        }
+        let gap = self.rng.exp(1.0 / self.cfg.rate);
+        let req = WebRequest {
+            id: self.issued,
+            response_bytes: self
+                .rng
+                .bounded_pareto(self.cfg.size_alpha, self.cfg.size_min, self.cfg.size_max)
+                .round() as u64,
+            connection: (self.issued % u64::from(self.cfg.connections.max(1))) as u32,
+        };
+        self.issued += 1;
+        Some((SimDuration::from_secs_f64(gap), req))
+    }
+
+    /// Requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Change the rate mid-run (load profiles ramp).
+    pub fn set_rate(&mut self, rate: f64) {
+        self.cfg.rate = rate;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_respected_on_average() {
+        let mut g = HttperfGen::new(HttperfConfig {
+            rate: 200.0,
+            ..HttperfConfig::default()
+        });
+        let n = 10_000;
+        let mut total = SimDuration::ZERO;
+        for _ in 0..n {
+            let (gap, _) = g.next().unwrap();
+            total += gap;
+        }
+        let measured = n as f64 / total.as_secs_f64();
+        assert!((measured - 200.0).abs() < 8.0, "measured {measured:.1} req/s");
+    }
+
+    #[test]
+    fn call_ceiling_stops_generation() {
+        let mut g = HttperfGen::new(HttperfConfig {
+            total_calls: Some(5),
+            ..HttperfConfig::default()
+        });
+        let drawn: Vec<_> = std::iter::from_fn(|| g.next()).collect();
+        assert_eq!(drawn.len(), 5);
+        assert_eq!(g.issued(), 5);
+    }
+
+    #[test]
+    fn connections_round_robin() {
+        let mut g = HttperfGen::new(HttperfConfig {
+            connections: 3,
+            ..HttperfConfig::default()
+        });
+        let conns: Vec<u32> = (0..6).map(|_| g.next().unwrap().1.connection).collect();
+        assert_eq!(conns, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed_within_bounds() {
+        let mut g = HttperfGen::new(HttperfConfig::default());
+        let sizes: Vec<u64> = (0..5_000).map(|_| g.next().unwrap().1.response_bytes).collect();
+        assert!(sizes.iter().all(|&s| (1_024..=512_000).contains(&s)));
+        let small = sizes.iter().filter(|&&s| s < 10_000).count();
+        assert!(small > sizes.len() / 2, "mass near the minimum: {small}");
+        assert!(sizes.iter().any(|&s| s > 100_000), "tail exists");
+    }
+
+    #[test]
+    fn zero_rate_yields_nothing() {
+        let mut g = HttperfGen::new(HttperfConfig {
+            rate: 0.0,
+            ..HttperfConfig::default()
+        });
+        assert!(g.next().is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = HttperfGen::new(HttperfConfig::default());
+        let mut b = HttperfGen::new(HttperfConfig::default());
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! MPEG client request patterns.
+//!
+//! The figures' streaming workload: "Two MPEG clients shown as streams s1
+//! and s2 connect to the system" and play for the duration of the run.
+//! A [`ClientPlan`] describes when each client connects, the QoS it
+//! negotiates (frame period and loss-tolerance), and how long it plays —
+//! the experiment harness turns plans into `OpenStream`/producer schedules.
+
+use dwcs::types::{Time, MILLISECOND};
+use simkit::SimTime;
+
+/// One MPEG client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MpegClient {
+    /// Display name in figures ("s1", "s2", …).
+    pub name: String,
+    /// Connect time.
+    pub connect_at: SimTime,
+    /// Frame period `T` (ns) — deadline spacing the client requests.
+    pub period: Time,
+    /// Loss-tolerance numerator.
+    pub loss_num: u32,
+    /// Loss-tolerance denominator.
+    pub loss_den: u32,
+    /// Stream bitrate (bits/s) the producer feeds at.
+    pub bitrate: u64,
+    /// Playback duration.
+    pub play_for: SimTime,
+}
+
+/// A set of clients forming one experiment's streaming load.
+#[derive(Clone, Debug, Default)]
+pub struct ClientPlan {
+    /// The clients.
+    pub clients: Vec<MpegClient>,
+}
+
+impl ClientPlan {
+    /// The paper's two-stream plan: s1 and s2 connect at the start and
+    /// play for the whole run. The settling bandwidth per stream in
+    /// Figures 7/9 is ~250–260 kb/s — low-rate MPEG-1 (quarter-size
+    /// video); a frame period of 33.37 ms (30 fps) with a 2-of-8
+    /// loss window matches the traces.
+    pub fn two_streams(run_secs: u64) -> ClientPlan {
+        let client = |name: &str, offset_ms: u64| MpegClient {
+            name: name.to_string(),
+            connect_at: SimTime::from_nanos(offset_ms * 1_000_000),
+            period: (100 * MILLISECOND) / 3, // 33.33 ms: 30 fps
+            loss_num: 2,
+            loss_den: 8,
+            bitrate: 260_000,
+            play_for: SimTime::from_nanos(run_secs * 1_000_000_000),
+        };
+        ClientPlan {
+            clients: vec![client("s1", 0), client("s2", 40)],
+        }
+    }
+
+    /// A synthetic many-client plan for scalability sweeps.
+    pub fn fan(n: u32, bitrate: u64, fps: u64, run_secs: u64) -> ClientPlan {
+        let clients = (0..n)
+            .map(|i| MpegClient {
+                name: format!("s{}", i + 1),
+                connect_at: SimTime::from_nanos(u64::from(i) * 10_000_000),
+                period: 1_000_000_000 / fps,
+                loss_num: 2,
+                loss_den: 8,
+                bitrate,
+                play_for: SimTime::from_nanos(run_secs * 1_000_000_000),
+            })
+            .collect();
+        ClientPlan { clients }
+    }
+
+    /// Mean frame size in bytes implied by a client's bitrate and period.
+    pub fn frame_bytes(c: &MpegClient) -> u32 {
+        ((c.bitrate as f64 / 8.0) * (c.period as f64 / 1e9)).round() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_streams_matches_figures() {
+        let p = ClientPlan::two_streams(100);
+        assert_eq!(p.clients.len(), 2);
+        assert_eq!(p.clients[0].name, "s1");
+        assert_eq!(p.clients[1].name, "s2");
+        // 30 fps → period ≈ 33.3 ms.
+        assert!((33.0..34.0).contains(&(p.clients[0].period as f64 / 1e6)));
+        // ~260 kb/s at 30 fps → ~1 083-byte frames: near the 1000-byte
+        // frames of Table 4.
+        let fb = ClientPlan::frame_bytes(&p.clients[0]);
+        assert!((1_000..1_200).contains(&fb), "frame bytes {fb}");
+    }
+
+    #[test]
+    fn fan_spreads_connects() {
+        let p = ClientPlan::fan(8, 1_500_000, 25, 10);
+        assert_eq!(p.clients.len(), 8);
+        assert!(p.clients.windows(2).all(|w| w[0].connect_at < w[1].connect_at));
+        assert_eq!(p.clients[3].period, 40_000_000);
+    }
+}

@@ -1,0 +1,104 @@
+//! Time-varying load profiles (the shape of Figure 6).
+//!
+//! Figure 6 shows three traces of total CPU utilization over ~100 s:
+//! no web load (spiky ~15 % average from streaming alone), a 45 %-average
+//! run, and a 60 %-average run whose sustained phase pushes past 80 %.
+//! Load arrives after the streams start (~15 s in), ramps quickly, holds,
+//! and stops before the end. [`LoadProfile`] encodes that phase structure
+//! as piecewise-constant request rates.
+
+use simkit::SimTime;
+
+/// Piecewise-constant request-rate profile.
+#[derive(Clone, Debug, Default)]
+pub struct LoadProfile {
+    /// `(start, end, requests-per-second)` phases, non-overlapping,
+    /// time-ordered.
+    pub phases: Vec<(SimTime, SimTime, f64)>,
+}
+
+impl LoadProfile {
+    /// No web load at all.
+    pub fn none() -> LoadProfile {
+        LoadProfile { phases: Vec::new() }
+    }
+
+    /// The experiment shape: idle until `start`, ramp for `ramp` seconds
+    /// at half rate, hold `rate` until `end`.
+    pub fn experiment(start_s: u64, ramp_s: u64, end_s: u64, rate: f64) -> LoadProfile {
+        let s = SimTime::from_nanos(start_s * 1_000_000_000);
+        let r = SimTime::from_nanos((start_s + ramp_s) * 1_000_000_000);
+        let e = SimTime::from_nanos(end_s * 1_000_000_000);
+        LoadProfile {
+            phases: vec![(s, r, rate / 2.0), (r, e, rate)],
+        }
+    }
+
+    /// Request rate at time `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        for &(s, e, rate) in &self.phases {
+            if t >= s && t < e {
+                return rate;
+            }
+        }
+        0.0
+    }
+
+    /// When the profile becomes active (first phase start).
+    pub fn starts_at(&self) -> Option<SimTime> {
+        self.phases.first().map(|&(s, _, _)| s)
+    }
+
+    /// When the profile goes quiet (last phase end).
+    pub fn ends_at(&self) -> Option<SimTime> {
+        self.phases.last().map(|&(_, e, _)| e)
+    }
+}
+
+/// Solve for the httperf rate that produces `target_util` (0..1) average
+/// CPU utilization on `cpus` cores, given mean request CPU demand in
+/// cycles and the core clock.
+///
+/// `rate × cycles_per_req / hz = target_util × cpus`
+pub fn calibrate_rate(target_util: f64, cpus: u32, mean_req_cycles: u64, hz: u64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&target_util));
+    target_util * f64::from(cpus) * hz as f64 / mean_req_cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: u64) -> SimTime {
+        SimTime::from_nanos(s * 1_000_000_000)
+    }
+
+    #[test]
+    fn experiment_shape() {
+        let p = LoadProfile::experiment(15, 5, 80, 100.0);
+        assert_eq!(p.rate_at(at(0)), 0.0);
+        assert_eq!(p.rate_at(at(16)), 50.0, "ramp at half rate");
+        assert_eq!(p.rate_at(at(30)), 100.0, "sustained");
+        assert_eq!(p.rate_at(at(85)), 0.0, "quiet after end");
+        assert_eq!(p.starts_at(), Some(at(15)));
+        assert_eq!(p.ends_at(), Some(at(80)));
+    }
+
+    #[test]
+    fn none_is_always_zero() {
+        let p = LoadProfile::none();
+        assert_eq!(p.rate_at(at(50)), 0.0);
+        assert_eq!(p.starts_at(), None);
+    }
+
+    #[test]
+    fn calibration_solves_the_utilization_equation() {
+        // 2 CPUs at 200 MHz, 1 M cycles/request, want 45 %:
+        // rate = 0.45 × 2 × 2e8 / 1e6 = 180 req/s.
+        let rate = calibrate_rate(0.45, 2, 1_000_000, 200_000_000);
+        assert!((rate - 180.0).abs() < 1e-9);
+        // Sanity: plugging back reproduces the utilization.
+        let util = rate * 1_000_000.0 / (2.0 * 200_000_000.0);
+        assert!((util - 0.45).abs() < 1e-12);
+    }
+}

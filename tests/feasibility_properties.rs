@@ -1,0 +1,80 @@
+//! Property: the DWCS guarantee. For a *feasible* stream set (mandatory
+//! utilization ≤ 1) with synchronous periodic arrivals and unit service,
+//! the scheduler violates no window constraint; infeasible sets violate
+//! under sustained overload but still bound per-window drops by x/y.
+
+use nistream::dwcs::types::MILLISECOND;
+use nistream::dwcs::{
+    admission, DualHeap, DwcsScheduler, FrameDesc, FrameKind, StreamQos,
+};
+use proptest::prelude::*;
+
+const SERVICE: u64 = MILLISECOND; // unit service slot
+
+fn qos_strategy() -> impl Strategy<Value = StreamQos> {
+    // Periods 4-40 ms, tolerance x/y with y in 2..9.
+    (4u64..40, 1u32..9).prop_flat_map(|(period_ms, y)| {
+        (0..=y).prop_map(move |x| StreamQos::new(period_ms * MILLISECOND, x, y))
+    })
+}
+
+/// Drive synchronous periodic arrivals for `horizon_ms`, serving one
+/// packet per SERVICE slot (work-conserving), and return total violations.
+fn run_system(set: &[StreamQos], horizon_ms: u64) -> u64 {
+    let mut s = DwcsScheduler::new(DualHeap::new(set.len()));
+    let sids: Vec<_> = set.iter().map(|q| s.add_stream(*q)).collect();
+    let horizon = horizon_ms * MILLISECOND;
+    let mut next_arrival: Vec<u64> = vec![0; set.len()];
+    let mut seqs = vec![0u64; set.len()];
+    let mut now = 0u64;
+    while now < horizon {
+        for (i, q) in set.iter().enumerate() {
+            while next_arrival[i] <= now {
+                s.enqueue(sids[i], FrameDesc::new(sids[i], seqs[i], 1000, FrameKind::P), next_arrival[i]);
+                seqs[i] += 1;
+                next_arrival[i] += q.period;
+            }
+        }
+        let _ = s.schedule_next(now);
+        now += SERVICE;
+    }
+    sids.iter().map(|&sid| s.stats(sid).violations).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn feasible_sets_never_violate(set in proptest::collection::vec(qos_strategy(), 1..6)) {
+        prop_assume!(admission::feasible(&set, SERVICE));
+        let violations = run_system(&set, 2_000);
+        prop_assert_eq!(violations, 0, "feasible set must meet every window");
+    }
+
+    #[test]
+    fn overload_sheds_but_never_drops_beyond_budget(set in proptest::collection::vec(qos_strategy(), 2..7)) {
+        // Whatever the load, per-stream drops never exceed the x/y share
+        // of departures (drop-within-budget policy).
+        let mut s = DwcsScheduler::new(DualHeap::new(set.len()));
+        let sids: Vec<_> = set.iter().map(|q| s.add_stream(*q)).collect();
+        for (i, q) in set.iter().enumerate() {
+            for seq in 0..200u64 {
+                s.enqueue(sids[i], FrameDesc::new(sids[i], seq, 1000, FrameKind::P), seq * q.period / 4);
+            }
+        }
+        let mut now = 0u64;
+        while s.has_pending() {
+            let _ = s.schedule_next(now);
+            now += SERVICE * 2;
+        }
+        for (i, q) in set.iter().enumerate() {
+            let st = s.stats(sids[i]);
+            let departures = st.sent() + st.dropped;
+            prop_assert_eq!(departures, 200);
+            // x of every y may drop; allow the final partial window.
+            let bound = departures * u64::from(q.loss_num) / u64::from(q.loss_den) + u64::from(q.loss_num);
+            prop_assert!(st.dropped <= bound, "stream {i}: {} dropped > bound {bound} (tolerance {}/{})",
+                st.dropped, q.loss_num, q.loss_den);
+        }
+    }
+}

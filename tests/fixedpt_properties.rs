@@ -1,0 +1,65 @@
+//! Properties of the fixed-point substrate: `Frac` ordering agrees with
+//! exact rational comparison, arithmetic stays ordered, and `Q16` tracks
+//! real arithmetic within quantization error.
+
+use nistream::fixedpt::{Frac, Q16};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn frac_ordering_matches_rationals(a in 0u32..10_000, b in 1u32..10_000, c in 0u32..10_000, d in 1u32..10_000) {
+        let lhs = Frac::new(a, b);
+        let rhs = Frac::new(c, d);
+        let exact = (u64::from(a) * u64::from(d)).cmp(&(u64::from(c) * u64::from(b)));
+        prop_assert_eq!(lhs.cmp(&rhs), exact);
+    }
+
+    #[test]
+    fn frac_add_is_exact_for_small_operands(a in 0u32..1_000, b in 1u32..1_000, c in 0u32..1_000, d in 1u32..1_000) {
+        let sum = Frac::new(a, b).add(Frac::new(c, d));
+        // a/b + c/d = (ad + cb) / bd, exactly representable here.
+        let expect = Frac::new(a * d + c * b, b * d);
+        prop_assert_eq!(sum.cmp(&expect), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn frac_saturating_sub_never_negative(a in 0u32..1_000, b in 1u32..1_000, c in 0u32..1_000, d in 1u32..1_000) {
+        let diff = Frac::new(a, b).saturating_sub(Frac::new(c, d));
+        prop_assert!(diff >= Frac::ZERO);
+        if Frac::new(a, b) <= Frac::new(c, d) {
+            prop_assert!(diff.is_zero());
+        }
+    }
+
+    #[test]
+    fn frac_half_halves(a in 0u32..30_000, b in 1u32..30_000) {
+        // Exact while (2b)^2 fits u32 components; beyond that `add`
+        // downscales by shifting (documented lossy regime).
+        let v = Frac::new(a, b);
+        let h = v.half();
+        let twice = h.add(h);
+        prop_assert_eq!(twice.cmp(&v), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn q16_tracks_f64_within_quantum(x in -30_000i32..30_000, y in -30_000i32..30_000) {
+        let a = Q16::from_int(x);
+        let b = Q16::from_int(y);
+        prop_assert_eq!((a + b).trunc(), i64::from(x) + i64::from(y));
+        prop_assert_eq!((a - b).trunc(), i64::from(x) - i64::from(y));
+        // Ratio round trip: (x/y)*y ≈ x within 1 integer step.
+        if y != 0 {
+            let q = Q16::from_ratio(i64::from(x), i64::from(y));
+            let back = (q * b).round();
+            prop_assert!((back - i64::from(x)).abs() <= 1, "{x}/{y}: got {back}");
+        }
+    }
+
+    #[test]
+    fn q16_shift_is_power_of_two_scaling(x in -1_000i32..1_000, k in 0u32..8) {
+        let v = Q16::from_int(x);
+        prop_assert_eq!(v.shl(k).trunc(), i64::from(x) << k);
+        let down = Q16::from_int(x << k).shr(k);
+        prop_assert_eq!(down.trunc(), i64::from(x));
+    }
+}

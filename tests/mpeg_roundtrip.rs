@@ -1,0 +1,69 @@
+//! Property: segmenting any synthesized MPEG-1 stream recovers exactly
+//! the frames the encoder emitted — kinds, offsets, temporal references —
+//! for arbitrary GOP structures, rates and seeds.
+
+use nistream::mpeg1::{EncoderConfig, GopPattern, PictureKind, Segmenter, SyntheticEncoder};
+use proptest::prelude::*;
+
+fn gop_strategy() -> impl Strategy<Value = GopPattern> {
+    proptest::collection::vec(prop_oneof![Just('P'), Just('B'), Just('I')], 0..11).prop_map(|tail| {
+        let s: String = std::iter::once('I').chain(tail).collect();
+        s.parse().expect("starts with I")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_recovers_exact_frames(
+        gop in gop_strategy(),
+        frames in 1usize..60,
+        bitrate in 200_000u64..4_000_000,
+        seed in any::<u64>(),
+    ) {
+        let cfg = EncoderConfig {
+            gop: gop.clone(),
+            bitrate,
+            seed,
+            ..EncoderConfig::default()
+        };
+        let (bytes, truth) = SyntheticEncoder::new(cfg).encode(frames);
+        let parsed = Segmenter::new(&bytes).segment_all().unwrap();
+        prop_assert_eq!(parsed.len(), truth.len());
+        for (p, t) in parsed.iter().zip(&truth) {
+            prop_assert_eq!(p.kind, t.kind);
+            prop_assert_eq!(p.offset, t.offset);
+            prop_assert_eq!(p.temporal_ref, t.temporal_ref);
+        }
+        // Kind sequence follows the GOP pattern cyclically.
+        for (i, p) in parsed.iter().enumerate() {
+            prop_assert_eq!(p.kind, gop.kind_at(i % gop.len()));
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(
+        frames in 1usize..20,
+        cut_fraction in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = EncoderConfig { seed, ..EncoderConfig::default() };
+        let (bytes, _) = SyntheticEncoder::new(cfg).encode(frames);
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        // Must never panic; may error on a torn picture header.
+        let _ = Segmenter::new(&bytes[..cut]).segment_all();
+    }
+
+    #[test]
+    fn profile_counts_are_consistent(frames in 1usize..40, seed in any::<u64>()) {
+        let cfg = EncoderConfig { seed, ..EncoderConfig::default() };
+        let (bytes, _) = SyntheticEncoder::new(cfg).encode(frames);
+        let (parsed, profile) = nistream::mpeg1::segment::profile(&bytes).unwrap();
+        prop_assert_eq!(profile.frames() as usize, parsed.len());
+        let i = parsed.iter().filter(|f| f.kind == PictureKind::I).count() as u64;
+        prop_assert_eq!(profile.count_i, i);
+        let total: u64 = parsed.iter().map(|f| u64::from(f.len)).sum();
+        prop_assert_eq!(profile.total_bytes, total);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property: all five schedule representations implement the same
+//! observable order — random head-update/remove/pop sequences must pop in
+//! exactly the order LinearScan (the firmware-faithful reference) does.
+
+use nistream::dwcs::{
+    BTreeRepr, CalendarQueue, DualHeap, HeadKey, LinearScan, ScheduleRepr, SortedList, StreamId,
+};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Update { sid: u8, deadline: u64, x: u8, y: u8 },
+    Remove { sid: u8 },
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..24, 0u64..500_000, 0u8..8, 1u8..9).prop_map(|(sid, deadline, x, y)| Op::Update {
+            sid,
+            deadline,
+            x: x.min(y),
+            y,
+        }),
+        1 => (0u8..24).prop_map(|sid| Op::Remove { sid }),
+        3 => Just(Op::Pop),
+    ]
+}
+
+fn apply(repr: &mut dyn ScheduleRepr, ops: &[Op]) -> Vec<Option<u32>> {
+    let mut arrivals = 0u64;
+    let mut log = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Update { sid, deadline, x, y } => {
+                arrivals += 1;
+                repr.update(
+                    StreamId(u32::from(sid)),
+                    HeadKey {
+                        deadline,
+                        x: u32::from(x),
+                        y: u32::from(y),
+                        arrival: arrivals,
+                    },
+                );
+            }
+            Op::Remove { sid } => repr.remove(StreamId(u32::from(sid))),
+            Op::Pop => log.push(repr.pop_min().map(|(sid, _)| sid.0)),
+        }
+    }
+    // Drain the rest.
+    while let Some((sid, _)) = repr.pop_min() {
+        log.push(Some(sid.0));
+    }
+    log.push(None);
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn all_representations_agree(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut reference = LinearScan::new(24);
+        let expected = apply(&mut reference, &ops);
+
+        let mut others: Vec<Box<dyn ScheduleRepr>> = vec![
+            Box::new(SortedList::new()),
+            Box::new(DualHeap::new(24)),
+            Box::new(BTreeRepr::new()),
+            Box::new(CalendarQueue::new(10_000, 8)),
+        ];
+        for r in &mut others {
+            let got = apply(r.as_mut(), &ops);
+            prop_assert_eq!(&got, &expected, "repr {} diverged", r.name());
+        }
+    }
+
+    #[test]
+    fn len_is_consistent_across_reprs(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut reprs: Vec<Box<dyn ScheduleRepr>> = vec![
+            Box::new(LinearScan::new(24)),
+            Box::new(SortedList::new()),
+            Box::new(DualHeap::new(24)),
+            Box::new(BTreeRepr::new()),
+            Box::new(CalendarQueue::new(10_000, 8)),
+        ];
+        let mut arrivals = 0u64;
+        for op in &ops {
+            for r in &mut reprs {
+                match *op {
+                    Op::Update { sid, deadline, x, y } => {
+                        r.update(StreamId(u32::from(sid)), HeadKey {
+                            deadline,
+                            x: u32::from(x),
+                            y: u32::from(y),
+                            arrival: arrivals,
+                        });
+                    }
+                    Op::Remove { sid } => r.remove(StreamId(u32::from(sid))),
+                    Op::Pop => {
+                        r.pop_min();
+                    }
+                }
+            }
+            if let Op::Update { .. } = op {
+                arrivals += 1;
+            }
+            let lens: Vec<usize> = reprs.iter().map(|r| r.len()).collect();
+            prop_assert!(lens.windows(2).all(|w| w[0] == w[1]), "lens {lens:?}");
+        }
+    }
+}
