@@ -1,0 +1,14 @@
+//! Fixture: fully clean NI-style code — zero findings expected.
+//! Never compiled — scanned by `nistream-analysis` tests only.
+
+pub fn ratio_compare(an: u32, ad: u32, bn: u32, bd: u32) -> bool {
+    // Cross-multiplication, the paper's fixed-point idiom; "1.5x faster"
+    // in a string is fine, as is 2.5 in this comment.
+    let msg = "1.5x faster";
+    let _ = msg;
+    u64::from(an) * u64::from(bd) <= u64::from(bn) * u64::from(ad)
+}
+
+pub fn checked_pop(q: &mut std::collections::VecDeque<u32>) -> Result<u32, &'static str> {
+    q.pop_front().ok_or("queue empty")
+}

@@ -1,0 +1,28 @@
+//! Fixture: sim-determinism violations and exemptions.
+//! Never compiled — scanned by `nistream-analysis` tests only.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::{Instant, SystemTime};
+
+pub fn bad_clock() -> u64 {
+    let _wall = SystemTime::now();
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn bad_collections() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    m.len() + s.len()
+}
+
+// Not a violation: mentioning the Instant *type* in a host-facing signature.
+pub fn fine(epoch: std::time::Instant) -> std::time::Instant {
+    epoch
+}
+
+pub fn annotated_ok() -> std::time::Instant {
+    // analysis: allow(sim-determinism) reason="host boundary: epoch captured once at startup"
+    std::time::Instant::now()
+}

@@ -1,0 +1,40 @@
+//! Fixture: ni-no-float violations and the exemptions around them.
+//! Never compiled — scanned by `nistream-analysis` tests only.
+
+pub fn bad_type(x: f64) -> f64 {
+    x
+}
+
+pub fn bad_literal() -> u64 {
+    let rate = 1.5; // literal violation (and the f64 inference is implicit)
+    rate as u64
+}
+
+pub fn bad_cast(x: u32) -> u32 {
+    (x as f32) as u32
+}
+
+// Not violations: ranges, tuple indices, method calls on integers.
+pub fn fine(t: (u32, u32)) -> u32 {
+    let mut acc = 0;
+    for i in 0..5 {
+        acc += i.max(1) + t.0;
+    }
+    acc
+}
+
+// The words f64 and 1.5 inside strings/comments must not fire: "f64 1.5".
+pub const DOC: &str = "uses f64 2.5 internally";
+
+// analysis: allow(ni-no-float) reason="host-side reporting conversion"
+pub fn annotated_ok(x: u32) -> f64 {
+    x as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn floats_are_fine_in_tests() {
+        assert!((1.5f64).fract() > 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: ni-no-panic violations and exemptions.
+//! Never compiled — scanned by `nistream-analysis` tests only.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn bad_macro(kind: u8) -> u8 {
+    match kind {
+        0 => todo!(),
+        1 => unreachable!(),
+        _ => panic!("boom"),
+    }
+}
+
+// Not violations: the identifiers without the call/bang shape.
+pub fn fine() {
+    let expect = 1; // a binding named expect
+    let _ = expect;
+    // "x.unwrap() would panic!" — comment text never fires.
+}
+
+pub fn annotated_ok(v: Option<u32>) -> u32 {
+    // analysis: allow(ni-no-panic) reason="invariant: caller checked is_some"
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: unsafe-hygiene violations and exemptions.
+//! Never compiled — scanned by `nistream-analysis` tests only.
+
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn documented_but_unlisted(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees p is valid and aligned for reads.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_is_exempt() {
+        let x = 7u32;
+        let r = unsafe { *(&x as *const u32) };
+        assert_eq!(r, 7);
+    }
+}

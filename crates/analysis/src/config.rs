@@ -1,0 +1,179 @@
+//! `analysis.toml` — which lints run over which paths.
+//!
+//! A deliberately small TOML subset (this crate takes no dependencies):
+//! `[lint.<name>]` tables, `key = "string"` and `key = ["a", "b"]` entries,
+//! `#` comments. That is all the checked-in config uses.
+
+use std::path::PathBuf;
+
+/// Configuration for one lint family.
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    /// Lint name (`ni-no-float`, …).
+    pub name: String,
+    /// Root-relative files or directories this lint scans.
+    pub paths: Vec<PathBuf>,
+    /// Files permitted to contain `unsafe` (unsafe-hygiene only).
+    pub allow_files: Vec<PathBuf>,
+}
+
+/// Parsed `analysis.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// All configured lints, in file order.
+    pub lints: Vec<LintConfig>,
+}
+
+impl Config {
+    /// Look up a lint's configuration by name.
+    pub fn lint(&self, name: &str) -> Option<&LintConfig> {
+        self.lints.iter().find(|l| l.name == name)
+    }
+
+    /// Parse from TOML text. Errors carry a 1-based line number.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut current: Option<usize> = None;
+
+        // Join multi-line arrays into logical lines first: a line whose
+        // value opens `[` without closing it absorbs subsequent lines until
+        // the bracket balances.
+        let mut logical: Vec<(usize, String)> = Vec::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let piece = strip_comment(raw).trim().to_string();
+            if let Some((_, buf)) = logical.last_mut() {
+                let open = buf.matches('[').count() > buf.matches(']').count();
+                if open && buf.contains('=') {
+                    buf.push(' ');
+                    buf.push_str(&piece);
+                    continue;
+                }
+            }
+            logical.push((ln, piece));
+        }
+
+        for (ln, line) in logical {
+            let line = line.as_str();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let section = section
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {}: unterminated section header", ln + 1))?
+                    .trim();
+                let name = section
+                    .strip_prefix("lint.")
+                    .ok_or_else(|| format!("line {}: expected [lint.<name>], got [{section}]", ln + 1))?;
+                cfg.lints.push(LintConfig {
+                    name: name.trim().to_string(),
+                    ..LintConfig::default()
+                });
+                current = Some(cfg.lints.len() - 1);
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", ln + 1))?;
+            let idx = current.ok_or_else(|| format!("line {}: entry outside any [lint.*] section", ln + 1))?;
+            let values = parse_value(value.trim()).map_err(|e| format!("line {}: {e}", ln + 1))?;
+            match key.trim() {
+                "paths" => cfg.lints[idx].paths = values.into_iter().map(PathBuf::from).collect(),
+                "allow_files" => cfg.lints[idx].allow_files = values.into_iter().map(PathBuf::from).collect(),
+                other => return Err(format!("line {}: unknown key `{other}`", ln + 1)),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Drop a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// A `"string"` or `["a", "b", …]` value (multi-line arrays are joined into
+/// one logical line before this is called).
+fn parse_value(v: &str) -> Result<Vec<String>, String> {
+    if let Some(body) = v.strip_prefix('[') {
+        let body = body.strip_suffix(']').ok_or("unterminated array")?;
+        let mut out = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            out.push(parse_string(part)?);
+        }
+        return Ok(out);
+    }
+    Ok(vec![parse_string(v)?])
+}
+
+fn parse_string(v: &str) -> Result<String, String> {
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a double-quoted string, got `{v}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shipped_shape() {
+        let cfg = Config::parse(
+            r#"
+            # NI-resident invariants
+            [lint.ni-no-float]
+            paths = ["crates/dwcs/src", "crates/fixedpt/src"]
+
+            [lint.unsafe-hygiene]
+            paths = ["crates"]
+            allow_files = []  # nothing may use unsafe today
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.lints.len(), 2);
+        let f = cfg.lint("ni-no-float").unwrap();
+        assert_eq!(f.paths.len(), 2);
+        assert_eq!(f.paths[0], PathBuf::from("crates/dwcs/src"));
+        let u = cfg.lint("unsafe-hygiene").unwrap();
+        assert!(u.allow_files.is_empty());
+        assert_eq!(u.paths, vec![PathBuf::from("crates")]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert!(Config::parse("[weird.section]").unwrap_err().contains("line 1"));
+        assert!(Config::parse("[lint.x]\npaths = [\"a\"")
+            .unwrap_err()
+            .contains("line 2"));
+        assert!(Config::parse("paths = [\"a\"]").unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn multi_line_arrays_join() {
+        let cfg = Config::parse(
+            "[lint.ni-no-float]\npaths = [\n    \"a\",  # trailing comment\n    \"b\",\n]\n[lint.ni-no-panic]\npaths = [\"c\"]",
+        )
+        .unwrap();
+        assert_eq!(cfg.lints[0].paths, vec![PathBuf::from("a"), PathBuf::from("b")]);
+        assert_eq!(cfg.lints[1].paths, vec![PathBuf::from("c")]);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[lint.x]\npaths = [\"dir#1\"] # real comment").unwrap();
+        assert_eq!(cfg.lints[0].paths[0], PathBuf::from("dir#1"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Findings and their rendering (rustc-style text, or JSON for tooling).
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint family that fired (`ni-no-float`, …).
+    pub lint: String,
+    /// Repo-relative file.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What went wrong.
+    pub message: String,
+    /// Optional remediation note.
+    pub note: Option<String>,
+}
+
+impl fmt::Display for Finding {
+    /// rustc-style: `error[lint]: message` + `  --> file:line:col`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}]: {}", self.lint, self.message)?;
+        write!(f, "  --> {}:{}:{}", self.file.display(), self.line, self.col)?;
+        if let Some(note) = &self.note {
+            write!(f, "\n   = note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Render findings as a JSON array (hand-rolled: this crate takes no
+/// dependencies, and the schema is four scalar fields).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"lint\": \"{}\", ", escape(&f.lint)));
+        out.push_str(&format!("\"file\": \"{}\", ", escape(&f.file.display().to_string())));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"col\": {}, ", f.col));
+        out.push_str(&format!("\"message\": \"{}\"", escape(&f.message)));
+        if let Some(note) = &f.note {
+            out.push_str(&format!(", \"note\": \"{}\"", escape(note)));
+        }
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            lint: "ni-no-float".into(),
+            file: PathBuf::from("crates/dwcs/src/admission.rs"),
+            line: 35,
+            col: 9,
+            message: "f64 in NI-resident code".into(),
+            note: Some("use fixedpt::Q16 or Frac".into()),
+        }
+    }
+
+    #[test]
+    fn display_is_rustc_shaped() {
+        let text = sample().to_string();
+        assert!(text.starts_with("error[ni-no-float]: "));
+        assert!(text.contains("--> crates/dwcs/src/admission.rs:35:9"));
+        assert!(text.contains("note: use fixedpt"));
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let mut f = sample();
+        f.message = "contains \"quotes\" and \\slash".into();
+        f.note = None;
+        let json = to_json(&[f]);
+        assert!(json.contains(r#"\"quotes\""#));
+        assert!(json.contains(r#""line": 35"#));
+        assert!(!json.contains("note"));
+        assert_eq!(to_json(&[]), "[]");
+    }
+}

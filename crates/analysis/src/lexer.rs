@@ -1,0 +1,590 @@
+//! A small Rust lexer, just deep enough for token-level lints.
+//!
+//! This is deliberately **not** a full Rust grammar: the lints only need a
+//! faithful token stream where string/char literals, comments, lifetimes and
+//! numeric literals are classified correctly (so that `"f64"` in a string or
+//! `// no f64 here` in a comment never fires a lint, and `0..5`, `x.0` and
+//! `1.max(2)` are not mistaken for float literals). Everything else is a
+//! one-character punctuation token.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`s, without the `r#`).
+    Ident,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer literal (any radix, with or without suffix).
+    Int,
+    /// Float literal (`1.5`, `1.`, `2e9`, `3f64`, `1.5e-3`).
+    Float,
+    /// String-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`, `'x'`, `b'x'`.
+    Str,
+    /// `// …` comment (text includes the slashes; doc comments too).
+    LineComment,
+    /// `/* … */` comment (nesting handled; text includes delimiters).
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text of the token.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether this is a punctuation token for character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenise `src`. Unterminated literals/comments are tolerated (the rest of
+/// the file becomes part of the open token) — the analyzer must never panic
+/// on weird input, only classify conservatively.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            toks.push(Tok {
+                kind: TokKind::LineComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(ch) = cur.peek(0) {
+                if ch == '/' && cur.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    cur.bump();
+                    cur.bump();
+                } else if ch == '*' && cur.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(ch);
+                    cur.bump();
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::BlockComment,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // String-like literals with prefixes: r"", r#""#, b"", br#""#, c"",
+        // cr#""#, b''. Check before identifier lexing so the prefix letters
+        // are not consumed as an ident.
+        if matches!(c, 'r' | 'b' | 'c') {
+            if let Some(tok) = try_prefixed_literal(&mut cur, line, col) {
+                toks.push(tok);
+                continue;
+            }
+        }
+
+        if c == '"' {
+            toks.push(lex_plain_string(&mut cur, line, col));
+            continue;
+        }
+
+        if c == '\'' {
+            toks.push(lex_quote(&mut cur, line, col));
+            continue;
+        }
+
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if is_ident_continue(ch) {
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            toks.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+
+        // Raw identifier r#name is handled above via try_prefixed_literal
+        // falling through; everything else is one punctuation char.
+        cur.bump();
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`, `b'x'`, and raw idents
+/// `r#name`. Returns `None` when the cursor is on a plain identifier that
+/// merely starts with r/b/c.
+fn try_prefixed_literal(cur: &mut Cursor, line: u32, col: u32) -> Option<Tok> {
+    // Longest literal prefix is two letters (`br`, `cr`, `rb` is invalid but
+    // harmless to reject). Scan: letters from {r,b,c}, then #*, then a quote.
+    let mut ahead = 0usize;
+    let mut prefix = String::new();
+    while ahead < 2 {
+        match cur.peek(ahead) {
+            Some(ch @ ('r' | 'b' | 'c')) => {
+                prefix.push(ch);
+                ahead += 1;
+            }
+            _ => break,
+        }
+    }
+    let mut hashes = 0usize;
+    while cur.peek(ahead + hashes) == Some('#') {
+        hashes += 1;
+    }
+    let raw = prefix.contains('r');
+    let quote = cur.peek(ahead + hashes)?;
+
+    // Raw identifier: r#name (one hash, no quote, ident follows).
+    if prefix == "r" && hashes == 1 && is_ident_start(quote) {
+        cur.bump(); // r
+        cur.bump(); // #
+        let mut text = String::new();
+        while let Some(ch) = cur.peek(0) {
+            if is_ident_continue(ch) {
+                text.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Some(Tok {
+            kind: TokKind::Ident,
+            text,
+            line,
+            col,
+        });
+    }
+
+    if hashes > 0 && !raw {
+        return None; // `b#` is not a literal prefix
+    }
+    match quote {
+        '"' => {}
+        '\'' if prefix == "b" && hashes == 0 => {
+            // Byte char literal b'x'.
+            cur.bump(); // b
+            let mut t = lex_quote(cur, line, col);
+            t.text.insert(0, 'b');
+            return Some(t);
+        }
+        _ => return None,
+    }
+
+    // Commit: consume prefix, hashes and the opening quote.
+    let mut text = String::new();
+    for _ in 0..(ahead + hashes + 1) {
+        text.push(cur.bump().expect("scanned above"));
+    }
+    if raw {
+        // Ends at `"` followed by `hashes` hashes; no escapes.
+        while let Some(ch) = cur.peek(0) {
+            if ch == '"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if cur.peek(1 + i) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..=hashes {
+                        text.push(cur.bump().expect("scanned above"));
+                    }
+                    break;
+                }
+            }
+            text.push(ch);
+            cur.bump();
+        }
+    } else {
+        finish_escaped_string(cur, &mut text);
+    }
+    Some(Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    })
+}
+
+fn lex_plain_string(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    text.push(cur.bump().expect("caller saw the quote"));
+    finish_escaped_string(cur, &mut text);
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Consume an escape-aware double-quoted string body including the closing
+/// quote (cursor is just past the opening quote).
+fn finish_escaped_string(cur: &mut Cursor, text: &mut String) {
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            text.push(ch);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        text.push(ch);
+        cur.bump();
+        if ch == '"' {
+            break;
+        }
+    }
+}
+
+/// `'` opens either a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    text.push(cur.bump().expect("caller saw the quote"));
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume through the closing quote.
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\\' {
+                    text.push(ch);
+                    cur.bump();
+                    if let Some(esc) = cur.bump() {
+                        text.push(esc);
+                    }
+                    continue;
+                }
+                text.push(ch);
+                cur.bump();
+                if ch == '\'' {
+                    break;
+                }
+            }
+            Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(ch) if is_ident_start(ch) || ch.is_ascii_digit() => {
+            if cur.peek(1) == Some('\'') {
+                // 'a' — plain char literal.
+                text.push(cur.bump().expect("peeked"));
+                text.push(cur.bump().expect("peeked"));
+                Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                }
+            } else {
+                // 'lifetime — no closing quote.
+                while let Some(c2) = cur.peek(0) {
+                    if is_ident_continue(c2) {
+                        text.push(c2);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                }
+            }
+        }
+        Some(ch) => {
+            // Punctuation char literal like '(' .
+            text.push(ch);
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            }
+        }
+        None => Tok {
+            kind: TokKind::Str,
+            text,
+            line,
+            col,
+        },
+    }
+}
+
+/// Numeric literal, with the disambiguation the float lint depends on:
+/// `0..5` and `1.max(2)` and tuple access `x.0` stay integers, while `1.`,
+/// `1.5`, `2e9` and `3f64` are floats.
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    let mut kind = TokKind::Int;
+
+    // Radix prefixes: the body may contain e/E (hex digits), so exponent
+    // logic must not apply.
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+        text.push(cur.bump().expect("peeked"));
+        text.push(cur.bump().expect("peeked"));
+        while let Some(ch) = cur.peek(0) {
+            if ch.is_ascii_alphanumeric() || ch == '_' {
+                text.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Tok { kind, text, line, col };
+    }
+
+    while let Some(ch) = cur.peek(0) {
+        if ch.is_ascii_digit() || ch == '_' {
+            text.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+
+    // Fractional part?
+    if cur.peek(0) == Some('.') {
+        match cur.peek(1) {
+            Some('.') => {}                      // range `0..5`
+            Some(ch) if is_ident_start(ch) => {} // method `1.max(2)`
+            _ => {
+                // `1.`, `1.5`, `1.5e3` — a float.
+                kind = TokKind::Float;
+                text.push(cur.bump().expect("peeked"));
+                while let Some(ch) = cur.peek(0) {
+                    if ch.is_ascii_digit() || ch == '_' {
+                        text.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Exponent (valid on both `1e3` and `1.5e-3`).
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let sign = matches!(cur.peek(1), Some('+' | '-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if matches!(cur.peek(digit_at), Some(d) if d.is_ascii_digit()) {
+            kind = TokKind::Float;
+            text.push(cur.bump().expect("peeked"));
+            if sign {
+                text.push(cur.bump().expect("peeked"));
+            }
+            while let Some(ch) = cur.peek(0) {
+                if ch.is_ascii_digit() || ch == '_' {
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Suffix: `3f64` is a float; `3u32` stays an integer.
+    if matches!(cur.peek(0), Some(ch) if is_ident_start(ch)) {
+        let mut suffix = String::new();
+        while let Some(ch) = cur.peek(0) {
+            if is_ident_continue(ch) {
+                suffix.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix == "f32" || suffix == "f64" {
+            kind = TokKind::Float;
+        }
+        text.push_str(&suffix);
+    }
+
+    Tok { kind, text, line, col }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn float_disambiguation() {
+        // Ranges, method calls and tuple indices are not floats.
+        let toks = kinds("let a = 0..5; let b = 1.max(2); let c = x.0; let d = 3u64;");
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::Float), "{toks:?}");
+        // Real float spellings are.
+        for src in ["1.5", "1.", "2e9", "1.5e-3", "3f64", "4f32", "1_000.5"] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!(toks[0].0, TokKind::Float, "{src}");
+        }
+        // Hex digits that look like exponents/suffixes stay integers.
+        for src in ["0x1E", "0x1f64", "0b1010", "0o17", "5usize"] {
+            assert_eq!(kinds(src)[0].0, TokKind::Int, "{src}");
+        }
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"let s = "f64 1.5 unwrap()"; // f64 in comment
+            /* 2.5e3 unsafe */ let r = r#"panic!("1.0")"#;"##;
+        let toks = lex(src);
+        assert!(toks.iter().all(|t| t.kind != TokKind::Float));
+        assert!(!toks.iter().any(|t| t.is_ident("f64")));
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].text.starts_with("r#\""));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner 1.5 */ still comment */ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let p = '('; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(chars.len(), 3, "{chars:?}"); // 'x', '\n', '(' — `str` itself is an Ident
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_idents_and_byte_chars() {
+        let toks = lex("let r#type = b'x'; br#\"raw \"bytes\"\"#");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].text, "b'x'");
+        assert!(strs[1].text.starts_with("br#"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Repo-specific static analysis for the nistream workspace.
+//!
+//! The paper's scheduler runs as firmware on an FPU-less i960RD network
+//! interface; this crate mechanically enforces the coding invariants that
+//! fact imposes on the NI-resident crates, plus determinism rules for the
+//! simulation crates and hygiene rules for `unsafe`. See DESIGN.md,
+//! "Static invariants", for the rationale of each family:
+//!
+//! * [`lints::NI_NO_FLOAT`] — no `f32`/`f64`, float literals or casts in
+//!   NI-resident code.
+//! * [`lints::NI_NO_PANIC`] — no `unwrap()`/`expect(…)`/`panic!`-family
+//!   macros outside tests.
+//! * [`lints::SIM_DETERMINISM`] — no wall clock or hash-order-dependent
+//!   collections in the simulation crates.
+//! * [`lints::UNSAFE_HYGIENE`] — `unsafe` only in allowlisted files and
+//!   only with a `// SAFETY:` comment.
+//!
+//! Run from the workspace root:
+//!
+//! ```text
+//! cargo run -p nistream-analysis -- check [--format=json]
+//! ```
+//!
+//! Exemptions: `#[cfg(test)]` items and `mod tests` blocks are skipped
+//! wholesale; individual violations can be waived with
+//! `// analysis: allow(<lint>) reason="…"` (the reason is mandatory).
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod scope;
+
+pub use config::Config;
+pub use diag::{to_json, Finding};
+
+use std::path::{Path, PathBuf};
+
+/// Recursively collect `.rs` files under `path` (which may itself be a
+/// file). Hidden directories and `target/` are skipped.
+fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(path)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort(); // deterministic scan order → deterministic report order
+    for entry in entries {
+        let name = entry.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if entry.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&entry, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Resolve a lint's configured path set to concrete repo-relative files.
+fn lint_files(root: &Path, cfg: &config::LintConfig) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for rel in &cfg.paths {
+        let abs = root.join(rel);
+        if !abs.exists() {
+            return Err(format!(
+                "[lint.{}] path `{}` does not exist under {}",
+                cfg.name,
+                rel.display(),
+                root.display()
+            ));
+        }
+        collect_rs_files(&abs, &mut files)
+            .map_err(|e| format!("[lint.{}] scanning `{}`: {e}", cfg.name, rel.display()))?;
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+/// Check the repository at `root` against `cfg`. Findings are sorted by
+/// (file, line, col). `Err` is reserved for configuration/IO problems —
+/// rule violations are `Ok` findings.
+pub fn check(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    for lint in &cfg.lints {
+        if !lints::ALL_LINTS.contains(&lint.name.as_str()) {
+            return Err(format!(
+                "analysis.toml names unknown lint `{}` (known: {})",
+                lint.name,
+                lints::ALL_LINTS.join(", ")
+            ));
+        }
+    }
+
+    // Union of every lint's file set; each file is read and lexed once.
+    let mut per_lint: Vec<(String, Vec<PathBuf>)> = Vec::new();
+    let mut all_files: Vec<PathBuf> = Vec::new();
+    for lint in &cfg.lints {
+        let files = lint_files(root, lint)?;
+        all_files.extend(files.iter().cloned());
+        per_lint.push((lint.name.clone(), files));
+    }
+    all_files.sort();
+    all_files.dedup();
+
+    let mut findings = Vec::new();
+    for file in &all_files {
+        let src = std::fs::read_to_string(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let toks = lexer::lex(&src);
+        let scopes = scope::analyze(&toks);
+        let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
+
+        // Malformed allow annotations are findings wherever they appear.
+        for (line, col, msg) in &scopes.bad_annotations {
+            findings.push(Finding {
+                lint: "malformed-allow".into(),
+                file: rel.clone(),
+                line: *line,
+                col: *col,
+                message: msg.clone(),
+                note: Some(
+                    "the escape hatch is `// analysis: allow(<lint>) reason=\"…\"` — \
+                     the reason is mandatory"
+                        .into(),
+                ),
+            });
+        }
+
+        for (name, files) in &per_lint {
+            if !files.contains(file) {
+                continue;
+            }
+            match name.as_str() {
+                lints::NI_NO_FLOAT => lints::ni_no_float(&rel, &toks, &scopes, &mut findings),
+                lints::NI_NO_PANIC => lints::ni_no_panic(&rel, &toks, &scopes, &mut findings),
+                lints::SIM_DETERMINISM => lints::sim_determinism(&rel, &toks, &scopes, &mut findings),
+                lints::UNSAFE_HYGIENE => {
+                    let allowed = cfg
+                        .lint(lints::UNSAFE_HYGIENE)
+                        .is_some_and(|l| l.allow_files.contains(&rel));
+                    lints::unsafe_hygiene(&rel, &toks, &scopes, allowed, &mut findings)
+                }
+                _ => unreachable!("validated above"),
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.col, &a.lint).cmp(&(&b.file, b.line, b.col, &b.lint)));
+    Ok(findings)
+}
+
+/// Convenience: load `analysis.toml` from `root` and run [`check`].
+pub fn check_root(root: &Path) -> Result<Vec<Finding>, String> {
+    let cfg_path = root.join("analysis.toml");
+    let text = std::fs::read_to_string(&cfg_path).map_err(|e| format!("reading {}: {e}", cfg_path.display()))?;
+    let cfg = Config::parse(&text)?;
+    check(root, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The checked-in fixtures under `fixtures/` each violate exactly one
+    /// lint family; running the checker over them exercises the whole
+    /// pipeline (config → walk → lex → scope → lint → sort).
+    #[test]
+    fn fixtures_trip_each_family() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let cfg = Config::parse(
+            r#"
+            [lint.ni-no-float]
+            paths = ["float_violations.rs"]
+            [lint.ni-no-panic]
+            paths = ["panic_violations.rs"]
+            [lint.sim-determinism]
+            paths = ["determinism_violations.rs"]
+            [lint.unsafe-hygiene]
+            paths = ["unsafe_violations.rs"]
+            allow_files = []
+            "#,
+        )
+        .unwrap();
+        let findings = check(&root, &cfg).unwrap();
+        for lint in lints::ALL_LINTS {
+            assert!(
+                findings.iter().any(|f| f.lint == lint),
+                "expected at least one {lint} finding, got {findings:?}"
+            );
+        }
+        // The fixtures also demonstrate every exemption: annotated and
+        // test-region lines must NOT fire.
+        assert!(
+            !findings.iter().any(|f| f.lint == "malformed-allow"),
+            "fixture allows are well-formed: {findings:?}"
+        );
+        for f in &findings {
+            assert_ne!(f.line, 0);
+            assert_ne!(f.col, 0);
+        }
+    }
+
+    #[test]
+    fn clean_fixture_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let cfg =
+            Config::parse("[lint.ni-no-float]\npaths = [\"clean.rs\"]\n[lint.ni-no-panic]\npaths = [\"clean.rs\"]")
+                .unwrap();
+        assert_eq!(check(&root, &cfg).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn unknown_lint_is_a_config_error() {
+        let cfg = Config::parse("[lint.no-such-lint]\npaths = [\"src\"]").unwrap();
+        let err = check(Path::new(env!("CARGO_MANIFEST_DIR")), &cfg).unwrap_err();
+        assert!(err.contains("no-such-lint"));
+    }
+
+    #[test]
+    fn missing_path_is_a_config_error() {
+        let cfg = Config::parse("[lint.ni-no-float]\npaths = [\"no/such/dir\"]").unwrap();
+        let err = check(Path::new(env!("CARGO_MANIFEST_DIR")), &cfg).unwrap_err();
+        assert!(err.contains("does not exist"));
+    }
+}

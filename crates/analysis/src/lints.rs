@@ -1,0 +1,256 @@
+//! The four lint families, as scans over one file's token stream.
+//!
+//! Each pass receives the tokens plus the [`Scopes`] exemption state and
+//! reports [`Finding`]s for non-exempt tokens only. The mapping of lints to
+//! paths lives in `analysis.toml`; these functions do not know which crates
+//! they run over.
+
+use crate::diag::Finding;
+use crate::lexer::{Tok, TokKind};
+use crate::scope::Scopes;
+use std::path::Path;
+
+/// `ni-no-float`: the paper's i960RD has no FPU — NI-resident code must not
+/// mention `f32`/`f64` (types, `as` casts, suffixed literals) or spell a
+/// float literal. Fixed-point (`fixedpt::{Q16, Frac}`) carries all ratios.
+pub const NI_NO_FLOAT: &str = "ni-no-float";
+/// `ni-no-panic`: firmware must degrade, not die — no `unwrap()`,
+/// `expect(…)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` outside
+/// tests. Invariants may be annotated with an allow + reason.
+pub const NI_NO_PANIC: &str = "ni-no-panic";
+/// `sim-determinism`: simulation crates must be replayable — no wall-clock
+/// (`Instant::now`, `SystemTime`) and no iteration-order-unstable
+/// collections (`HashMap`, `HashSet`).
+pub const SIM_DETERMINISM: &str = "sim-determinism";
+/// `unsafe-hygiene`: `unsafe` only in allowlisted files, and every use must
+/// carry a `// SAFETY:` comment.
+pub const UNSAFE_HYGIENE: &str = "unsafe-hygiene";
+
+/// All lint names, for config validation.
+pub const ALL_LINTS: [&str; 4] = [NI_NO_FLOAT, NI_NO_PANIC, SIM_DETERMINISM, UNSAFE_HYGIENE];
+
+fn finding(lint: &str, file: &Path, tok: &Tok, message: String, note: &str) -> Finding {
+    Finding {
+        lint: lint.to_string(),
+        file: file.to_path_buf(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        note: (!note.is_empty()).then(|| note.to_string()),
+    }
+}
+
+/// Run `ni-no-float` over one file.
+pub fn ni_no_float(file: &Path, toks: &[Tok], scopes: &Scopes, out: &mut Vec<Finding>) {
+    const NOTE: &str = "NI-resident code runs on an FPU-less i960-class core; \
+                        use fixedpt::Q16 or fixedpt::Frac (see DESIGN.md, Static invariants)";
+    for (i, t) in toks.iter().enumerate() {
+        if scopes.is_exempt(NI_NO_FLOAT, i) {
+            continue;
+        }
+        match t.kind {
+            TokKind::Float => out.push(finding(
+                NI_NO_FLOAT,
+                file,
+                t,
+                format!("floating-point literal `{}` in NI-resident code", t.text),
+                NOTE,
+            )),
+            TokKind::Ident if t.text == "f32" || t.text == "f64" => out.push(finding(
+                NI_NO_FLOAT,
+                file,
+                t,
+                format!("`{}` mentioned in NI-resident code", t.text),
+                NOTE,
+            )),
+            _ => {}
+        }
+    }
+}
+
+/// Run `ni-no-panic` over one file.
+pub fn ni_no_panic(file: &Path, toks: &[Tok], scopes: &Scopes, out: &mut Vec<Finding>) {
+    const NOTE: &str = "NI firmware must degrade rather than die: return a typed error, \
+                        or justify the invariant with `// analysis: allow(ni-no-panic) reason=\"…\"`";
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    for (ci, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || scopes.is_exempt(NI_NO_PANIC, i) {
+            continue;
+        }
+        let next = code.get(ci + 1).map(|&j| &toks[j]);
+        let prev = ci.checked_sub(1).map(|p| &toks[code[p]]);
+        match t.text.as_str() {
+            // Panicking macros.
+            "panic" | "unreachable" | "todo" | "unimplemented" if next.is_some_and(|n| n.is_punct('!')) => {
+                out.push(finding(
+                    NI_NO_PANIC,
+                    file,
+                    t,
+                    format!("`{}!` in non-test NI code", t.text),
+                    NOTE,
+                ));
+            }
+            // `.unwrap()` / `.expect(…)` method calls.
+            "unwrap" | "expect" if prev.is_some_and(|p| p.is_punct('.')) && next.is_some_and(|n| n.is_punct('(')) => {
+                out.push(finding(
+                    NI_NO_PANIC,
+                    file,
+                    t,
+                    format!("`.{}(…)` in non-test NI code", t.text),
+                    NOTE,
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Run `sim-determinism` over one file.
+pub fn sim_determinism(file: &Path, toks: &[Tok], scopes: &Scopes, out: &mut Vec<Finding>) {
+    const NOTE: &str = "simulation crates must be replayable from a seed: use the simulated \
+                        clock for time and BTreeMap/BTreeSet (stable iteration) for collections";
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    for (ci, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || scopes.is_exempt(SIM_DETERMINISM, i) {
+            continue;
+        }
+        match t.text.as_str() {
+            "HashMap" | "HashSet" | "SystemTime" => out.push(finding(
+                SIM_DETERMINISM,
+                file,
+                t,
+                format!("`{}` in deterministic-simulation code", t.text),
+                NOTE,
+            )),
+            "Instant" => {
+                // Only `Instant::now(…)` is wall-clock; mentioning the type
+                // (e.g. in a host-facing signature) is fine.
+                let is_now = code.get(ci + 1).is_some_and(|&j| toks[j].is_punct(':'))
+                    && code.get(ci + 2).is_some_and(|&j| toks[j].is_punct(':'))
+                    && code.get(ci + 3).is_some_and(|&j| toks[j].is_ident("now"));
+                if is_now {
+                    out.push(finding(
+                        SIM_DETERMINISM,
+                        file,
+                        t,
+                        "`Instant::now` (wall clock) in deterministic-simulation code".to_string(),
+                        NOTE,
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Run `unsafe-hygiene` over one file. `allowed` — is this file on the
+/// unsafe allowlist?
+pub fn unsafe_hygiene(file: &Path, toks: &[Tok], scopes: &Scopes, allowed: bool, out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") || scopes.is_exempt(UNSAFE_HYGIENE, i) {
+            continue;
+        }
+        if !allowed {
+            out.push(finding(
+                UNSAFE_HYGIENE,
+                file,
+                t,
+                "`unsafe` in a file not on the unsafe allowlist".to_string(),
+                "add the file to `allow_files` under [lint.unsafe-hygiene] in analysis.toml \
+                 (with review) or remove the unsafe code",
+            ));
+        }
+        // A `// SAFETY:` comment must appear on the same line or the
+        // immediately preceding comment lines.
+        let mut documented = false;
+        for other in toks.iter() {
+            if other.kind != TokKind::LineComment && other.kind != TokKind::BlockComment {
+                continue;
+            }
+            let dist_ok = other.line <= t.line && t.line - other.line <= 3;
+            if dist_ok && other.text.contains("SAFETY:") {
+                documented = true;
+                break;
+            }
+        }
+        if !documented {
+            out.push(finding(
+                UNSAFE_HYGIENE,
+                file,
+                t,
+                "`unsafe` without a `// SAFETY:` comment".to_string(),
+                "document why this block is sound in a `// SAFETY:` comment directly above it",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::analyze;
+    use std::path::PathBuf;
+
+    fn run(lint: &str, src: &str) -> Vec<Finding> {
+        let toks = lex(src);
+        let scopes = analyze(&toks);
+        let file = PathBuf::from("x.rs");
+        let mut out = Vec::new();
+        match lint {
+            NI_NO_FLOAT => ni_no_float(&file, &toks, &scopes, &mut out),
+            NI_NO_PANIC => ni_no_panic(&file, &toks, &scopes, &mut out),
+            SIM_DETERMINISM => sim_determinism(&file, &toks, &scopes, &mut out),
+            UNSAFE_HYGIENE => unsafe_hygiene(&file, &toks, &scopes, false, &mut out),
+            _ => unreachable!(),
+        }
+        out
+    }
+
+    #[test]
+    fn float_lint_catches_types_literals_and_casts() {
+        let hits = run(NI_NO_FLOAT, "fn f(x: f64) -> f32 { (x * 1.5) as f32 as f64 as _ }");
+        assert_eq!(hits.len(), 5, "{hits:?}"); // f64, f32, 1.5, f32, f64
+        assert!(run(NI_NO_FLOAT, "let s = \"f64 1.5\"; // f64\nlet r = 0..5; let t = x.0;").is_empty());
+    }
+
+    #[test]
+    fn panic_lint_needs_call_shape() {
+        let hits = run(NI_NO_PANIC, "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"b\"); }");
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        // Idents alone (a fn named unwrap, a field expect) do not fire.
+        assert!(run(NI_NO_PANIC, "fn unwrap() {} let expect = 3; let p = panic; ").is_empty());
+    }
+
+    #[test]
+    fn determinism_lint_allows_instant_type_but_not_now() {
+        let hits = run(
+            SIM_DETERMINISM,
+            "use std::collections::HashMap; let t = Instant::now();",
+        );
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(run(
+            SIM_DETERMINISM,
+            "fn sig(epoch: Instant) {} use std::collections::BTreeMap;"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unsafe_lint_flags_undocumented_and_unlisted() {
+        let hits = run(
+            UNSAFE_HYGIENE,
+            "fn f() { unsafe { core::hint::unreachable_unchecked() } }",
+        );
+        assert_eq!(hits.len(), 2, "allowlist + SAFETY: {hits:?}");
+        // With a SAFETY comment, only the allowlist finding remains.
+        let hits = run(UNSAFE_HYGIENE, "// SAFETY: caller checked bounds\nunsafe { go() }");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+}

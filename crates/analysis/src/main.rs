@@ -1,0 +1,77 @@
+//! CLI: `cargo run -p nistream-analysis -- check [--format=json] [--root=DIR]`.
+//!
+//! Exit status: 0 when the tree is clean, 1 when any finding is reported,
+//! 2 on usage/configuration errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: nistream-analysis check [--format=json|text] [--root=DIR]\n\
+         \n\
+         Runs the lint families configured in <root>/analysis.toml over the\n\
+         repository. The default root is the workspace the binary was built\n\
+         from, so `cargo run -p nistream-analysis -- check` works anywhere\n\
+         inside the repo."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    if cmd != "check" {
+        return usage();
+    }
+
+    let mut format_json = false;
+    // Default root: the workspace directory, two levels above this crate's
+    // manifest (crates/analysis) — robust to being run from any cwd.
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    for arg in args {
+        if arg == "--format=json" {
+            format_json = true;
+        } else if arg == "--format=text" {
+            format_json = false;
+        } else if let Some(dir) = arg.strip_prefix("--root=") {
+            root = PathBuf::from(dir);
+        } else {
+            return usage();
+        }
+    }
+
+    let findings = match nistream_analysis::check_root(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("nistream-analysis: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format_json {
+        println!("{}", nistream_analysis::to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}\n");
+        }
+        if findings.is_empty() {
+            println!("nistream-analysis: clean (0 findings)");
+        } else {
+            println!("nistream-analysis: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,349 @@
+//! Token-region analysis: which tokens are exempt from which lints.
+//!
+//! Two exemption mechanisms exist:
+//!
+//! * **Test regions** — tokens under a `#[cfg(test)]` attribute (the
+//!   attached item, brace-matched) or inside a `mod tests { … }` block are
+//!   exempt from every lint: test code may use floats, `unwrap()` and
+//!   wall-clock freely.
+//! * **Allow annotations** — `// analysis: allow(<lint>) reason="…"`
+//!   exempts the rest of its own line, or (when the comment stands alone on
+//!   a line) the following statement/item. The reason is mandatory; an
+//!   annotation without one is itself reported.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Exemption state for one file's token stream.
+pub struct Scopes {
+    /// `in_test[i]` — token `i` sits in test-only code.
+    pub in_test: Vec<bool>,
+    /// `(lint-name, mask)`: tokens covered by an allow annotation for that lint.
+    pub allows: Vec<(String, Vec<bool>)>,
+    /// Malformed annotations: `(line, col, message)`.
+    pub bad_annotations: Vec<(u32, u32, String)>,
+}
+
+impl Scopes {
+    /// Whether token `i` is allowed to violate `lint`.
+    pub fn is_exempt(&self, lint: &str, i: usize) -> bool {
+        if self.in_test.get(i).copied().unwrap_or(false) {
+            return true;
+        }
+        self.allows
+            .iter()
+            .any(|(name, mask)| name == lint && mask.get(i).copied().unwrap_or(false))
+    }
+}
+
+/// Is `toks[i]` a code token (not a comment)?
+fn is_code(toks: &[Tok], i: usize) -> bool {
+    !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment)
+}
+
+/// From a code token index, find the end (inclusive) of the statement or
+/// item that starts there: the matching `}` of the first top-level `{`, or
+/// the first `;` at nesting depth zero, whichever comes first.
+fn item_extent(toks: &[Tok], start: usize) -> usize {
+    let mut depth = 0i32; // (), [] nesting — a `;` inside parens ends nothing
+    let mut i = start;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'(') | Some(b'[') => depth += 1,
+                Some(b')') | Some(b']') => depth -= 1,
+                Some(b'{') if depth == 0 => {
+                    // Brace-match from here.
+                    let mut braces = 0i32;
+                    while i < toks.len() {
+                        if toks[i].is_punct('{') {
+                            braces += 1;
+                        } else if toks[i].is_punct('}') {
+                            braces -= 1;
+                            if braces == 0 {
+                                return i;
+                            }
+                        }
+                        i += 1;
+                    }
+                    return toks.len() - 1;
+                }
+                Some(b';') if depth == 0 => return i,
+                // Closing brace of the *enclosing* block: the extent was a
+                // tail expression; it ends here.
+                Some(b'}') if depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Mark `mask[from..=to] = true`.
+fn mark(mask: &mut [bool], from: usize, to: usize) {
+    for m in mask.iter_mut().take(to + 1).skip(from) {
+        *m = true;
+    }
+}
+
+/// Does the attribute body `toks[open..close]` (exclusive bracket indices)
+/// mention `cfg … test`? Matches `#[cfg(test)]` and `#[cfg(any(test, …))]`.
+fn attr_is_cfg_test(toks: &[Tok], open: usize, close: usize) -> bool {
+    let mut saw_cfg = false;
+    for t in &toks[open..close] {
+        if t.is_ident("cfg") {
+            saw_cfg = true;
+        }
+        if saw_cfg && t.is_ident("test") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Compute test regions: `#[cfg(test)]`-attached items and `mod tests`
+/// blocks.
+fn test_regions(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        // `#[ … ]` (outer) or `#![ … ]` (inner).
+        if toks[i].is_punct('#') {
+            let inner = i + 1 < toks.len() && toks[i + 1].is_punct('!');
+            let lb = if inner { i + 2 } else { i + 1 };
+            if lb < toks.len() && toks[lb].is_punct('[') {
+                // Find the matching `]`.
+                let mut depth = 0i32;
+                let mut j = lb;
+                while j < toks.len() {
+                    if toks[j].is_punct('[') {
+                        depth += 1;
+                    } else if toks[j].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                if j < toks.len() && attr_is_cfg_test(toks, lb + 1, j) {
+                    if inner {
+                        // `#![cfg(test)]`: the whole enclosing scope (for
+                        // our purposes, the rest of the file) is test-only.
+                        mark(&mut mask, i, toks.len() - 1);
+                        return mask;
+                    }
+                    // Attach to the next item: skip further attributes.
+                    let mut k = j + 1;
+                    while k < toks.len() {
+                        if toks[k].is_punct('#') && k + 1 < toks.len() && toks[k + 1].is_punct('[') {
+                            let mut d = 0i32;
+                            while k < toks.len() {
+                                if toks[k].is_punct('[') {
+                                    d += 1;
+                                } else if toks[k].is_punct(']') {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                k += 1;
+                            }
+                            k += 1;
+                        } else if !is_code(toks, k) {
+                            k += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    if k < toks.len() {
+                        let end = item_extent(toks, k);
+                        mark(&mut mask, i, end);
+                        i = end + 1;
+                        continue;
+                    }
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        // `mod tests { … }` — belt and braces for test modules whose
+        // `#[cfg(test)]` is spelled in a way the attribute scan missed.
+        if toks[i].is_ident("mod") && i + 2 < toks.len() && toks[i + 1].is_ident("tests") && toks[i + 2].is_punct('{') {
+            let end = item_extent(toks, i);
+            mark(&mut mask, i, end);
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Parse one `// analysis: allow(<lint>) reason="…"` comment. Returns
+/// `Ok(Some(lint))` for a well-formed annotation, `Ok(None)` for a comment
+/// that is not an annotation at all, and `Err(msg)` for a malformed one.
+fn parse_allow(text: &str) -> Result<Option<String>, String> {
+    let body = text.trim_start_matches('/').trim();
+    let Some(rest) = body.strip_prefix("analysis:") else {
+        return Ok(None);
+    };
+    let rest = rest.trim();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Err(format!("unrecognised analysis annotation: `{body}`"));
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("analysis: allow(...) is missing its closing parenthesis".into());
+    };
+    let lint = rest[..close].trim().to_string();
+    if lint.is_empty() {
+        return Err("analysis: allow() names no lint".into());
+    }
+    let tail = rest[close + 1..].trim();
+    let Some(reason) = tail.strip_prefix("reason=\"") else {
+        return Err(format!("analysis: allow({lint}) requires a reason: `reason=\"…\"`"));
+    };
+    if reason.trim_end_matches('"').trim().is_empty() {
+        return Err(format!("analysis: allow({lint}) has an empty reason"));
+    }
+    Ok(Some(lint))
+}
+
+/// Build the full exemption state for a token stream.
+pub fn analyze(toks: &[Tok]) -> Scopes {
+    let in_test = test_regions(toks);
+    let mut allows: Vec<(String, Vec<bool>)> = Vec::new();
+    let mut bad = Vec::new();
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let lint = match parse_allow(&t.text) {
+            Ok(Some(l)) => l,
+            Ok(None) => continue,
+            Err(msg) => {
+                bad.push((t.line, t.col, msg));
+                continue;
+            }
+        };
+        let idx = match allows.iter().position(|(n, _)| *n == lint) {
+            Some(p) => p,
+            None => {
+                allows.push((lint.clone(), vec![false; toks.len()]));
+                allows.len() - 1
+            }
+        };
+        let mask = &mut allows[idx].1;
+        // Trailing form: exempt earlier tokens on the same line.
+        let mut covered_same_line = false;
+        for (j, other) in toks.iter().enumerate() {
+            if j != i && other.line == t.line {
+                mask[j] = true;
+                if j < i && is_code(toks, j) {
+                    covered_same_line = true;
+                }
+            }
+        }
+        // Standalone form: exempt the following statement/item.
+        if !covered_same_line {
+            let mut k = i + 1;
+            while k < toks.len() && !is_code(toks, k) {
+                k += 1;
+            }
+            if k < toks.len() {
+                let end = item_extent(toks, k);
+                mark(mask, k, end);
+            }
+        }
+    }
+
+    Scopes {
+        in_test,
+        allows,
+        bad_annotations: bad,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let toks = lex("fn live() {}\n#[cfg(test)]\nmod t { fn x() { let f = 1.5; } }\nfn tail() {}");
+        let s = analyze(&toks);
+        let float_at = toks.iter().position(|t| t.text == "1.5").unwrap();
+        let tail_at = toks.iter().position(|t| t.is_ident("tail")).unwrap();
+        assert!(s.in_test[float_at]);
+        assert!(!s.in_test[tail_at]);
+        assert!(!s.in_test[0]);
+    }
+
+    #[test]
+    fn cfg_test_skips_interleaved_attributes() {
+        let toks = lex("#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { 2.5 }\nfn live() {}");
+        let s = analyze(&toks);
+        let float_at = toks.iter().position(|t| t.text == "2.5").unwrap();
+        let live_at = toks.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(s.in_test[float_at]);
+        assert!(!s.in_test[live_at]);
+    }
+
+    #[test]
+    fn mod_tests_block_is_exempt() {
+        let toks = lex("mod tests { fn a() { x.unwrap() } }\nfn live() {}");
+        let s = analyze(&toks);
+        let unwrap_at = toks.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(s.in_test[unwrap_at]);
+        let live_at = toks.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(!s.in_test[live_at]);
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_line_only() {
+        let toks = lex("let a = x.to_f64(); // analysis: allow(ni-no-float) reason=\"reporting\"\nlet b = 1.5;");
+        let s = analyze(&toks);
+        let a_at = toks.iter().position(|t| t.is_ident("a")).unwrap();
+        let b_float = toks.iter().position(|t| t.text == "1.5").unwrap();
+        assert!(s.is_exempt("ni-no-float", a_at));
+        assert!(!s.is_exempt("ni-no-float", b_float));
+        assert!(!s.is_exempt("ni-no-panic", a_at), "only the named lint");
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_item() {
+        let toks = lex(
+            "// analysis: allow(ni-no-float) reason=\"conversion helper\"\npub fn to_f64(x: u32) -> f64 { x as f64 }\nfn after() { 1.0; }",
+        );
+        let s = analyze(&toks);
+        let inside = toks.iter().position(|t| t.is_ident("as")).unwrap();
+        assert!(s.is_exempt("ni-no-float", inside));
+        let after_float = toks.iter().position(|t| t.text == "1.0").unwrap();
+        assert!(!s.is_exempt("ni-no-float", after_float));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let toks = lex("// analysis: allow(ni-no-float)\nlet x = 1.5;");
+        let s = analyze(&toks);
+        assert_eq!(s.bad_annotations.len(), 1);
+        assert!(s.bad_annotations[0].2.contains("reason"));
+        let float_at = toks.iter().position(|t| t.text == "1.5").unwrap();
+        assert!(!s.is_exempt("ni-no-float", float_at), "malformed allow grants nothing");
+    }
+
+    #[test]
+    fn statement_extent_stops_at_semicolon() {
+        let toks = lex(
+            "// analysis: allow(ni-no-panic) reason=\"invariant: ring non-empty\"\nlet v = q.pop().unwrap();\nlet w = r.pop().unwrap();",
+        );
+        let s = analyze(&toks);
+        let first = toks.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        let second = toks.iter().rposition(|t| t.is_ident("unwrap")).unwrap();
+        assert!(s.is_exempt("ni-no-panic", first));
+        assert!(!s.is_exempt("ni-no-panic", second));
+    }
+}

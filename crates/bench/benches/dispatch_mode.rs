@@ -12,7 +12,9 @@ fn run(mode: DispatchMode) -> u64 {
         ..SchedulerConfig::default()
     };
     let mut s = DwcsScheduler::with_config(DualHeap::new(8), cfg);
-    let sids: Vec<_> = (0..8).map(|i| s.add_stream(StreamQos::new(1_000_000 + i * 31, 2, 8))).collect();
+    let sids: Vec<_> = (0..8)
+        .map(|i| s.add_stream(StreamQos::new(1_000_000 + i * 31, 2, 8)))
+        .collect();
     for seq in 0..250u64 {
         for &sid in &sids {
             s.enqueue(sid, FrameDesc::new(sid, seq, 1000, FrameKind::P), seq);

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dwcs::{
-    BTreeRepr, CalendarQueue, DualHeap, DwcsScheduler, FrameDesc, FrameKind, LinearScan,
-    ScheduleRepr, SortedList, StreamId, StreamQos,
+    BTreeRepr, CalendarQueue, DualHeap, DwcsScheduler, FrameDesc, FrameKind, LinearScan, ScheduleRepr, SortedList,
+    StreamId, StreamQos,
 };
 use std::hint::black_box;
 
@@ -16,7 +16,11 @@ fn drive<R: ScheduleRepr>(repr: R, streams: u32, frames_per_stream: u64) -> u64 
         .collect();
     for seq in 0..frames_per_stream {
         for (i, &sid) in sids.iter().enumerate() {
-            s.enqueue(sid, FrameDesc::new(sid, seq, 1000, FrameKind::P), seq * 1_000 + i as u64);
+            s.enqueue(
+                sid,
+                FrameDesc::new(sid, seq, 1000, FrameKind::P),
+                seq * 1_000 + i as u64,
+            );
         }
     }
     let mut sent = 0u64;

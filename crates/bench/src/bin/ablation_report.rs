@@ -28,11 +28,14 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", format_table(
-        "Ablation 1: DWCS decision cost across offload targets (40 descriptor touches)",
-        &["Target", "fixed-point (us)", "float (us)", "FPU"],
-        &rows,
-    ));
+    print!(
+        "{}",
+        format_table(
+            "Ablation 1: DWCS decision cost across offload targets (40 descriptor touches)",
+            &["Target", "fixed-point (us)", "float (us)", "FPU"],
+            &rows,
+        )
+    );
     println!("paper: host ~50 us vs i960RD ~65 us — \"comparable, although the i960RD");
     println!("is a much slower processor\"; fixed-point is what closes the gap.\n");
 
@@ -40,10 +43,15 @@ fn main() {
     let node = NodeConfig::default();
     let cap = node_capacity(&node);
     println!("Ablation 2: scheduler/producer NI balance (6-slot node, 260 kb/s streams)");
-    println!("  per-NI limits: scheduler {} | producer {} | PCI {}",
-        cap.streams_per_scheduler_ni, cap.streams_per_producer_ni, cap.pci_stream_limit);
+    println!(
+        "  per-NI limits: scheduler {} | producer {} | PCI {}",
+        cap.streams_per_scheduler_ni, cap.streams_per_producer_ni, cap.pci_stream_limit
+    );
     for (sched, streams) in sweep_ni_split(6, &node) {
-        println!("  {sched} scheduler / {} producer NIs -> {streams:>4} streams", 6 - sched);
+        println!(
+            "  {sched} scheduler / {} producer NIs -> {streams:>4} streams",
+            6 - sched
+        );
     }
     println!();
 
@@ -61,11 +69,21 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", format_table(
-        "Ablation 3: shared-PCI contention, 5 s runs (8 x 30fps streams per producer NI)",
-        &["producer NIs", "delivered", "Mb/s", "bus util %", "DMA wait ms", "sched-NI util %"],
-        &rows,
-    ));
+    print!(
+        "{}",
+        format_table(
+            "Ablation 3: shared-PCI contention, 5 s runs (8 x 30fps streams per producer NI)",
+            &[
+                "producer NIs",
+                "delivered",
+                "Mb/s",
+                "bus util %",
+                "DMA wait ms",
+                "sched-NI util %"
+            ],
+            &rows,
+        )
+    );
     println!("the bus never becomes the bottleneck — the scheduler NI's CPU+wire");
     println!("budget saturates first, which is why peer-to-peer offload scales (§4.2.2).");
 }

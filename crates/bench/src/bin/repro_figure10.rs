@@ -15,7 +15,10 @@ fn main() {
         let shown = &s.qdelay[..s.qdelay.len().min(330)];
         print!("{}", render_qdelay(&s.name, shown, 6));
         if let Some(&(n, d)) = shown.last() {
-            println!("  {}: queuing delay {:.0} ms at frame {} (grows linearly at one period/frame)", s.name, d, n);
+            println!(
+                "  {}: queuing delay {:.0} ms at frame {} (grows linearly at one period/frame)",
+                s.name, d, n
+            );
         }
     }
     println!("\npaper: linear growth, max ~11 000 ms (s1) — cf. 10 000 ms host-based unloaded;");

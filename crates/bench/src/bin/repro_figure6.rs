@@ -20,7 +20,10 @@ fn main() {
             continue;
         }
         println!("--- {} ---", level.label());
-        println!("  average utilization: {:>5.1} %   peak: {:>5.1} %", r.avg_util, r.peak_util);
+        println!(
+            "  average utilization: {:>5.1} %   peak: {:>5.1} %",
+            r.avg_util, r.peak_util
+        );
         print!("{}", render_series("total CPU util", &r.cpu_util, "%", 20));
         println!();
     }

@@ -32,8 +32,10 @@ fn main() {
                     simkit::SimTime::from_nanos(80_000_000_000),
                 )
                 .unwrap_or(0.0);
-            println!("  {}: bandwidth over 40-80 s {:>8.0} bps; sent {} dropped {} violations {}",
-                s.name, loaded, s.sent, s.dropped, s.violations);
+            println!(
+                "  {}: bandwidth over 40-80 s {:>8.0} bps; sent {} dropped {} violations {}",
+                s.name, loaded, s.sent, s.dropped, s.violations
+            );
             print!("{}", render_series(&s.name, &s.bandwidth, "bps", 16));
         }
         println!();

@@ -11,14 +11,21 @@ fn main() {
     let r = ni_run(RUN_SECS);
     for s in &r.streams {
         let settle = s.bandwidth.settling_value(0.3).unwrap_or(0.0);
-        println!("  {}: settling bandwidth {:>8.0} bps; sent {} dropped {} violations {}",
-            s.name, settle, s.sent, s.dropped, s.violations);
+        println!(
+            "  {}: settling bandwidth {:>8.0} bps; sent {} dropped {} violations {}",
+            s.name, settle, s.sent, s.dropped, s.violations
+        );
         print!("{}", render_series(&s.name, &s.bandwidth, "bps", 16));
     }
     if let Some(host) = &r.host {
-        println!("\n  host (web load only): avg util {:.1} %, peak {:.1} % — none of it visible above",
-            host.avg_util, host.peak_util);
+        println!(
+            "\n  host (web load only): avg util {:.1} %, peak {:.1} % — none of it visible above",
+            host.avg_util, host.peak_util
+        );
     }
-    println!("  NI mean scheduling decision: {:.1} us (paper: ~65 us on the 66 MHz i960RD)", r.mean_decision_us);
+    println!(
+        "  NI mean scheduling decision: {:.1} us (paper: ~65 us on the 66 MHz i960RD)",
+        r.mean_decision_us
+    );
     println!("\npaper: ~260 kbps settling for s1, matching the unloaded host-based scheduler");
 }

@@ -10,16 +10,42 @@ use serversim::micro;
 fn main() {
     let (float, fixed) = micro::table1();
     let rows = vec![
-        vec!["Total Sched time".into(), format!("{:.2}", float.total_sched_us), format!("{:.2}", fixed.total_sched_us)],
-        vec!["Avg frame Sched time".into(), format!("{:.2}", float.avg_sched_us), format!("{:.2}", fixed.avg_sched_us)],
-        vec!["Total time w/o Scheduler".into(), format!("{:.2}", float.total_nosched_us), format!("{:.2}", fixed.total_nosched_us)],
-        vec!["Avg frame time w/o Scheduler".into(), format!("{:.2}", float.avg_nosched_us), format!("{:.2}", fixed.avg_nosched_us)],
+        vec![
+            "Total Sched time".into(),
+            format!("{:.2}", float.total_sched_us),
+            format!("{:.2}", fixed.total_sched_us),
+        ],
+        vec![
+            "Avg frame Sched time".into(),
+            format!("{:.2}", float.avg_sched_us),
+            format!("{:.2}", fixed.avg_sched_us),
+        ],
+        vec![
+            "Total time w/o Scheduler".into(),
+            format!("{:.2}", float.total_nosched_us),
+            format!("{:.2}", fixed.total_nosched_us),
+        ],
+        vec![
+            "Avg frame time w/o Scheduler".into(),
+            format!("{:.2}", float.avg_nosched_us),
+            format!("{:.2}", fixed.avg_nosched_us),
+        ],
     ];
-    print!("{}", format_table(
-        &format!("Table 1: Scheduler Microbenchmarks (Data Cache Disabled), {} MPEG-1 frames", fixed.frames),
-        &["Microbenchmark", "Software FP (uSecs)", "Fixed Point (uSecs)"],
-        &rows,
-    ));
-    println!("\nscheduler overhead (avg with - avg without): FP {:.2} us, fixed {:.2} us", float.overhead_us(), fixed.overhead_us());
+    print!(
+        "{}",
+        format_table(
+            &format!(
+                "Table 1: Scheduler Microbenchmarks (Data Cache Disabled), {} MPEG-1 frames",
+                fixed.frames
+            ),
+            &["Microbenchmark", "Software FP (uSecs)", "Fixed Point (uSecs)"],
+            &rows,
+        )
+    );
+    println!(
+        "\nscheduler overhead (avg with - avg without): FP {:.2} us, fixed {:.2} us",
+        float.overhead_us(),
+        fixed.overhead_us()
+    );
     println!("paper: FP ~95 us, fixed ~78 us; fixed-point advantage ~20 us/decision");
 }

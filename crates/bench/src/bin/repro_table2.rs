@@ -11,18 +11,45 @@ fn main() {
     let (float_off, fixed_off) = micro::table1();
     let (float, fixed) = micro::table2();
     let rows = vec![
-        vec!["Total Sched time".into(), format!("{:.2}", float.total_sched_us), format!("{:.2}", fixed.total_sched_us)],
-        vec!["Avg frame Sched time".into(), format!("{:.2}", float.avg_sched_us), format!("{:.2}", fixed.avg_sched_us)],
-        vec!["Total time w/o Scheduler".into(), format!("{:.2}", float.total_nosched_us), format!("{:.2}", fixed.total_nosched_us)],
-        vec!["Avg frame time w/o Scheduler".into(), format!("{:.2}", float.avg_nosched_us), format!("{:.2}", fixed.avg_nosched_us)],
+        vec![
+            "Total Sched time".into(),
+            format!("{:.2}", float.total_sched_us),
+            format!("{:.2}", fixed.total_sched_us),
+        ],
+        vec![
+            "Avg frame Sched time".into(),
+            format!("{:.2}", float.avg_sched_us),
+            format!("{:.2}", fixed.avg_sched_us),
+        ],
+        vec![
+            "Total time w/o Scheduler".into(),
+            format!("{:.2}", float.total_nosched_us),
+            format!("{:.2}", fixed.total_nosched_us),
+        ],
+        vec![
+            "Avg frame time w/o Scheduler".into(),
+            format!("{:.2}", float.avg_nosched_us),
+            format!("{:.2}", fixed.avg_nosched_us),
+        ],
     ];
-    print!("{}", format_table(
-        &format!("Table 2: Scheduler Microbenchmarks (Data Cache Enabled), {} MPEG-1 frames", fixed.frames),
-        &["Microbenchmark", "Software FP (uSecs)", "Fixed Point (uSecs)"],
-        &rows,
-    ));
-    println!("\ncache saving per frame: FP {:.2} us (paper ~14.47), fixed {:.2} us (paper ~13.88)",
+    print!(
+        "{}",
+        format_table(
+            &format!(
+                "Table 2: Scheduler Microbenchmarks (Data Cache Enabled), {} MPEG-1 frames",
+                fixed.frames
+            ),
+            &["Microbenchmark", "Software FP (uSecs)", "Fixed Point (uSecs)"],
+            &rows,
+        )
+    );
+    println!(
+        "\ncache saving per frame: FP {:.2} us (paper ~14.47), fixed {:.2} us (paper ~13.88)",
         float_off.avg_sched_us - float.avg_sched_us,
-        fixed_off.avg_sched_us - fixed.avg_sched_us);
-    println!("scheduler overhead, fixed point: {:.2} us (paper ~66.82)", fixed.overhead_us());
+        fixed_off.avg_sched_us - fixed.avg_sched_us
+    );
+    println!(
+        "scheduler overhead, fixed point: {:.2} us (paper ~66.82)",
+        fixed.overhead_us()
+    );
 }

@@ -14,14 +14,23 @@ fn main() {
         vec!["Total Sched time".into(), format!("{:.2}", hw.total_sched_us)],
         vec!["Avg frame Sched time".into(), format!("{:.2}", hw.avg_sched_us)],
         vec!["Total time w/o Scheduler".into(), format!("{:.2}", hw.total_nosched_us)],
-        vec!["Avg frame time w/o Scheduler".into(), format!("{:.2}", hw.avg_nosched_us)],
+        vec![
+            "Avg frame time w/o Scheduler".into(),
+            format!("{:.2}", hw.avg_nosched_us),
+        ],
     ];
-    print!("{}", format_table(
-        "Table 3: Scheduler Microbenchmarks (Hardware Queues, Data Cache Enabled)",
-        &["Microbenchmark", "Fixed Point (uSecs)"],
-        &rows,
-    ));
-    println!("\npinned-memory (Table 2) avg: {:.2} us vs hardware-queue avg: {:.2} us", pinned.avg_sched_us, hw.avg_sched_us);
+    print!(
+        "{}",
+        format_table(
+            "Table 3: Scheduler Microbenchmarks (Hardware Queues, Data Cache Enabled)",
+            &["Microbenchmark", "Fixed Point (uSecs)"],
+            &rows,
+        )
+    );
+    println!(
+        "\npinned-memory (Table 2) avg: {:.2} us vs hardware-queue avg: {:.2} us",
+        pinned.avg_sched_us, hw.avg_sched_us
+    );
     println!("paper: \"the cost of looping through descriptors in local memory-mapped register");
     println!("space or in pinned memory pages for the i960 RD appears to be comparable\"");
 }

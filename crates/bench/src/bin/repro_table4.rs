@@ -14,23 +14,31 @@ fn main() {
     let a_vx = paths::path_a_vxfs(&cfg);
     let c = paths::path_c(&cfg);
     let b = paths::path_b(&cfg);
-    let row = |name: &str, p: &paths::PathBreakdown| vec![
-        name.to_string(),
-        format!("{:.3}", p.total_ms),
-        format!("{:.2}", p.disk_ms),
-        format!("{:.2}", p.host_ms),
-        format!("{:.3}", p.pci_ms),
-        format!("{:.2}", p.net_ms),
-    ];
-    print!("{}", format_table(
-        &format!("Table 4: Critical Path Benchmarks ({}-byte frame, {} transfers)", cfg.frame_bytes, cfg.transfers),
-        &["Frame Transfer Path", "Total (ms)", "disk", "host CPU", "PCI", "net"],
-        &[
-            row("I   Disk-HostCPU-I/O Bus-Network (UFS)", &a_ufs),
-            row("I   Disk-HostCPU-I/O Bus-Network (VxWorks fs)", &a_vx),
-            row("II  NI Disk-NI CPU-Network (Path C)", &c),
-            row("III Disk-I/O Bus-NI CPU-Network (Path B)", &b),
-        ],
-    ));
+    let row = |name: &str, p: &paths::PathBreakdown| {
+        vec![
+            name.to_string(),
+            format!("{:.3}", p.total_ms),
+            format!("{:.2}", p.disk_ms),
+            format!("{:.2}", p.host_ms),
+            format!("{:.3}", p.pci_ms),
+            format!("{:.2}", p.net_ms),
+        ]
+    };
+    print!(
+        "{}",
+        format_table(
+            &format!(
+                "Table 4: Critical Path Benchmarks ({}-byte frame, {} transfers)",
+                cfg.frame_bytes, cfg.transfers
+            ),
+            &["Frame Transfer Path", "Total (ms)", "disk", "host CPU", "PCI", "net"],
+            &[
+                row("I   Disk-HostCPU-I/O Bus-Network (UFS)", &a_ufs),
+                row("I   Disk-HostCPU-I/O Bus-Network (VxWorks fs)", &a_vx),
+                row("II  NI Disk-NI CPU-Network (Path C)", &c),
+                row("III Disk-I/O Bus-NI CPU-Network (Path B)", &b),
+            ],
+        )
+    );
     println!("\npaper: 1(ufs)/8(VxWorks) | 5.4 | 5.415 (4.2disk + 1.2net + 0.015pci)");
 }

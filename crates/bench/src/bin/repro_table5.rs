@@ -8,14 +8,20 @@ use serversim::paths;
 
 fn main() {
     let t = paths::table5();
-    print!("{}", format_table(
-        "Table 5: PCI Card-to-Card Transfer Benchmarks",
-        &["Benchmark", "Time (uSecs) / BW (MB/s)"],
-        &[
-            vec!["MPEG File Transfer by DMA (773665 bytes)".into(), format!("{:.2} / {:.2}", t.file_dma_us, t.file_dma_mbps)],
-            vec!["Memory Word Read (PIO)".into(), format!("{:.1}", t.pio_read_us)],
-            vec!["Memory Word Write (PIO)".into(), format!("{:.1}", t.pio_write_us)],
-        ],
-    ));
+    print!(
+        "{}",
+        format_table(
+            "Table 5: PCI Card-to-Card Transfer Benchmarks",
+            &["Benchmark", "Time (uSecs) / BW (MB/s)"],
+            &[
+                vec![
+                    "MPEG File Transfer by DMA (773665 bytes)".into(),
+                    format!("{:.2} / {:.2}", t.file_dma_us, t.file_dma_mbps)
+                ],
+                vec!["Memory Word Read (PIO)".into(), format!("{:.1}", t.pio_read_us)],
+                vec!["Memory Word Write (PIO)".into(), format!("{:.1}", t.pio_write_us)],
+            ],
+        )
+    );
     println!("\npaper: 11673.84 / 66.27 | 3.6 | 3.1");
 }

@@ -456,14 +456,20 @@ impl MediaServer {
     /// Fetch a stream's service statistics.
     pub fn stats(&self, sid: StreamId) -> Result<StreamStats, ServerError> {
         let (tx, rx) = bounded(1);
-        self.cmd_tx.send(Command::Stats(sid, tx)).map_err(|_| ServerError::Stopped)?;
-        rx.recv().map_err(|_| ServerError::Stopped)?.ok_or(ServerError::NoSuchStream)
+        self.cmd_tx
+            .send(Command::Stats(sid, tx))
+            .map_err(|_| ServerError::Stopped)?;
+        rx.recv()
+            .map_err(|_| ServerError::Stopped)?
+            .ok_or(ServerError::NoSuchStream)
     }
 
     /// Fetch statistics for every open stream.
     pub fn stats_all(&self) -> Result<Vec<(StreamId, StreamStats)>, ServerError> {
         let (tx, rx) = bounded(1);
-        self.cmd_tx.send(Command::StatsAll(tx)).map_err(|_| ServerError::Stopped)?;
+        self.cmd_tx
+            .send(Command::StatsAll(tx))
+            .map_err(|_| ServerError::Stopped)?;
         rx.recv().map_err(|_| ServerError::Stopped)
     }
 
@@ -548,11 +554,7 @@ mod tests {
         assert!(wait_until(Duration::from_secs(5), || server.collected().len() == 10));
         let recs = server.collected();
         let span_ns = recs.last().unwrap().at_ns - recs.first().unwrap().at_ns;
-        assert!(
-            span_ns >= 40 * MILLISECOND,
-            "paced span {} ms",
-            span_ns / MILLISECOND
-        );
+        assert!(span_ns >= 40 * MILLISECOND, "paced span {} ms", span_ns / MILLISECOND);
         server.shutdown();
     }
 
@@ -578,15 +580,17 @@ mod tests {
 
     #[test]
     fn stats_all_reports_every_stream() {
-        let server = MediaServer::builder()
-            .pacing(Pacing::WorkConserving)
-            .start()
-            .unwrap();
+        let server = MediaServer::builder().pacing(Pacing::WorkConserving).start().unwrap();
         let mut a = server.open_stream(StreamQos::new(MILLISECOND, 1, 2)).unwrap();
         let _b = server.open_stream(StreamQos::new(MILLISECOND, 0, 1)).unwrap();
         a.send(&[0u8; 8]).unwrap();
+        // Wait for the scheduler thread to drain the ring, not merely for
+        // both streams to exist — the enqueued counter lags stream creation.
         assert!(wait_until(Duration::from_secs(5), || {
-            server.stats_all().map(|v| v.len() == 2).unwrap_or(false)
+            server
+                .stats_all()
+                .map(|v| v.len() == 2 && v.iter().any(|(sid, st)| *sid == a.id() && st.enqueued == 1))
+                .unwrap_or(false)
         }));
         let all = server.stats_all().unwrap();
         assert_eq!(all.len(), 2);

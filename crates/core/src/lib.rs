@@ -49,14 +49,15 @@
 
 pub mod engine;
 pub mod pool;
+pub mod report;
 
 /// QoS attribute types (re-exported from the scheduler crate).
 pub mod qos {
     pub use dwcs::{LossPolicy, StreamQos, Window};
 }
 
-pub use dwcs;
 pub use dvcm;
+pub use dwcs;
 pub use engine::{MediaServer, MediaServerBuilder, ServerError, SinkKind, StreamHandle};
 pub use fixedpt;
 pub use hwsim;

@@ -1,0 +1,199 @@
+//! Vendored std-only stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access (DESIGN.md §6: no external
+//! dependencies), so the subset of the `crossbeam` API this workspace uses
+//! — `utils::CachePadded` and MPSC channels — is reimplemented here over
+//! `std::sync`. The channel module keeps crossbeam's unified `Sender` type
+//! (bounded and unbounded share one type, `send` takes `&self`) by wrapping
+//! `std::sync::mpsc`'s two sender flavours in an enum.
+
+#![forbid(unsafe_code)]
+
+pub mod utils {
+    //! Utility types (`CachePadded`).
+
+    use core::fmt;
+    use core::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line, preventing
+    /// false sharing between the producer- and consumer-owned indices of a
+    /// ring. 128-byte alignment covers adjacent-line prefetchers on modern
+    /// x86 as well as 128-byte-line ARM parts.
+    #[derive(Clone, Copy, Default, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pad `value` to a cache line.
+        pub const fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        /// Unwrap the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("CachePadded").field(&self.value).finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> CachePadded<T> {
+            CachePadded::new(value)
+        }
+    }
+}
+
+pub mod channel {
+    //! MPSC channels with crossbeam's unified sender/receiver API.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half: bounded and unbounded flavours behind one type,
+    /// cloneable, `send` through `&self` (like crossbeam, unlike raw
+    /// `std::sync::mpsc` where the two flavours are distinct types).
+    pub enum Sender<T> {
+        /// Unbounded flavour (never blocks on send).
+        Unbounded(mpsc::Sender<T>),
+        /// Bounded flavour (send blocks while the channel is full).
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            match self {
+                Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+                Sender::Bounded(s) => Sender::Bounded(s.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while a bounded channel is full.
+        /// Errors only when the receiver has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(s) => s.send(value),
+                Sender::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Drain currently-available messages without blocking.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.0.try_iter()
+        }
+    }
+
+    /// Channel of unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+
+    /// Channel of bounded capacity (`cap == 0` gives a rendezvous channel).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, TryRecvError};
+    use super::utils::CachePadded;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn cache_padded_is_aligned_and_transparent() {
+        let p = CachePadded::new(AtomicUsize::new(7));
+        assert_eq!(core::mem::align_of_val(&p), 128);
+        p.store(9, Ordering::Relaxed);
+        assert_eq!(p.load(Ordering::Relaxed), 9);
+        assert_eq!(p.into_inner().into_inner(), 9);
+    }
+
+    #[test]
+    fn unbounded_send_recv_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || {
+            for i in 0..100 {
+                tx2.send(i).unwrap();
+            }
+        });
+        let mut sum = 0;
+        for _ in 0..100 {
+            sum += rx.recv().unwrap();
+        }
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn bounded_reply_channel_pattern() {
+        // The engine's Open/Stats reply pattern: bounded(1) one-shot.
+        let (tx, rx) = bounded::<&'static str>(1);
+        tx.send("reply").unwrap();
+        assert_eq!(rx.recv().unwrap(), "reply");
+    }
+
+    #[test]
+    fn disconnect_is_observable() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err(), "send to dropped receiver errors");
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        let err = rx.recv_timeout(std::time::Duration::from_millis(5));
+        assert_eq!(err, Err(super::channel::RecvTimeoutError::Timeout));
+    }
+}

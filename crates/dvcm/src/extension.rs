@@ -23,7 +23,10 @@ pub struct ExtReply {
 impl ExtReply {
     /// Success with no payload.
     pub fn ok() -> ExtReply {
-        ExtReply { status: 0, payload: vec![] }
+        ExtReply {
+            status: 0,
+            payload: vec![],
+        }
     }
 
     /// Success with payload.
@@ -33,7 +36,10 @@ impl ExtReply {
 
     /// Failure with a status code.
     pub fn err(status: u8) -> ExtReply {
-        ExtReply { status, payload: vec![] }
+        ExtReply {
+            status,
+            payload: vec![],
+        }
     }
 }
 

@@ -63,6 +63,7 @@ impl VcmHandle {
     /// Drain one reply, if any: `(context, reply)`.
     pub fn drain_reply(&mut self, rt: &mut NiRuntime) -> Option<(u32, ExtReply)> {
         let (mfa, frame) = rt.mu.host_drain_reply()?;
+        // analysis: allow(ni-no-panic) reason="invariant: host_drain_reply just handed us this MFA, so releasing it cannot fail"
         rt.mu
             .host_release_reply(mfa)
             .expect("drained reply MFA releases cleanly");

@@ -85,21 +85,23 @@ impl VcmInstruction {
                 ],
             ),
             VcmInstruction::CloseStream(sid) => (func::CLOSE, vec![sid.0]),
-            VcmInstruction::EnqueueFrame { stream, addr, len, kind } => (
+            VcmInstruction::EnqueueFrame {
+                stream,
+                addr,
+                len,
+                kind,
+            } => (
                 func::ENQUEUE,
-                vec![
-                    stream.0,
-                    (addr >> 32) as u32,
-                    addr as u32,
-                    len,
-                    kind_code(kind),
-                ],
+                vec![stream.0, (addr >> 32) as u32, addr as u32, len, kind_code(kind)],
             ),
             VcmInstruction::QueryStats(sid) => (func::STATS, vec![sid.0]),
             VcmInstruction::Kick => (func::KICK, vec![]),
         };
         MessageFrame::new(
-            I2oFunction::Private { org: crate::DVCM_ORG, func: f },
+            I2oFunction::Private {
+                org: crate::DVCM_ORG,
+                func: f,
+            },
             target,
             initiator,
             context,
@@ -193,20 +195,17 @@ mod tests {
     fn rejects_foreign_frames() {
         let f = MessageFrame::new(I2oFunction::UtilNop, Tid(5), Tid(1), 0, vec![]);
         assert_eq!(VcmInstruction::decode(&f), Err(InstrError::NotDvcm));
-        let f = MessageFrame::new(
-            I2oFunction::Private { org: 0x1111, func: 1 },
-            Tid(5),
-            Tid(1),
-            0,
-            vec![],
-        );
+        let f = MessageFrame::new(I2oFunction::Private { org: 0x1111, func: 1 }, Tid(5), Tid(1), 0, vec![]);
         assert_eq!(VcmInstruction::decode(&f), Err(InstrError::NotDvcm));
     }
 
     #[test]
     fn rejects_malformed_payloads() {
         let f = MessageFrame::new(
-            I2oFunction::Private { org: crate::DVCM_ORG, func: 1 },
+            I2oFunction::Private {
+                org: crate::DVCM_ORG,
+                func: 1,
+            },
             Tid(5),
             Tid(1),
             0,
@@ -214,7 +213,10 @@ mod tests {
         );
         assert_eq!(VcmInstruction::decode(&f), Err(InstrError::BadPayload));
         let f = MessageFrame::new(
-            I2oFunction::Private { org: crate::DVCM_ORG, func: 99 },
+            I2oFunction::Private {
+                org: crate::DVCM_ORG,
+                func: 99,
+            },
             Tid(5),
             Tid(1),
             0,

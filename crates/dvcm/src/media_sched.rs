@@ -14,7 +14,10 @@
 use crate::extension::{ExtReply, ExtensionModule};
 use crate::instr::{StreamSpec, VcmInstruction};
 use dwcs::scheduler::DispatchedFrame;
-use dwcs::{DispatchMode, DualHeap, DwcsScheduler, FrameDesc, FrameKind, SchedDecision, SchedulerConfig, StreamId, StreamQos, Time};
+use dwcs::{
+    DispatchMode, DualHeap, DwcsScheduler, FrameDesc, FrameKind, SchedDecision, SchedulerConfig, StreamId, StreamQos,
+    Time,
+};
 use std::collections::VecDeque;
 
 /// One dispatched frame with its decision metadata.
@@ -185,9 +188,12 @@ impl ExtensionModule for MediaSchedExt {
                     ExtReply::ok()
                 }
             }
-            VcmInstruction::EnqueueFrame { stream, addr, len, kind } => {
-                self.enqueue(stream, addr, len, kind, now)
-            }
+            VcmInstruction::EnqueueFrame {
+                stream,
+                addr,
+                len,
+                kind,
+            } => self.enqueue(stream, addr, len, kind, now),
             VcmInstruction::QueryStats(sid) => self.stats(sid),
             VcmInstruction::Kick => {
                 self.poll_decision(now);
@@ -236,7 +242,12 @@ mod tests {
         let sid = StreamId(reply.payload[0]);
 
         let r = ext.on_instruction(
-            VcmInstruction::EnqueueFrame { stream: sid, addr: 0xA000, len: 1000, kind: FrameKind::I },
+            VcmInstruction::EnqueueFrame {
+                stream: sid,
+                addr: 0xA000,
+                len: 1000,
+                kind: FrameKind::I,
+            },
             0,
         );
         assert_eq!(r, ExtReply::ok());
@@ -253,7 +264,12 @@ mod tests {
         let sid = StreamId(ext.on_instruction(open_spec(10, 1, 2), 0).payload[0]);
         for _ in 0..3 {
             ext.on_instruction(
-                VcmInstruction::EnqueueFrame { stream: sid, addr: 0, len: 500, kind: FrameKind::P },
+                VcmInstruction::EnqueueFrame {
+                    stream: sid,
+                    addr: 0,
+                    len: 500,
+                    kind: FrameKind::P,
+                },
                 0,
             );
             ext.poll(0);
@@ -270,14 +286,24 @@ mod tests {
         let r = ext.on_instruction(open_spec(0, 1, 2), 0);
         assert_eq!(r.status, status::BAD_QOS);
         let r = ext.on_instruction(
-            VcmInstruction::OpenStream(StreamSpec { period: 10, loss_num: 5, loss_den: 2, droppable: true }),
+            VcmInstruction::OpenStream(StreamSpec {
+                period: 10,
+                loss_num: 5,
+                loss_den: 2,
+                droppable: true,
+            }),
             0,
         );
         assert_eq!(r.status, status::BAD_QOS);
         let r = ext.on_instruction(VcmInstruction::QueryStats(StreamId(9)), 0);
         assert_eq!(r.status, status::NO_STREAM);
         let r = ext.on_instruction(
-            VcmInstruction::EnqueueFrame { stream: StreamId(9), addr: 0, len: 1, kind: FrameKind::B },
+            VcmInstruction::EnqueueFrame {
+                stream: StreamId(9),
+                addr: 0,
+                len: 1,
+                kind: FrameKind::B,
+            },
             0,
         );
         assert_eq!(r.status, status::NO_STREAM);
@@ -288,7 +314,12 @@ mod tests {
         let mut ext = MediaSchedExt::new(8);
         let sid = StreamId(ext.on_instruction(open_spec(10, 1, 2), 0).payload[0]);
         ext.on_instruction(
-            VcmInstruction::EnqueueFrame { stream: sid, addr: 0, len: 1, kind: FrameKind::B },
+            VcmInstruction::EnqueueFrame {
+                stream: sid,
+                addr: 0,
+                len: 1,
+                kind: FrameKind::B,
+            },
             0,
         );
         assert_eq!(ext.on_instruction(VcmInstruction::CloseStream(sid), 0), ExtReply::ok());
@@ -300,7 +331,12 @@ mod tests {
         let mut ext = MediaSchedExt::new(8);
         let sid = StreamId(ext.on_instruction(open_spec(10, 1, 2), 0).payload[0]);
         ext.on_instruction(
-            VcmInstruction::EnqueueFrame { stream: sid, addr: 1, len: 1, kind: FrameKind::B },
+            VcmInstruction::EnqueueFrame {
+                stream: sid,
+                addr: 1,
+                len: 1,
+                kind: FrameKind::B,
+            },
             0,
         );
         ext.on_instruction(VcmInstruction::Kick, 0);
@@ -313,7 +349,12 @@ mod tests {
         let sid = StreamId(ext.on_instruction(open_spec(10, 1, 2), 0).payload[0]);
         for addr in 0..3u64 {
             ext.on_instruction(
-                VcmInstruction::EnqueueFrame { stream: sid, addr, len: 100, kind: FrameKind::P },
+                VcmInstruction::EnqueueFrame {
+                    stream: sid,
+                    addr,
+                    len: 100,
+                    kind: FrameKind::P,
+                },
                 0,
             );
         }
@@ -332,7 +373,12 @@ mod tests {
         let fast = StreamId(ext.on_instruction(open_spec(5, 1, 2), 0).payload[0]);
         for (sid, addr) in [(slow, 1u64), (fast, 2u64)] {
             ext.on_instruction(
-                VcmInstruction::EnqueueFrame { stream: sid, addr, len: 100, kind: FrameKind::P },
+                VcmInstruction::EnqueueFrame {
+                    stream: sid,
+                    addr,
+                    len: 100,
+                    kind: FrameKind::P,
+                },
                 0,
             );
         }

@@ -96,7 +96,9 @@ impl NiRuntime {
     pub fn service_inbound(&mut self, now: Time, budget: usize) -> usize {
         let mut n = 0;
         while n < budget {
-            let Some((mfa, frame)) = self.mu.iop_next_request() else { break };
+            let Some((mfa, frame)) = self.mu.iop_next_request() else {
+                break;
+            };
             // Route by function class, then by target TID.
             match frame.function {
                 I2oFunction::Private { .. } => {
@@ -137,6 +139,7 @@ impl NiRuntime {
                     self.post_reply(&frame, ExtReply::err(0xFE));
                 }
             }
+            // analysis: allow(ni-no-panic) reason="invariant: the MFA was consumed two lines up, and the MU frees consumed request MFAs unconditionally"
             self.mu
                 .iop_release_request(mfa)
                 .expect("consumed request MFA releases cleanly");
@@ -211,7 +214,12 @@ mod tests {
         let r = host
             .call(
                 &mut rt,
-                VcmInstruction::EnqueueFrame { stream: sid, addr: 0xBEEF, len: 999, kind: FrameKind::I },
+                VcmInstruction::EnqueueFrame {
+                    stream: sid,
+                    addr: 0xBEEF,
+                    len: 999,
+                    kind: FrameKind::I,
+                },
                 0,
             )
             .unwrap();
@@ -268,7 +276,10 @@ mod tests {
         // Host: read 2 blocks from LBA 1 into card memory at 0x4000.
         let mfa = rt.mu.host_alloc().unwrap();
         rt.mu
-            .host_post(mfa, i2o::bsa::read_request(disk, i2o::devices::TID_HOST, 1, 1, 2, 0x4000))
+            .host_post(
+                mfa,
+                i2o::bsa::read_request(disk, i2o::devices::TID_HOST, 1, 1, 2, 0x4000),
+            )
             .unwrap();
         // Then transmit 700 of those bytes from 0x4000.
         let mfa = rt.mu.host_alloc().unwrap();
@@ -286,7 +297,10 @@ mod tests {
         // Unknown TID: error reply, counted.
         let mfa = rt.mu.host_alloc().unwrap();
         rt.mu
-            .host_post(mfa, i2o::bsa::read_request(i2o::devices::Tid(0x7FF), i2o::devices::TID_HOST, 3, 0, 1, 0))
+            .host_post(
+                mfa,
+                i2o::bsa::read_request(i2o::devices::Tid(0x7FF), i2o::devices::TID_HOST, 3, 0, 1, 0),
+            )
             .unwrap();
         rt.service_inbound(0, 8);
         assert_eq!(rt.decode_errors, 1);

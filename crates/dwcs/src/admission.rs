@@ -21,6 +21,7 @@
 
 use crate::qos::StreamQos;
 use crate::types::Time;
+use fixedpt::Frac;
 
 /// Mandatory utilization of one stream given fixed per-packet service time
 /// `service` (both in ns). Exact rational arithmetic in u128.
@@ -31,44 +32,72 @@ fn demand_num_den(qos: &StreamQos, service: Time) -> (u128, u128) {
     (num, den)
 }
 
-/// Total mandatory utilization of a stream set (as `f64`, for reporting).
-pub fn utilization(streams: &[StreamQos], service: Time) -> f64 {
-    streams
-        .iter()
-        .map(|q| {
-            let (n, d) = demand_num_den(q, service);
-            n as f64 / d as f64
-        })
-        .sum()
+/// Fold `Σ nᵢ/dᵢ` into one fraction: keep a running `a/b`, add `n/d` as
+/// `(a·d + n·b) / (b·d)`, reducing by gcd each step. Should `u128` be
+/// exhausted even after reduction (adversarially huge coprime periods, far
+/// from the feasibility boundary), both operands are downscaled by right
+/// shifts until the step fits — still integer-only, losing at most the low
+/// bits shifted out.
+fn accumulate(streams: &[StreamQos], service: Time) -> (u128, u128) {
+    let mut acc_n: u128 = 0;
+    let mut acc_d: u128 = 1;
+    for q in streams {
+        let (mut n, mut d) = demand_num_den(q, service);
+        loop {
+            let step = (|| {
+                let a = acc_n.checked_mul(d)?;
+                let b = n.checked_mul(acc_d)?;
+                let den = acc_d.checked_mul(d)?;
+                Some((a.checked_add(b)?, den))
+            })();
+            if let Some((num, den)) = step {
+                let g = gcd_u128(num, den);
+                acc_n = num / g;
+                acc_d = den / g;
+                break;
+            }
+            // Halve whichever side carries more denominator bits.
+            if acc_d > d {
+                acc_n >>= 1;
+                acc_d = (acc_d >> 1).max(1);
+            } else {
+                n >>= 1;
+                d = (d >> 1).max(1);
+            }
+        }
+    }
+    (acc_n, acc_d)
+}
+
+/// Fit exact `u128` parts into a [`Frac`] by a common right-shift (precision
+/// loss only when components exceed 32 bits).
+fn frac_from_u128(mut num: u128, mut den: u128) -> Frac {
+    debug_assert!(den != 0);
+    let bits = 128 - num.max(den).leading_zeros();
+    if bits > 32 {
+        let shift = bits - 32;
+        num >>= shift;
+        den >>= shift;
+        if den == 0 {
+            // Denominator underflowed to zero: the value is effectively huge.
+            return Frac::INF;
+        }
+    }
+    Frac::new(num as u32, den as u32)
+}
+
+/// Total mandatory utilization of a stream set, as an exact (downscaled on
+/// overflow) [`Frac`]. Host-side reporting that wants a float goes through
+/// [`Frac::to_f64`]; NI-resident callers compare against [`Frac::ONE`].
+pub fn utilization(streams: &[StreamQos], service: Time) -> Frac {
+    let (n, d) = accumulate(streams, service);
+    frac_from_u128(n, d)
 }
 
 /// Exact feasibility test: `Σ (1 − xᵢ/yᵢ)·C/Tᵢ ≤ 1`, computed without
 /// floating point (common-denominator accumulation in `u128`).
 pub fn feasible(streams: &[StreamQos], service: Time) -> bool {
-    // Accumulate Σ nᵢ/dᵢ ≤ 1  ⇔  Σ nᵢ·(D/dᵢ) ≤ D with D = Π dᵢ — overflow
-    // prone. Instead fold pairwise: keep a running fraction a/b, add n/d:
-    // (a·d + n·b) / (b·d), reducing by gcd each step.
-    let mut acc_n: u128 = 0;
-    let mut acc_d: u128 = 1;
-    for q in streams {
-        let (n, d) = demand_num_den(q, service);
-        let step = (|| {
-            let a = acc_n.checked_mul(d)?;
-            let b = n.checked_mul(acc_d)?;
-            let den = acc_d.checked_mul(d)?;
-            Some((a.checked_add(b)?, den))
-        })();
-        let (num, den) = match step {
-            Some(v) => v,
-            // u128 exhausted even after per-step gcd reduction: fall back
-            // to the float estimate (only reachable with adversarially
-            // huge coprime periods, far from the feasibility boundary).
-            None => return utilization(streams, service) <= 1.0,
-        };
-        let g = gcd_u128(num, den);
-        acc_n = num / g;
-        acc_d = den / g;
-    }
+    let (acc_n, acc_d) = accumulate(streams, service);
     acc_n <= acc_d
 }
 
@@ -98,7 +127,7 @@ mod tests {
         // Period 10 ms, service 1 ms, no losses allowed: U = 0.1.
         let q = StreamQos::new(10 * MILLISECOND, 0, 1);
         assert!(feasible(&[q], MILLISECOND));
-        assert!((utilization(&[q], MILLISECOND) - 0.1).abs() < 1e-12);
+        assert_eq!(utilization(&[q], MILLISECOND), Frac::new(1, 10));
     }
 
     #[test]
@@ -109,7 +138,7 @@ mod tests {
         // Same streams tolerating half their packets late: U = 1.0 → feasible.
         let lossy = vec![StreamQos::new(10 * MILLISECOND, 1, 2); 20];
         assert!(feasible(&lossy, MILLISECOND));
-        assert!((utilization(&lossy, MILLISECOND) - 1.0).abs() < 1e-12);
+        assert_eq!(utilization(&lossy, MILLISECOND), Frac::ONE);
     }
 
     #[test]
@@ -124,7 +153,7 @@ mod tests {
     #[test]
     fn admit_matches_feasible() {
         let existing = vec![
-            StreamQos::new(5 * MILLISECOND, 1, 4, ),
+            StreamQos::new(5 * MILLISECOND, 1, 4),
             StreamQos::new(8 * MILLISECOND, 2, 8),
         ];
         let c = StreamQos::new(3 * MILLISECOND, 0, 1);
@@ -137,7 +166,7 @@ mod tests {
     fn fully_lossy_streams_cost_nothing() {
         let free = vec![StreamQos::new(MILLISECOND, 4, 4); 1000];
         assert!(feasible(&free, MILLISECOND));
-        assert_eq!(utilization(&free, MILLISECOND), 0.0);
+        assert!(utilization(&free, MILLISECOND).is_zero());
     }
 
     #[test]
@@ -146,9 +175,9 @@ mod tests {
         for i in 1..=64u32 {
             set.push(StreamQos::new(Time::from(i) * MILLISECOND + 7, i % 3, (i % 3) + 3));
         }
-        // Must terminate and agree with the float estimate on which side of
-        // 1.0 we are (the set is far from the boundary).
+        // Must terminate, and the reported utilization must agree with the
+        // feasibility verdict (the set is far from the boundary).
         let u = utilization(&set, 100_000);
-        assert_eq!(feasible(&set, 100_000), u <= 1.0);
+        assert_eq!(feasible(&set, 100_000), u <= Frac::ONE);
     }
 }

@@ -95,7 +95,12 @@ mod tests {
     use super::*;
 
     fn key(deadline: Time, x: u32, y: u32, arrival: u64) -> HeadKey {
-        HeadKey { deadline, x, y, arrival }
+        HeadKey {
+            deadline,
+            x,
+            y,
+            arrival,
+        }
     }
 
     #[test]

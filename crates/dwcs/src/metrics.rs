@@ -6,6 +6,7 @@
 //! bumps) and read out by the experiment harnesses.
 
 use crate::types::Time;
+use fixedpt::Q16;
 
 /// Counters and moments for one stream.
 #[derive(Clone, Debug, Default)]
@@ -64,14 +65,24 @@ impl StreamStats {
         }
     }
 
-    /// Fraction of departed frames that met their deadline.
-    pub fn on_time_fraction(&self) -> f64 {
+    /// Fraction of departed frames that met their deadline, as Q16.16
+    /// (1 when nothing has departed). Host-side reporting that wants a
+    /// float goes through `Q16::to_f64`; the NI code itself stays integer.
+    pub fn on_time_fraction(&self) -> Q16 {
         let done = self.sent() + self.dropped;
         if done == 0 {
-            1.0
-        } else {
-            self.sent_on_time as f64 / done as f64
+            return Q16::ONE;
         }
+        // `from_ratio` shifts the numerator left 16 bits; downscale both
+        // counters first if a run has been long enough to get near that
+        // edge (the ratio is what matters, not the absolute counts).
+        let mut num = self.sent_on_time;
+        let mut den = done;
+        while den > (1 << 46) {
+            num >>= 1;
+            den >>= 1;
+        }
+        Q16::from_ratio(num as i64, den as i64)
     }
 
     /// Mean inter-departure jitter in nanoseconds: the average absolute
@@ -148,7 +159,7 @@ mod tests {
         assert_eq!(s.mean_queue_delay(), 30_000);
         assert_eq!(s.queue_delay_max, 50_000);
         assert_eq!(s.backlog, 0);
-        assert!((s.on_time_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(s.on_time_fraction(), Q16::from_ratio(1, 2));
     }
 
     #[test]
@@ -179,7 +190,7 @@ mod tests {
     fn empty_stream_is_benign() {
         let s = StreamStats::default();
         assert_eq!(s.mean_queue_delay(), 0);
-        assert_eq!(s.on_time_fraction(), 1.0);
+        assert_eq!(s.on_time_fraction(), Q16::ONE);
         assert_eq!(s.sent(), 0);
     }
 }

@@ -53,11 +53,7 @@ struct ByTolerance(Entry);
 
 impl ByTolerance {
     fn rank(&self) -> (fixedpt::Frac, Reverse<u32>, u64) {
-        (
-            self.0.key.constraint(),
-            Reverse(self.0.key.y),
-            self.0.key.arrival,
-        )
+        (self.0.key.constraint(), Reverse(self.0.key.y), self.0.key.arrival)
     }
 }
 
@@ -202,7 +198,12 @@ mod tests {
     use super::*;
 
     fn key(deadline: u64, x: u32, y: u32, arrival: u64) -> HeadKey {
-        HeadKey { deadline, x, y, arrival }
+        HeadKey {
+            deadline,
+            x,
+            y,
+            arrival,
+        }
     }
 
     #[test]

@@ -81,12 +81,12 @@ impl ScheduleRepr for LinearScan {
 
     fn peek_min(&mut self) -> Option<(StreamId, HeadKey)> {
         let i = self.scan_min()?;
-        Some((StreamId(i as u32), self.slots[i].expect("scan found occupied slot")))
+        self.slots[i].map(|key| (StreamId(i as u32), key))
     }
 
     fn pop_min(&mut self) -> Option<(StreamId, HeadKey)> {
         let i = self.scan_min()?;
-        let key = self.slots[i].take().expect("scan found occupied slot");
+        let key = self.slots[i].take()?;
         self.len -= 1;
         Some((StreamId(i as u32), key))
     }
@@ -105,7 +105,12 @@ mod tests {
     use super::*;
 
     fn key(deadline: u64, arrival: u64) -> HeadKey {
-        HeadKey { deadline, x: 1, y: 2, arrival }
+        HeadKey {
+            deadline,
+            x: 1,
+            y: 2,
+            arrival,
+        }
     }
 
     #[test]

@@ -99,7 +99,12 @@ mod cross_check {
     use crate::types::Time;
 
     fn key(deadline: Time, x: u32, y: u32, arrival: u64) -> HeadKey {
-        HeadKey { deadline, x, y, arrival }
+        HeadKey {
+            deadline,
+            x,
+            y,
+            arrival,
+        }
     }
 
     /// Drive the same operation sequence through every representation and

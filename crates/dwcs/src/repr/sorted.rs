@@ -103,7 +103,12 @@ mod tests {
     use super::*;
 
     fn key(deadline: u64, arrival: u64) -> HeadKey {
-        HeadKey { deadline, x: 1, y: 2, arrival }
+        HeadKey {
+            deadline,
+            x: 1,
+            y: 2,
+            arrival,
+        }
     }
 
     #[test]

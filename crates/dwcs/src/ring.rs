@@ -62,7 +62,10 @@ impl SpscRing {
     /// two endpoints. Capacity is rounded up to a power of two.
     pub fn with_capacity<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         let cap = capacity.next_power_of_two().max(2);
-        let slots = (0..cap).map(|_| Mutex::new(None)).collect::<Vec<_>>().into_boxed_slice();
+        let slots = (0..cap)
+            .map(|_| Mutex::new(None))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         let shared = Arc::new(Shared {
             slots,
             head: CachePadded::new(AtomicUsize::new(0)),
@@ -70,7 +73,10 @@ impl SpscRing {
             mask: cap - 1,
         });
         (
-            Producer { shared: Arc::clone(&shared), tail: 0 },
+            Producer {
+                shared: Arc::clone(&shared),
+                tail: 0,
+            },
             Consumer { shared, head: 0 },
         )
     }

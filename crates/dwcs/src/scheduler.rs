@@ -290,15 +290,19 @@ impl<R: ScheduleRepr> DwcsScheduler<R> {
             };
         }
         slot.queue.push_back(QueuedFrame {
-            desc: FrameDesc { enqueued_at: now, ..desc },
+            desc: FrameDesc {
+                enqueued_at: now,
+                ..desc
+            },
             arrival,
             grid_deadline,
         });
         slot.stats.note_enqueue();
         self.meter.record(LogicalOp::Counter, 2);
         if was_empty {
-            let key = head_key(slot).expect("just pushed");
-            self.repr.update(sid, key);
+            if let Some(key) = head_key(slot) {
+                self.repr.update(sid, key);
+            }
         }
     }
 
@@ -315,14 +319,9 @@ impl<R: ScheduleRepr> DwcsScheduler<R> {
                     // adjusted), so dispatch directly — the bound exists to
                     // cap memory, not to drop scheduled frames.
                     decision.frame = Some(frame);
+                    self.account_dispatch(frame, now);
                 }
             }
-            if decision.frame.is_none() {
-                return decision;
-            }
-            // Account the direct dispatch below.
-            let f = decision.frame.expect("checked above");
-            self.account_dispatch(f, now);
             return decision;
         }
         if let Some(f) = decision.frame {
@@ -356,10 +355,19 @@ impl<R: ScheduleRepr> DwcsScheduler<R> {
             let Some((sid, key)) = self.repr.pop_min() else {
                 work.add(self.repr.take_work());
                 self.charge(&work);
-                return SchedDecision { frame: None, dropped, work };
+                return SchedDecision {
+                    frame: None,
+                    dropped,
+                    work,
+                };
             };
             let slot = &mut self.streams[sid.index()];
-            let qf = slot.queue.pop_front().expect("indexed stream has a head");
+            let Some(qf) = slot.queue.pop_front() else {
+                // A repr entry with no queued head would be an index/queue
+                // desync; skip the stale entry rather than dying mid-stream
+                // — the stream re-indexes on its next enqueue.
+                continue;
+            };
             debug_assert_eq!(qf.arrival, key.arrival, "repr key tracks queue head");
 
             let deadline = slot.head_deadline;
@@ -370,7 +378,11 @@ impl<R: ScheduleRepr> DwcsScheduler<R> {
                 self.repr.update(sid, key);
                 work.add(self.repr.take_work());
                 self.charge(&work);
-                return SchedDecision { frame: None, dropped, work };
+                return SchedDecision {
+                    frame: None,
+                    dropped,
+                    work,
+                };
             }
 
             // Expose the successor's deadline.
@@ -416,7 +428,11 @@ impl<R: ScheduleRepr> DwcsScheduler<R> {
                     if dropped >= self.cfg.max_drops_per_decision {
                         work.add(self.repr.take_work());
                         self.charge(&work);
-                        return SchedDecision { frame: None, dropped, work };
+                        return SchedDecision {
+                            frame: None,
+                            dropped,
+                            work,
+                        };
                     }
                     continue;
                 }
@@ -869,7 +885,10 @@ mod tests {
         loop {
             let a = lin.schedule_next(t);
             let b = heap.schedule_next(t);
-            assert_eq!(a.frame.map(|f| (f.desc.stream, f.desc.seq)), b.frame.map(|f| (f.desc.stream, f.desc.seq)));
+            assert_eq!(
+                a.frame.map(|f| (f.desc.stream, f.desc.seq)),
+                b.frame.map(|f| (f.desc.stream, f.desc.seq))
+            );
             if a.frame.is_none() && !lin.has_pending() {
                 break;
             }

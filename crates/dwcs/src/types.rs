@@ -141,10 +141,16 @@ mod tests {
 
     #[test]
     fn kind_tags_unique() {
-        let tags: Vec<char> = [FrameKind::I, FrameKind::P, FrameKind::B, FrameKind::Audio, FrameKind::Other]
-            .iter()
-            .map(|k| k.tag())
-            .collect();
+        let tags: Vec<char> = [
+            FrameKind::I,
+            FrameKind::P,
+            FrameKind::B,
+            FrameKind::Audio,
+            FrameKind::Other,
+        ]
+        .iter()
+        .map(|k| k.tag())
+        .collect();
         let mut dedup = tags.clone();
         dedup.dedup();
         assert_eq!(tags, dedup);

@@ -108,6 +108,7 @@ impl Frac {
 
     /// Value as `f64` (infinity maps to `f64::INFINITY`). For reporting only —
     /// the scheduler itself never converts.
+    // analysis: allow(ni-no-float) reason="host-side reporting bridge; NI-resident code never calls this"
     pub fn to_f64(self) -> f64 {
         if self.is_infinite() {
             f64::INFINITY

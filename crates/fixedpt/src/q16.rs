@@ -59,12 +59,14 @@ impl Q16 {
     }
 
     /// Lossy conversion for reporting.
+    // analysis: allow(ni-no-float) reason="host-side reporting bridge; NI-resident code never calls this"
     pub fn to_f64(self) -> f64 {
         self.0 as f64 / ONE_RAW as f64
     }
 
     /// Lossy construction from `f64` (test/report helper; the hot path never
     /// touches floats).
+    // analysis: allow(ni-no-float) reason="host-side test/report helper; NI-resident code never calls this"
     pub fn from_f64(v: f64) -> Q16 {
         Q16((v * ONE_RAW as f64) as i64)
     }

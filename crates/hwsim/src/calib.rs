@@ -111,9 +111,7 @@ mod tests {
     #[test]
     fn decision_budget_lands_on_table1() {
         // Fixed point, cache off, mean ring occupancy 75:
-        let cycles = NI_DECISION_BASE_CYCLES
-            + RATIO_EVALS_PER_DECISION * FIXED_RATIO_CYCLES
-            + 75 * TOUCH_MISS_CYCLES;
+        let cycles = NI_DECISION_BASE_CYCLES + RATIO_EVALS_PER_DECISION * FIXED_RATIO_CYCLES + 75 * TOUCH_MISS_CYCLES;
         let t = SimDuration::for_cycles_at_hz(cycles, I960_HZ);
         let us = t.as_micros_f64();
         assert!((70.0..=85.0).contains(&us), "fixed/cache-off ≈78 µs, got {us:.1}");
@@ -148,8 +146,8 @@ mod tests {
 
     #[test]
     fn card_to_card_1000b_is_about_15us() {
-        let t = SimDuration::from_nanos(PCI_DMA_SETUP_NS)
-            + SimDuration::for_bytes_at_bps(1000, PCI_DMA_BYTES_PER_SEC * 8);
+        let t =
+            SimDuration::from_nanos(PCI_DMA_SETUP_NS) + SimDuration::for_bytes_at_bps(1000, PCI_DMA_BYTES_PER_SEC * 8);
         let us = t.as_micros_f64();
         assert!((14.0..=16.5).contains(&us), "got {us:.1}");
     }

@@ -135,10 +135,12 @@ impl Filesystem {
     /// sequentially.
     pub fn read_frame(&self, disk: &mut ScsiDisk, bytes: u64, rng: &mut Pcg32) -> SimDuration {
         match *self {
-            Filesystem::DosFs { metadata_overhead } => {
-                metadata_overhead + disk.random_read(bytes, rng)
-            }
-            Filesystem::Ufs { block_size, hit_rate, cache_copy } => {
+            Filesystem::DosFs { metadata_overhead } => metadata_overhead + disk.random_read(bytes, rng),
+            Filesystem::Ufs {
+                block_size,
+                hit_rate,
+                cache_copy,
+            } => {
                 if rng.f64() < hit_rate {
                     cache_copy
                 } else {
@@ -157,16 +159,16 @@ impl Filesystem {
     /// Expected frame-read time (closed form, for calibration tests).
     pub fn mean_read_frame(&self, disk: &ScsiDisk, bytes: u64) -> SimDuration {
         match *self {
-            Filesystem::DosFs { metadata_overhead } => {
-                metadata_overhead + disk.mean_random_read(bytes)
-            }
-            Filesystem::Ufs { block_size, hit_rate, cache_copy } => {
+            Filesystem::DosFs { metadata_overhead } => metadata_overhead + disk.mean_random_read(bytes),
+            Filesystem::Ufs {
+                block_size,
+                hit_rate,
+                cache_copy,
+            } => {
                 let miss = disk.mean_random_read(block_size.max(bytes));
                 cache_copy + SimDuration::from_nanos((miss.as_nanos() as f64 * (1.0 - hit_rate)) as u64)
             }
-            Filesystem::DosFsOnHost { metadata_overhead } => {
-                metadata_overhead + disk.mean_random_read(bytes)
-            }
+            Filesystem::DosFsOnHost { metadata_overhead } => metadata_overhead + disk.mean_random_read(bytes),
         }
     }
 }
@@ -188,7 +190,10 @@ mod tests {
         let disk = ScsiDisk::new();
         let fs = Filesystem::ufs();
         let ms = fs.mean_read_frame(&disk, 1000).as_millis_f64();
-        assert!(ms < 1.0, "UFS cached path must leave room for net in the 1 ms total, got {ms:.2}");
+        assert!(
+            ms < 1.0,
+            "UFS cached path must leave room for net in the 1 ms total, got {ms:.2}"
+        );
     }
 
     #[test]
@@ -196,7 +201,10 @@ mod tests {
         let disk = ScsiDisk::new();
         let fs = Filesystem::dosfs_on_host();
         let ms = fs.mean_read_frame(&disk, 1000).as_millis_f64();
-        assert!((6.0..=8.0).contains(&ms), "8 ms total minus net ≈ 6.8 ms disk-side, got {ms:.2}");
+        assert!(
+            (6.0..=8.0).contains(&ms),
+            "8 ms total minus net ≈ 6.8 ms disk-side, got {ms:.2}"
+        );
     }
 
     #[test]

@@ -82,7 +82,8 @@ impl Ethernet {
         for _ in 0..pkts {
             let chunk = remaining.min(frame::MAX_PAYLOAD);
             remaining -= chunk;
-            total += self.send_stack + self.wire_time(chunk) + self.switch_latency + self.wire_time(chunk) + self.recv_stack;
+            total +=
+                self.send_stack + self.wire_time(chunk) + self.switch_latency + self.wire_time(chunk) + self.recv_stack;
         }
         total
     }

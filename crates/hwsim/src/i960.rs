@@ -182,10 +182,15 @@ mod tests {
     #[test]
     fn hwqueue_store_is_cache_independent_and_fast() {
         let mut hw_off = I960Core::new().with_store(DescriptorStore::HwQueueRegs);
-        let mut hw_on = I960Core::new().with_cache(true).with_store(DescriptorStore::HwQueueRegs);
+        let mut hw_on = I960Core::new()
+            .with_cache(true)
+            .with_store(DescriptorStore::HwQueueRegs);
         let a = hw_off.decision_time(work(3), 75).as_micros_f64();
         let b = hw_on.decision_time(work(3), 75).as_micros_f64();
-        assert!((a - b).abs() < 0.5, "register store ignores the cache: {a:.1} vs {b:.1}");
+        assert!(
+            (a - b).abs() < 0.5,
+            "register store ignores the cache: {a:.1} vs {b:.1}"
+        );
         // And comparable to pinned memory with cache on (Table 3 ≈ Table 2).
         let mut pinned_on = I960Core::new().with_cache(true);
         let c = pinned_on.decision_time(work(3), 75).as_micros_f64();

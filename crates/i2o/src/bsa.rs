@@ -87,9 +87,7 @@ impl BsaDevice {
             }
         };
         let p = &req.payload;
-        let (Some(&lba), Some(&count), Some(&hi), Some(&lo)) =
-            (p.first(), p.get(1), p.get(2), p.get(3))
-        else {
+        let (Some(&lba), Some(&count), Some(&hi), Some(&lo)) = (p.first(), p.get(1), p.get(2), p.get(3)) else {
             self.errors += 1;
             return req.reply(status::BAD_REQUEST, vec![]);
         };
@@ -187,10 +185,7 @@ mod tests {
         let reply = dev.handle(&req, &mut mem);
         assert_eq!(reply_status(&reply), status::OK);
         assert_eq!(reply.payload[0], 1024, "two blocks moved");
-        assert_eq!(
-            mem.read(0x1000, 1024).unwrap(),
-            &image[BLOCK_BYTES..BLOCK_BYTES + 1024]
-        );
+        assert_eq!(mem.read(0x1000, 1024).unwrap(), &image[BLOCK_BYTES..BLOCK_BYTES + 1024]);
         assert_eq!(dev.reads, 2);
     }
 

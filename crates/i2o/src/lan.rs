@@ -140,12 +140,18 @@ mod tests {
         let mut mem = CardMemory::new(4096);
         mem.write(0, &[1; 10]);
         for _ in 0..2 {
-            assert_eq!(st(&port.handle(&send_request(Tid(4), Tid(1), 0, 0, 10), &mut mem)), status::OK);
+            assert_eq!(
+                st(&port.handle(&send_request(Tid(4), Tid(1), 0, 0, 10), &mut mem)),
+                status::OK
+            );
         }
         let r = port.handle(&send_request(Tid(4), Tid(1), 0, 0, 10), &mut mem);
         assert_eq!(st(&r), status::TX_FULL);
         port.drain();
-        assert_eq!(st(&port.handle(&send_request(Tid(4), Tid(1), 0, 0, 10), &mut mem)), status::OK);
+        assert_eq!(
+            st(&port.handle(&send_request(Tid(4), Tid(1), 0, 0, 10), &mut mem)),
+            status::OK
+        );
     }
 
     #[test]

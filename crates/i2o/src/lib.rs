@@ -48,4 +48,4 @@ pub use devices::{DeviceClass, DeviceTable, Tid};
 pub use lan::LanPort;
 pub use memory::CardMemory;
 pub use message::{I2oFunction, MessageFrame};
-pub use queues::{Mfa, MessageUnit, PostError};
+pub use queues::{MessageUnit, Mfa, PostError};

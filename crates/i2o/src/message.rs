@@ -286,13 +286,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "payload exceeds")]
     fn oversized_payload_rejected() {
-        let _ = MessageFrame::new(
-            I2oFunction::UtilNop,
-            Tid(1),
-            Tid(2),
-            0,
-            vec![0; MAX_PAYLOAD_WORDS + 1],
-        );
+        let _ = MessageFrame::new(I2oFunction::UtilNop, Tid(1), Tid(2), 0, vec![0; MAX_PAYLOAD_WORDS + 1]);
     }
 
     #[test]

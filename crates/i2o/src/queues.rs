@@ -69,7 +69,9 @@ impl Channel {
 
     fn consume(&mut self) -> Option<(Mfa, MessageFrame)> {
         let mfa = self.post.pop_front()?;
-        let frame = self.slots[mfa.0 as usize].take().expect("posted MFA has a frame");
+        // post() seats the frame before queueing the MFA, so the slot is
+        // occupied here; degrade to "nothing to consume" if it ever is not.
+        let frame = self.slots[mfa.0 as usize].take()?;
         Some((mfa, frame))
     }
 

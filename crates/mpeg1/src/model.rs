@@ -132,7 +132,11 @@ impl StreamProfile {
         }
         self.total_bytes += u64::from(len);
         self.max_frame = self.max_frame.max(len);
-        self.min_frame = if self.min_frame == 0 { len } else { self.min_frame.min(len) };
+        self.min_frame = if self.min_frame == 0 {
+            len
+        } else {
+            self.min_frame.min(len)
+        };
     }
 
     /// Total frames.

@@ -77,8 +77,13 @@ pub fn node_capacity(cfg: &NodeConfig) -> NodeCapacity {
     // send-side wire occupancy of its 100 Mb/s port (two ports per card).
     let mut core = hwsim::I960Core::new().with_cache(true);
     let mut eth = hwsim::Ethernet::new();
-    let per_frame = core.decision_time(hwsim::i960::dwcs_work::Work { compares: 8, touches: 8 }, 16)
-        + core.dispatch_time()
+    let per_frame = core.decision_time(
+        hwsim::i960::dwcs_work::Work {
+            compares: 8,
+            touches: 8,
+        },
+        16,
+    ) + core.dispatch_time()
         + eth.send_occupancy(cfg.frame_bytes);
     let cpu_limit = (period.as_nanos() / per_frame.as_nanos().max(1)) as u32;
     // Wire limit across both ports.
@@ -172,10 +177,7 @@ mod tests {
         let cap = node_capacity(&NodeConfig::default());
         // Per frame ≈ 65 µs + 28 µs + ~610 µs wire-side at 1083 B; a 33 ms
         // period admits ~47 such frames per port-pair CPU.
-        assert!(
-            (20..=100).contains(&cap.streams_per_scheduler_ni),
-            "{cap:?}"
-        );
+        assert!((20..=100).contains(&cap.streams_per_scheduler_ni), "{cap:?}");
     }
 
     #[test]
@@ -202,7 +204,10 @@ mod tests {
 
     #[test]
     fn cluster_scales_linearly_with_nodes() {
-        let one = Cluster { nodes: 1, node: NodeConfig::default() };
+        let one = Cluster {
+            nodes: 1,
+            node: NodeConfig::default(),
+        };
         let sixteen = Cluster::paper_testbed();
         assert_eq!(sixteen.total_streams(), one.total_streams() * 16);
     }

@@ -107,14 +107,9 @@ pub struct HostLoadResult {
 
 enum Kind {
     /// Periodic system daemon (Solaris base load).
-    Daemon {
-        work: SimDuration,
-        period: SimDuration,
-    },
+    Daemon { work: SimDuration, period: SimDuration },
     /// Apache worker currently serving a request.
-    Web {
-        remaining_cycles: u64,
-    },
+    Web { remaining_cycles: u64 },
     /// MPEG producer: segments + injects its file in a burst.
     Producer {
         stream_idx: usize,
@@ -184,7 +179,9 @@ fn try_dispatch(w: &mut World, eng: &mut Eng) {
         if w.cpus[ci].running.is_some() {
             continue;
         }
-        let Some(pid) = w.run_q.pop_front().or_else(|| w.lo_q.pop_front()) else { break };
+        let Some(pid) = w.run_q.pop_front().or_else(|| w.lo_q.pop_front()) else {
+            break;
+        };
         start_slice(w, eng, ci, pid);
     }
 }
@@ -244,8 +241,7 @@ fn start_slice(w: &mut World, eng: &mut Eng, ci: usize, pid: usize) {
                         }
                     }
                 } else {
-                    let burned = (budget.as_nanos() as u128 * w.cpus[ci].model.hz as u128
-                        / 1_000_000_000) as u64;
+                    let burned = (budget.as_nanos() as u128 * w.cpus[ci].model.hz as u128 / 1_000_000_000) as u64;
                     rem = rem.saturating_sub(burned.max(1));
                     used = quantum;
                     break;
@@ -256,7 +252,11 @@ fn start_slice(w: &mut World, eng: &mut Eng, ci: usize, pid: usize) {
             }
             after = if dead { After::Die } else { After::Requeue };
         }
-        Kind::Producer { stream_idx, next_frame, per_frame_cycles } => {
+        Kind::Producer {
+            stream_idx,
+            next_frame,
+            per_frame_cycles,
+        } => {
             let stream_idx = *stream_idx;
             let per = w.cpus[ci].model.cycles_time(*per_frame_cycles);
             let total = w.cfg.frames_per_stream;
@@ -278,7 +278,9 @@ fn start_slice(w: &mut World, eng: &mut Eng, ci: usize, pid: usize) {
                 w.sched.enqueue(sid, desc, t.as_nanos());
             }
             let done = {
-                let Kind::Producer { next_frame, .. } = &w.procs[pid].kind else { unreachable!() };
+                let Kind::Producer { next_frame, .. } = &w.procs[pid].kind else {
+                    unreachable!()
+                };
                 *next_frame >= total
             };
             after = if done { After::Die } else { After::Requeue };
@@ -392,7 +394,9 @@ fn daemon_tick(w: &mut World, eng: &mut Eng, pid: usize) {
     if !w.procs[pid].alive {
         return;
     }
-    let Kind::Daemon { period, .. } = w.procs[pid].kind else { return };
+    let Kind::Daemon { period, .. } = w.procs[pid].kind else {
+        return;
+    };
     make_runnable(w, eng, pid);
     eng.schedule_in(period, move |w: &mut World, eng| daemon_tick(w, eng, pid));
 }
@@ -412,7 +416,10 @@ fn schedule_web_arrivals(w: &mut World, eng: &mut Eng) {
             .find(|&s| s > now)
             .unwrap_or(now + SimDuration::from_secs(1));
         if next_check <= now + w.cfg.run {
-            eng.schedule_at(next_check.max(now + SimDuration::from_millis(100)), schedule_web_arrivals);
+            eng.schedule_at(
+                next_check.max(now + SimDuration::from_millis(100)),
+                schedule_web_arrivals,
+            );
         }
         return;
     }
@@ -431,7 +438,9 @@ fn schedule_web_arrivals(w: &mut World, eng: &mut Eng) {
             let _ = started;
             let pid = w.procs.len();
             w.procs.push(Proc {
-                kind: Kind::Web { remaining_cycles: demand.cpu_cycles },
+                kind: Kind::Web {
+                    remaining_cycles: demand.cpu_cycles,
+                },
                 runnable: false,
                 alive: true,
             });
@@ -481,7 +490,9 @@ pub fn run(cfg: HostLoadConfig) -> HostLoadResult {
         sids,
         frame_bytes,
         frames_sent: vec![0; nstreams],
-        bw: (0..nstreams).map(|_| RateWindow::new(SimDuration::from_secs(1))).collect(),
+        bw: (0..nstreams)
+            .map(|_| RateWindow::new(SimDuration::from_secs(1)))
+            .collect(),
         qdelay: vec![Vec::new(); nstreams],
         dwcs_pid: 0,
         dwcs_woke_at: None,
@@ -519,11 +530,7 @@ pub fn run(cfg: HostLoadConfig) -> HostLoadResult {
     eng.run_until(&mut w, run_t);
 
     // Collect results.
-    let util_traces: Vec<Trace> = w
-        .cpus
-        .drain(..)
-        .map(|c| c.sampler.finish(run_t))
-        .collect();
+    let util_traces: Vec<Trace> = w.cpus.drain(..).map(|c| c.sampler.finish(run_t)).collect();
     let cpu_util = average_traces(&util_traces);
     let avg_util = cpu_util.mean_between(SimTime::ZERO, run_t).unwrap_or(0.0);
     let peak_util = cpu_util.min_max().map(|(_, hi)| hi).unwrap_or(0.0);
@@ -619,8 +626,16 @@ mod tests {
         let loaded = run(cfg);
         let unloaded = run(quick_cfg());
 
-        let bw_loaded: f64 = loaded.streams.iter().map(|s| s.bandwidth.settling_value(0.5).unwrap()).sum();
-        let bw_unloaded: f64 = unloaded.streams.iter().map(|s| s.bandwidth.settling_value(0.5).unwrap()).sum();
+        let bw_loaded: f64 = loaded
+            .streams
+            .iter()
+            .map(|s| s.bandwidth.settling_value(0.5).unwrap())
+            .sum();
+        let bw_unloaded: f64 = unloaded
+            .streams
+            .iter()
+            .map(|s| s.bandwidth.settling_value(0.5).unwrap())
+            .sum();
         assert!(
             bw_loaded < bw_unloaded * 0.9,
             "load must cost bandwidth: {bw_loaded:.0} vs {bw_unloaded:.0}"

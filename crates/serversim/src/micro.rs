@@ -216,10 +216,26 @@ mod tests {
         let (float, fixed) = table1();
         assert_eq!(fixed.frames, 151);
         // Paper: avg sched 129.67 (FP) vs 108.48 (fixed); w/o 34.6 / 30.35.
-        assert!((100.0..=120.0).contains(&fixed.avg_sched_us), "fixed avg {:.2}", fixed.avg_sched_us);
-        assert!((120.0..=140.0).contains(&float.avg_sched_us), "float avg {:.2}", float.avg_sched_us);
-        assert!((28.0..=33.0).contains(&fixed.avg_nosched_us), "fixed w/o {:.2}", fixed.avg_nosched_us);
-        assert!((33.0..=37.0).contains(&float.avg_nosched_us), "float w/o {:.2}", float.avg_nosched_us);
+        assert!(
+            (100.0..=120.0).contains(&fixed.avg_sched_us),
+            "fixed avg {:.2}",
+            fixed.avg_sched_us
+        );
+        assert!(
+            (120.0..=140.0).contains(&float.avg_sched_us),
+            "float avg {:.2}",
+            float.avg_sched_us
+        );
+        assert!(
+            (28.0..=33.0).contains(&fixed.avg_nosched_us),
+            "fixed w/o {:.2}",
+            fixed.avg_nosched_us
+        );
+        assert!(
+            (33.0..=37.0).contains(&float.avg_nosched_us),
+            "float w/o {:.2}",
+            float.avg_nosched_us
+        );
         // Fixed point wins by ~20 µs per decision.
         let delta = float.avg_sched_us - fixed.avg_sched_us;
         assert!((15.0..=26.0).contains(&delta), "FP penalty {delta:.1}");
@@ -232,8 +248,16 @@ mod tests {
         let save = fixed_off.avg_sched_us - fixed_on.avg_sched_us;
         assert!((10.0..=18.0).contains(&save), "cache saving {save:.1} µs");
         // Paper Table 2: fixed 94.60, float 115.20.
-        assert!((85.0..=105.0).contains(&fixed_on.avg_sched_us), "{:.2}", fixed_on.avg_sched_us);
-        assert!((105.0..=125.0).contains(&float_on.avg_sched_us), "{:.2}", float_on.avg_sched_us);
+        assert!(
+            (85.0..=105.0).contains(&fixed_on.avg_sched_us),
+            "{:.2}",
+            fixed_on.avg_sched_us
+        );
+        assert!(
+            (105.0..=125.0).contains(&float_on.avg_sched_us),
+            "{:.2}",
+            float_on.avg_sched_us
+        );
     }
 
     #[test]
@@ -241,15 +265,28 @@ mod tests {
         let (_, fixed_on) = table2();
         let hw = table3();
         let diff = (hw.avg_sched_us - fixed_on.avg_sched_us).abs();
-        assert!(diff < 10.0, "hwqueue {:.2} vs pinned {:.2}", hw.avg_sched_us, fixed_on.avg_sched_us);
+        assert!(
+            diff < 10.0,
+            "hwqueue {:.2} vs pinned {:.2}",
+            hw.avg_sched_us,
+            fixed_on.avg_sched_us
+        );
     }
 
     #[test]
     fn overhead_matches_paper_65_to_78us() {
         let (_, fixed_off) = table1();
         let (_, fixed_on) = table2();
-        assert!((70.0..=85.0).contains(&fixed_off.overhead_us()), "{:.1}", fixed_off.overhead_us());
-        assert!((60.0..=72.0).contains(&fixed_on.overhead_us()), "{:.1}", fixed_on.overhead_us());
+        assert!(
+            (70.0..=85.0).contains(&fixed_off.overhead_us()),
+            "{:.1}",
+            fixed_off.overhead_us()
+        );
+        assert!(
+            (60.0..=72.0).contains(&fixed_on.overhead_us()),
+            "{:.1}",
+            fixed_on.overhead_us()
+        );
     }
 
     #[test]

@@ -126,7 +126,9 @@ pub fn run(cfg: NiLoadConfig) -> NiLoadResult {
     let mut decisions = 0u64;
 
     while now < end {
-        let Some(next) = ext.scheduler_mut().next_eligible() else { break };
+        let Some(next) = ext.scheduler_mut().next_eligible() else {
+            break;
+        };
         let next_t = SimTime::from_nanos(next);
         if next_t >= end {
             break;
@@ -229,7 +231,11 @@ mod tests {
         // Identical NI-side series, bit for bit.
         for (a, b) in unloaded.streams.iter().zip(&loaded.streams) {
             assert_eq!(a.sent, b.sent);
-            assert_eq!(a.qdelay, b.qdelay, "{} series must be identical under host load", a.name);
+            assert_eq!(
+                a.qdelay, b.qdelay,
+                "{} series must be identical under host load",
+                a.name
+            );
         }
         // ...while the host really was loaded.
         let host = loaded.host.expect("host world ran");

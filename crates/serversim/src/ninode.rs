@@ -159,7 +159,10 @@ impl NiNode {
                     if ctx.sem_take_nowait(sem) {
                         StepResult::Ran { cycles }
                     } else {
-                        StepResult::Block { cycles: 40, on: BlockOn::SemTake(sem, None) }
+                        StepResult::Block {
+                            cycles: 40,
+                            on: BlockOn::SemTake(sem, None),
+                        }
                     }
                 })),
             );

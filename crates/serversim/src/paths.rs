@@ -179,19 +179,31 @@ mod tests {
     #[test]
     fn path_a_ufs_lands_near_1ms() {
         let b = path_a_ufs(&cfg());
-        assert!((0.7..=1.5).contains(&b.total_ms), "Table 4: ≈1 ms, got {:.2}", b.total_ms);
+        assert!(
+            (0.7..=1.5).contains(&b.total_ms),
+            "Table 4: ≈1 ms, got {:.2}",
+            b.total_ms
+        );
     }
 
     #[test]
     fn path_a_vxfs_lands_near_8ms() {
         let b = path_a_vxfs(&cfg());
-        assert!((6.5..=9.0).contains(&b.total_ms), "Table 4: ≈8 ms, got {:.2}", b.total_ms);
+        assert!(
+            (6.5..=9.0).contains(&b.total_ms),
+            "Table 4: ≈8 ms, got {:.2}",
+            b.total_ms
+        );
     }
 
     #[test]
     fn path_c_lands_near_5_4ms() {
         let b = path_c(&cfg());
-        assert!((5.0..=5.8).contains(&b.total_ms), "Table 4: 5.4 ms, got {:.2}", b.total_ms);
+        assert!(
+            (5.0..=5.8).contains(&b.total_ms),
+            "Table 4: 5.4 ms, got {:.2}",
+            b.total_ms
+        );
         assert!((3.9..=4.5).contains(&b.disk_ms), "disk ≈4.2 ms, got {:.2}", b.disk_ms);
         assert!((1.0..=1.3).contains(&b.net_ms), "net ≈1.2 ms, got {:.2}", b.net_ms);
         assert_eq!(b.host_ms, 0.0, "no host CPU on Path C");
@@ -201,9 +213,16 @@ mod tests {
     fn path_b_is_path_c_plus_15us() {
         let b = path_b(&cfg());
         let c = path_c(&cfg());
-        assert!((5.0..=5.8).contains(&b.total_ms), "Table 4: 5.415 ms, got {:.2}", b.total_ms);
+        assert!(
+            (5.0..=5.8).contains(&b.total_ms),
+            "Table 4: 5.415 ms, got {:.2}",
+            b.total_ms
+        );
         let extra_ms = b.total_ms - c.total_ms;
-        assert!((0.010..=0.025).contains(&extra_ms), "PCI hop ≈0.015 ms, got {extra_ms:.4}");
+        assert!(
+            (0.010..=0.025).contains(&extra_ms),
+            "PCI hop ≈0.015 ms, got {extra_ms:.4}"
+        );
         assert!((0.014..=0.017).contains(&b.pci_ms));
     }
 

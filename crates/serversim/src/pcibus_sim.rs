@@ -126,9 +126,7 @@ fn kick_scheduler(w: &mut World, eng: &mut Eng) {
         compares: d.work.compares,
         touches: d.work.touches,
     };
-    let cost = w.core.decision_time(work, 8)
-        + w.core.dispatch_time()
-        + w.eth.send_occupancy(u64::from(f.desc.len));
+    let cost = w.core.decision_time(work, 8) + w.core.dispatch_time() + w.eth.send_occupancy(u64::from(f.desc.len));
     w.sched_busy = true;
     w.sched_busy_time += cost;
     eng.schedule_in(cost, move |w: &mut World, eng| {

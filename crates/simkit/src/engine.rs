@@ -13,7 +13,10 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+// BTreeSet rather than HashSet: iteration-order-free here, but the simkit
+// determinism lint bans randomized-state containers wholesale so models never
+// grow an order dependence by accident.
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// A scheduled event: a one-shot closure over the world and the engine.
 pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
@@ -43,10 +46,7 @@ impl<W> Ord for Entry<W> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first, and
         // among equals lowest sequence first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -55,7 +55,7 @@ pub struct Engine<W> {
     now: SimTime,
     heap: BinaryHeap<Entry<W>>,
     seq: u64,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     fired: u64,
 }
 
@@ -72,7 +72,7 @@ impl<W> Engine<W> {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
             seq: 0,
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             fired: 0,
         }
     }
@@ -101,7 +101,11 @@ impl<W> Engine<W> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, f: Box::new(f) });
+        self.heap.push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
         EventId(seq)
     }
 
@@ -215,7 +219,10 @@ mod tests {
             eng.schedule_at(at(5), move |w: &mut World, _| w.log.push((5, name)));
         }
         eng.run(&mut w);
-        assert_eq!(w.log.iter().map(|&(_, n)| n).collect::<Vec<_>>(), ["first", "second", "third"]);
+        assert_eq!(
+            w.log.iter().map(|&(_, n)| n).collect::<Vec<_>>(),
+            ["first", "second", "third"]
+        );
     }
 
     #[test]

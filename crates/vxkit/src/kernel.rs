@@ -132,8 +132,9 @@ impl ReadyQueue {
     fn rotate(&mut self, prio: u8) {
         let q = &mut self.levels[prio as usize];
         if q.len() > 1 {
-            let front = q.pop_front().expect("len > 1");
-            q.push_back(front);
+            if let Some(front) = q.pop_front() {
+                q.push_back(front);
+            }
         }
     }
 
@@ -288,6 +289,7 @@ impl Kernel {
 
         // Poll the body through a context façade that borrows the kernel
         // around the body (the body itself is taken out during the call).
+        // analysis: allow(ni-no-panic) reason="invariant: every spawned task's body is re-seated after step(); a bare slot here is kernel corruption, not a runtime condition"
         let mut body = self.bodies[task.index()].take().expect("ready task has a body");
         let result = {
             let mut ctx = Ctx { k: self, me: task };
@@ -364,8 +366,8 @@ impl Kernel {
             }
             BlockOn::MsgSend(q, timeout) => {
                 let _ = timeout; // armed below once actually pended
-                // The value to send rides in pending_send; delivered by
-                // the kernel when space appears.
+                                 // The value to send rides in pending_send; delivered by
+                                 // the kernel when space appears.
                 let Some((_, msg)) = self.tcbs[task.index()].pending_send else {
                     return; // body forgot to stage the message: treat as ready
                 };
@@ -420,10 +422,11 @@ impl Kernel {
                 // would track boost chains.)
                 for (i, tcb) in self.tcbs.iter_mut().enumerate() {
                     if tcb.priority < tcb.base_priority && tcb.state != TaskState::Done {
-                        let still_owner = self
-                            .sems
-                            .iter()
-                            .any(|m| matches!(m.kind, SemKind::Mutex { inversion_safe: true }) && m.owner == Some(TaskId(i as u32)) && !m.waiters.is_empty());
+                        let still_owner = self.sems.iter().any(|m| {
+                            matches!(m.kind, SemKind::Mutex { inversion_safe: true })
+                                && m.owner == Some(TaskId(i as u32))
+                                && !m.waiters.is_empty()
+                        });
                         if !still_owner {
                             let old = tcb.priority;
                             let base = tcb.base_priority;
@@ -676,7 +679,10 @@ mod tests {
                     l.borrow_mut().push("high-ran");
                     StepResult::Exit { cycles: 10 }
                 } else {
-                    StepResult::Block { cycles: 5, on: BlockOn::SemTake(SemId(0), None) }
+                    StepResult::Block {
+                        cycles: 5,
+                        on: BlockOn::SemTake(SemId(0), None),
+                    }
                 }
             })),
         );
@@ -782,18 +788,19 @@ mod tests {
         let g = Rc::clone(&got);
         k.spawn(
             20,
-            Box::new(FnTask::new("consumer", move |ctx| {
-                match ctx.msg_recv_nowait(QId(0)) {
-                    Some(m) => {
-                        g.borrow_mut().push(m);
-                        if m == 99 {
-                            StepResult::Exit { cycles: 10 }
-                        } else {
-                            StepResult::Ran { cycles: 10 }
-                        }
+            Box::new(FnTask::new("consumer", move |ctx| match ctx.msg_recv_nowait(QId(0)) {
+                Some(m) => {
+                    g.borrow_mut().push(m);
+                    if m == 99 {
+                        StepResult::Exit { cycles: 10 }
+                    } else {
+                        StepResult::Ran { cycles: 10 }
                     }
-                    None => StepResult::Block { cycles: 5, on: BlockOn::MsgRecv(QId(0), None) },
                 }
+                None => StepResult::Block {
+                    cycles: 5,
+                    on: BlockOn::MsgRecv(QId(0), None),
+                },
             })),
         );
         let sent = Rc::new(RefCell::new(0u64));
@@ -828,7 +835,10 @@ mod tests {
                 if ctx.sem_take_nowait(SemId(0)) {
                     StepResult::Exit { cycles: 10 }
                 } else {
-                    StepResult::Block { cycles: 5, on: BlockOn::SemTake(SemId(0), None) }
+                    StepResult::Block {
+                        cycles: 5,
+                        on: BlockOn::SemTake(SemId(0), None),
+                    }
                 }
             })),
         );
@@ -876,7 +886,10 @@ mod tests {
                 if ctx.sem_take_nowait(SemId(0)) {
                     StepResult::Exit { cycles: 5 }
                 } else {
-                    StepResult::Block { cycles: 5, on: BlockOn::SemTake(SemId(0), None) }
+                    StepResult::Block {
+                        cycles: 5,
+                        on: BlockOn::SemTake(SemId(0), None),
+                    }
                 }
             })),
         );
@@ -890,10 +903,7 @@ mod tests {
     fn context_switches_are_charged() {
         let mut k = Kernel::new(KernelConfig::default());
         for name in ["a", "b"] {
-            k.spawn(
-                50,
-                Box::new(FnTask::new(name, |_| StepResult::Yield { cycles: 100 })),
-            );
+            k.spawn(50, Box::new(FnTask::new(name, |_| StepResult::Yield { cycles: 100 })));
         }
         k.step(); // switch to a (+250) run 100, yield
         k.step(); // switch to b (+250) run 100, yield
@@ -918,7 +928,10 @@ mod tests {
                     o.borrow_mut().push("got-it");
                     StepResult::Exit { cycles: 5 }
                 } else {
-                    StepResult::Block { cycles: 5, on: BlockOn::SemTake(SemId(0), Some(3)) }
+                    StepResult::Block {
+                        cycles: 5,
+                        on: BlockOn::SemTake(SemId(0), Some(3)),
+                    }
                 }
             })),
         );
@@ -951,7 +964,10 @@ mod tests {
                     o.borrow_mut().push("got-it");
                     StepResult::Exit { cycles: 5 }
                 } else {
-                    StepResult::Block { cycles: 5, on: BlockOn::SemTake(SemId(0), Some(10)) }
+                    StepResult::Block {
+                        cycles: 5,
+                        on: BlockOn::SemTake(SemId(0), Some(10)),
+                    }
                 }
             })),
         );
@@ -978,7 +994,10 @@ mod tests {
                 }
                 match ctx.msg_recv_nowait(QId(0)) {
                     Some(_) => StepResult::Exit { cycles: 5 },
-                    None => StepResult::Block { cycles: 5, on: BlockOn::MsgRecv(QId(0), Some(2)) },
+                    None => StepResult::Block {
+                        cycles: 5,
+                        on: BlockOn::MsgRecv(QId(0), Some(2)),
+                    },
                 }
             })),
         );

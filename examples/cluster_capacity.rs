@@ -10,20 +10,41 @@ fn main() {
     let node = NodeConfig::default();
     let cap = node_capacity(&node);
     println!("per-NI stream capacity (260 kb/s MPEG-1 streams, 2/8 tolerance):");
-    println!("  scheduler NI : {:>4} streams (decision+dispatch+wire budget)", cap.streams_per_scheduler_ni);
-    println!("  producer NI  : {:>4} streams (two SCSI disks at ~4.2 ms/frame)", cap.streams_per_producer_ni);
-    println!("  PCI bus      : {:>4} streams (peer-to-peer DMA budget)", cap.pci_stream_limit);
+    println!(
+        "  scheduler NI : {:>4} streams (decision+dispatch+wire budget)",
+        cap.streams_per_scheduler_ni
+    );
+    println!(
+        "  producer NI  : {:>4} streams (two SCSI disks at ~4.2 ms/frame)",
+        cap.streams_per_producer_ni
+    );
+    println!(
+        "  PCI bus      : {:>4} streams (peer-to-peer DMA budget)",
+        cap.pci_stream_limit
+    );
 
     println!("\nNI split sweep for a 6-slot node (scheduler NIs vs capacity):");
     for (sched, streams) in sweep_ni_split(6, &node) {
         let bar = "#".repeat((streams / 2) as usize);
-        println!("  {sched} scheduler / {} producer: {streams:>4} streams {bar}", 6 - sched);
+        println!(
+            "  {sched} scheduler / {} producer: {streams:>4} streams {bar}",
+            6 - sched
+        );
     }
 
     let cluster = Cluster::paper_testbed();
-    println!("\n16-node cluster total: {} concurrent streams", cluster.total_streams());
-    println!("per-NI admission check at that operating point: {}",
-        if cluster.admissible_per_ni(node_capacity(&cluster.node).node_streams) { "feasible" } else { "infeasible" });
+    println!(
+        "\n16-node cluster total: {} concurrent streams",
+        cluster.total_streams()
+    );
+    println!(
+        "per-NI admission check at that operating point: {}",
+        if cluster.admissible_per_ni(node_capacity(&cluster.node).node_streams) {
+            "feasible"
+        } else {
+            "infeasible"
+        }
+    );
     println!("\n\"Given the limited I/O slot real-estate, careful balance between NIs");
     println!("dedicated for scheduling and stream sourcing is required.\" — §6");
 }

@@ -27,7 +27,11 @@ fn main() {
             cfg.web = LoadProfile::experiment(5, 2, run, rate);
         }
         let r = hostload::run(cfg);
-        let bw: f64 = r.streams.iter().filter_map(|s| s.bandwidth.settling_value(0.5)).sum::<f64>()
+        let bw: f64 = r
+            .streams
+            .iter()
+            .filter_map(|s| s.bandwidth.settling_value(0.5))
+            .sum::<f64>()
             / r.streams.len() as f64;
         let drops: u64 = r.streams.iter().map(|s| s.dropped).sum();
         let viol: u64 = r.streams.iter().map(|s| s.violations).sum();
@@ -51,7 +55,11 @@ fn main() {
             cfg.host_web = LoadProfile::experiment(5, 2, run, rate);
         }
         let r = niload::run(cfg);
-        let bw: f64 = r.streams.iter().filter_map(|s| s.bandwidth.settling_value(0.5)).sum::<f64>()
+        let bw: f64 = r
+            .streams
+            .iter()
+            .filter_map(|s| s.bandwidth.settling_value(0.5))
+            .sum::<f64>()
             / r.streams.len() as f64;
         let drops: u64 = r.streams.iter().map(|s| s.dropped).sum();
         let host = r

@@ -64,16 +64,25 @@ fn main() {
 
     let stats = {
         let mut rt = node.runtime.borrow_mut();
-        host.call(&mut rt, VcmInstruction::QueryStats(sid), node.now()).expect("stats")
+        host.call(&mut rt, VcmInstruction::QueryStats(sid), node.now())
+            .expect("stats")
     };
     println!("\nafter {:.2} s of NI time:", node.now() as f64 / 1e9);
-    println!("  frames on time: {}   late: {}   dropped: {}   violations: {}",
-        stats.payload[0], stats.payload[1], stats.payload[2], stats.payload[3]);
-    println!("  kernel: {} ticks, {} context switches, {} cycles executed",
-        node.kernel.tick(), node.kernel.context_switches(), node.kernel.total_cycles());
-    println!("  DVCM task consumed {} cycles ({:.2} ms of 66 MHz CPU)",
+    println!(
+        "  frames on time: {}   late: {}   dropped: {}   violations: {}",
+        stats.payload[0], stats.payload[1], stats.payload[2], stats.payload[3]
+    );
+    println!(
+        "  kernel: {} ticks, {} context switches, {} cycles executed",
+        node.kernel.tick(),
+        node.kernel.context_switches(),
+        node.kernel.total_cycles()
+    );
+    println!(
+        "  DVCM task consumed {} cycles ({:.2} ms of 66 MHz CPU)",
         node.kernel.task_cycles(node.dvcm_task),
-        node.kernel.task_cycles(node.dvcm_task) as f64 / 66_000.0);
+        node.kernel.task_cycles(node.dvcm_task) as f64 / 66_000.0
+    );
     let service_events = node.dispatches.borrow().len();
     println!("  service-task activations that dispatched work: {service_events}");
     println!("\nthe scheduler task shares the card with housekeeping tasks yet pays");

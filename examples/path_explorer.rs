@@ -7,8 +7,10 @@ use nistream::serversim::paths::{self, PathConfig};
 
 fn main() {
     println!("Frame transfer latency by path and frame size (ms/frame)\n");
-    println!("{:>10} | {:>12} | {:>14} | {:>10} | {:>10}",
-        "bytes", "A (UFS)", "A (VxWorks fs)", "C (NI disk)", "B (peer NI)");
+    println!(
+        "{:>10} | {:>12} | {:>14} | {:>10} | {:>10}",
+        "bytes", "A (UFS)", "A (VxWorks fs)", "C (NI disk)", "B (peer NI)"
+    );
     println!("{}", "-".repeat(70));
     for bytes in [256u64, 1_000, 4_000, 16_000, 64_000, 256_000] {
         let cfg = PathConfig {
@@ -31,13 +33,17 @@ fn main() {
         ("Path C", paths::path_c(&cfg)),
         ("Path B", paths::path_b(&cfg)),
     ] {
-        println!("  {name:<20} disk {:>6.2}  host {:>5.2}  pci {:>6.3}  net {:>5.2}  = {:>6.3} ms",
-            p.disk_ms, p.host_ms, p.pci_ms, p.net_ms, p.total_ms);
+        println!(
+            "  {name:<20} disk {:>6.2}  host {:>5.2}  pci {:>6.3}  net {:>5.2}  = {:>6.3} ms",
+            p.disk_ms, p.host_ms, p.pci_ms, p.net_ms, p.total_ms
+        );
     }
 
     let t5 = paths::table5();
-    println!("\nPCI substrate: bulk DMA {:.2} MB/s, PIO read {:.1} us, PIO write {:.1} us",
-        t5.file_dma_mbps, t5.pio_read_us, t5.pio_write_us);
+    println!(
+        "\nPCI substrate: bulk DMA {:.2} MB/s, PIO read {:.1} us, PIO write {:.1} us",
+        t5.file_dma_mbps, t5.pio_read_us, t5.pio_write_us
+    );
     println!("\nTakeaway: peer-to-peer PCI (Path B) adds only ~15 us over the NI-local");
     println!("path while freeing the scheduler NI's disk slots — the paper's scalable");
     println!("configuration (Experiment III).");

@@ -30,8 +30,10 @@ fn main() {
         let qos = StreamQos::new(period_ms * MILLISECOND, x, y);
         if admission::admit(&admitted, qos, service) {
             admitted.push(qos);
-            println!("  + {name:<10} T={period_ms:>2} ms tolerance {x}/{y}  (U now {:.2})",
-                admission::utilization(&admitted, service));
+            println!(
+                "  + {name:<10} T={period_ms:>2} ms tolerance {x}/{y}  (U now {:.2})",
+                nistream::core::report::utilization_f64(&admitted, service)
+            );
         } else {
             println!("  - {name:<10} REJECTED (would exceed capacity)");
         }
@@ -59,8 +61,14 @@ fn main() {
     println!("\nservice report:");
     for (h, (name, ..)) in handles.iter().zip(candidates.iter().filter(|_| true)) {
         if let Ok(s) = server.stats(h.id()) {
-            println!("  {name:<10} sent {:>3} on-time {:>3} late {:>2} dropped {:>2} violations {:>2}",
-                s.sent(), s.sent_on_time, s.sent_late, s.dropped, s.violations);
+            println!(
+                "  {name:<10} sent {:>3} on-time {:>3} late {:>2} dropped {:>2} violations {:>2}",
+                s.sent(),
+                s.sent_on_time,
+                s.sent_late,
+                s.dropped,
+                s.violations
+            );
         }
     }
     server.shutdown();

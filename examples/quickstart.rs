@@ -53,8 +53,14 @@ fn main() {
     let recs = server.collected();
     println!("\ndelivered {} frames total; first 5:", recs.len());
     for r in recs.iter().take(5) {
-        println!("  t={:>6.1} ms  stream {:?} seq {} ({} bytes, on_time={})",
-            r.at_ns as f64 / 1e6, r.stream, r.seq, r.len, r.on_time);
+        println!(
+            "  t={:>6.1} ms  stream {:?} seq {} ({} bytes, on_time={})",
+            r.at_ns as f64 / 1e6,
+            r.stream,
+            r.seq,
+            r.len,
+            r.on_time
+        );
     }
     server.shutdown();
 }

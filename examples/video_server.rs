@@ -14,18 +14,23 @@ use std::time::{Duration, Instant};
 
 fn main() {
     // 1. "Encode" 3 seconds of 1.5 Mb/s MPEG-1 video.
-    let cfg = EncoderConfig { fps: 30.0, ..EncoderConfig::default() };
+    let cfg = EncoderConfig {
+        fps: 30.0,
+        ..EncoderConfig::default()
+    };
     let fps = cfg.fps;
     let (bitstream, _) = SyntheticEncoder::new(cfg).encode(90);
     println!("synthesized {} bytes of MPEG-1 elementary stream", bitstream.len());
 
     // 2. Segment it into I/P/B frames (the paper's producer step).
     let frames = Segmenter::new(&bitstream).segment_all().expect("valid stream");
-    println!("segmented {} pictures (I:{} P:{} B:{})",
+    println!(
+        "segmented {} pictures (I:{} P:{} B:{})",
         frames.len(),
         frames.iter().filter(|f| f.kind == PictureKind::I).count(),
         frames.iter().filter(|f| f.kind == PictureKind::P).count(),
-        frames.iter().filter(|f| f.kind == PictureKind::B).count());
+        frames.iter().filter(|f| f.kind == PictureKind::B).count()
+    );
 
     // 3. A UDP client stands in for the remote MPEG player.
     let client = UdpSocket::bind("127.0.0.1:0").expect("bind client");
@@ -73,8 +78,12 @@ fn main() {
     let (got, bytes, took) = receiver.join().unwrap();
 
     println!("\nclient received {got} datagrams, {bytes} bytes in {took:?}");
-    println!("measured delivery rate: {:.0} kb/s (stream nominal ≈ 1500 kb/s)",
-        bytes as f64 * 8.0 / took.as_secs_f64() / 1e3);
-    println!("server stats: on-time {} late {} dropped {} violations {}",
-        stats.sent_on_time, stats.sent_late, stats.dropped, stats.violations);
+    println!(
+        "measured delivery rate: {:.0} kb/s (stream nominal ≈ 1500 kb/s)",
+        bytes as f64 * 8.0 / took.as_secs_f64() / 1e3
+    );
+    println!(
+        "server stats: on-time {} late {} dropped {} violations {}",
+        stats.sent_on_time, stats.sent_late, stats.dropped, stats.violations
+    );
 }

@@ -1,0 +1,17 @@
+//! Repo-wide self-test: the checked-in tree satisfies its own static
+//! invariants (`analysis.toml`). This is the same pass CI runs via
+//! `cargo run -p nistream-analysis -- check`; having it as a test means
+//! `cargo test` alone catches a regression.
+
+use std::path::Path;
+
+#[test]
+fn repository_satisfies_its_static_invariants() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = nistream_analysis::check_root(root).expect("analysis.toml is well-formed");
+    assert!(
+        findings.is_empty(),
+        "static-analysis violations:\n{}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

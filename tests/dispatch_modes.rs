@@ -4,9 +4,7 @@
 //! while allowing decisions to run ahead of the dispatcher.
 
 use nistream::dwcs::types::MILLISECOND;
-use nistream::dwcs::{
-    DispatchMode, DualHeap, DwcsScheduler, FrameDesc, FrameKind, SchedulerConfig, StreamQos,
-};
+use nistream::dwcs::{DispatchMode, DualHeap, DwcsScheduler, FrameDesc, FrameKind, SchedulerConfig, StreamQos};
 
 fn feed(s: &mut DwcsScheduler<DualHeap>, sid: nistream::dwcs::StreamId, n: u64) {
     for seq in 0..n {

@@ -114,7 +114,12 @@ fn stats_roundtrip_matches_extension_state() {
     for i in 0..5u64 {
         host.call(
             &mut rt,
-            VcmInstruction::EnqueueFrame { stream: sid, addr: i, len: 1_000, kind: FrameKind::P },
+            VcmInstruction::EnqueueFrame {
+                stream: sid,
+                addr: i,
+                len: 1_000,
+                kind: FrameKind::P,
+            },
             0,
         )
         .unwrap();

@@ -4,18 +4,15 @@
 //! under sustained overload but still bound per-window drops by x/y.
 
 use nistream::dwcs::types::MILLISECOND;
-use nistream::dwcs::{
-    admission, DualHeap, DwcsScheduler, FrameDesc, FrameKind, StreamQos,
-};
+use nistream::dwcs::{admission, DualHeap, DwcsScheduler, FrameDesc, FrameKind, StreamQos};
 use proptest::prelude::*;
 
 const SERVICE: u64 = MILLISECOND; // unit service slot
 
 fn qos_strategy() -> impl Strategy<Value = StreamQos> {
     // Periods 4-40 ms, tolerance x/y with y in 2..9.
-    (4u64..40, 1u32..9).prop_flat_map(|(period_ms, y)| {
-        (0..=y).prop_map(move |x| StreamQos::new(period_ms * MILLISECOND, x, y))
-    })
+    (4u64..40, 1u32..9)
+        .prop_flat_map(|(period_ms, y)| (0..=y).prop_map(move |x| StreamQos::new(period_ms * MILLISECOND, x, y)))
 }
 
 /// Drive synchronous periodic arrivals for `horizon_ms`, serving one
@@ -30,7 +27,11 @@ fn run_system(set: &[StreamQos], horizon_ms: u64) -> u64 {
     while now < horizon {
         for (i, q) in set.iter().enumerate() {
             while next_arrival[i] <= now {
-                s.enqueue(sids[i], FrameDesc::new(sids[i], seqs[i], 1000, FrameKind::P), next_arrival[i]);
+                s.enqueue(
+                    sids[i],
+                    FrameDesc::new(sids[i], seqs[i], 1000, FrameKind::P),
+                    next_arrival[i],
+                );
                 seqs[i] += 1;
                 next_arrival[i] += q.period;
             }

@@ -79,7 +79,12 @@ fn ni_scheduler_jitter_is_load_independent_and_tiny() {
             "{}: NI jitter must be identical under host load",
             q.name
         );
-        assert!(q.mean_jitter_ms < 1.0, "{}: NI jitter {:.3} ms", q.name, q.mean_jitter_ms);
+        assert!(
+            q.mean_jitter_ms < 1.0,
+            "{}: NI jitter {:.3} ms",
+            q.name,
+            q.mean_jitter_ms
+        );
     }
     // And far below the loaded host's.
     let host_loaded = hostload::run(host_cfg(true));

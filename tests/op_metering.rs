@@ -3,9 +3,9 @@
 //! profiles, and the i960 cost tables price the soft-float build ~20 µs
 //! per decision slower — Tables 1–2's mechanism, verifiable in isolation.
 
-use nistream::fixedpt::ops::{MathMode, OpKind, OpMeter};
 use nistream::dwcs::types::MILLISECOND;
 use nistream::dwcs::{DualHeap, DwcsScheduler, FrameDesc, FrameKind, StreamQos};
+use nistream::fixedpt::ops::{MathMode, OpKind, OpMeter};
 use nistream::hwsim::calib;
 use std::sync::Arc;
 

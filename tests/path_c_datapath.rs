@@ -116,10 +116,7 @@ fn mpeg_file_travels_disk_to_wire_unchanged() {
             }
         }
         for (addr, len) in sends {
-            let replies = issue(
-                &mut rt,
-                nistream::i2o::lan::send_request(lan, TID_HOST, 0, addr, len),
-            );
+            let replies = issue(&mut rt, nistream::i2o::lan::send_request(lan, TID_HOST, 0, addr, len));
             assert_eq!(replies.len(), 1);
         }
         let done = {
@@ -166,6 +163,12 @@ fn lan_backpressure_surfaces_as_tx_full() {
     assert_eq!(statuses, vec![0, 0, 5, 5], "TX_FULL after capacity");
     // Draining restores service.
     rt.lan_mut(lan).unwrap().drain();
-    let replies = issue(&mut rt, nistream::i2o::lan::send_request(lan, TID_HOST, 9, FILE_BASE, 100));
-    assert!(matches!(replies[0].function, nistream::i2o::I2oFunction::Reply { status: 0, .. }));
+    let replies = issue(
+        &mut rt,
+        nistream::i2o::lan::send_request(lan, TID_HOST, 9, FILE_BASE, 100),
+    );
+    assert!(matches!(
+        replies[0].function,
+        nistream::i2o::I2oFunction::Reply { status: 0, .. }
+    ));
 }

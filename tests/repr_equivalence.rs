@@ -2,9 +2,7 @@
 //! observable order — random head-update/remove/pop sequences must pop in
 //! exactly the order LinearScan (the firmware-faithful reference) does.
 
-use nistream::dwcs::{
-    BTreeRepr, CalendarQueue, DualHeap, HeadKey, LinearScan, ScheduleRepr, SortedList, StreamId,
-};
+use nistream::dwcs::{BTreeRepr, CalendarQueue, DualHeap, HeadKey, LinearScan, ScheduleRepr, SortedList, StreamId};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
