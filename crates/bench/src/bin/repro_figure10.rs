@@ -4,7 +4,7 @@
 //! file drains at stream rate); maximum ~11 000 ms for s1 vs the 10 000 ms
 //! of the unloaded host-based case — and identical under host load.
 
-use nistream_bench::{ni_run, render_qdelay, RUN_SECS};
+use nistream_bench::{ni_run, qdelay_head, render_qdelay, RUN_SECS};
 
 fn main() {
     println!("Figure 10: NI Queuing Delay vs Frames Sent (NI-based DWCS, 60 % host web load)\n");
@@ -12,7 +12,7 @@ fn main() {
     for s in &r.streams {
         // The paper's Figure 10 plots ~140 frames of a shorter snapshot;
         // we show the first 330 (the 11 s point of the linear ramp).
-        let shown = &s.qdelay[..s.qdelay.len().min(330)];
+        let shown = qdelay_head(&s.qdelay, 330);
         print!("{}", render_qdelay(&s.name, shown, 6));
         if let Some(&(n, d)) = shown.last() {
             println!(

@@ -4,22 +4,21 @@
 //! runs apply httperf load from ~15 s, with the 60 % run's sustained
 //! phase exceeding 80 %.
 
-use nistream_bench::{host_run, render_series, LoadLevel, RUN_SECS};
+use nistream_bench::{csv_flag, host_run, level_header, print_csv_block, render_series, LoadLevel, RUN_SECS};
 
 fn main() {
     // `--csv` dumps the full traces for plotting instead of the summary.
-    let csv = std::env::args().any(|a| a == "--csv");
+    let csv = csv_flag();
     if !csv {
         println!("Figure 6: CPU Utilization Variation with Server Load ({RUN_SECS} s runs)\n");
     }
     for level in [LoadLevel::None, LoadLevel::Avg45, LoadLevel::Avg60] {
         let r = host_run(level, RUN_SECS);
         if csv {
-            println!("# {}", level.label());
-            print!("{}", r.cpu_util.to_csv("cpu_util_pct"));
+            print_csv_block(level.label(), &r.cpu_util, "cpu_util_pct");
             continue;
         }
-        println!("--- {} ---", level.label());
+        level_header(level);
         println!(
             "  average utilization: {:>5.1} %   peak: {:>5.1} %",
             r.avg_util, r.peak_util

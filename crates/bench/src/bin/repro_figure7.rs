@@ -4,11 +4,13 @@
 //! Paper: settles at ~250 kbps with no load; dips to 200 k and settles
 //! ~230 k at 45 %; falls to ~100 k and settles below 125 k at 60 %.
 
-use nistream_bench::{host_run, render_series, LoadLevel, RUN_SECS};
+use nistream_bench::{
+    csv_flag, host_run, level_header, print_csv_block, render_series, stream_summary, LoadLevel, RUN_SECS,
+};
 
 fn main() {
     // `--csv` dumps the full bandwidth traces for plotting.
-    let csv = std::env::args().any(|a| a == "--csv");
+    let csv = csv_flag();
     if !csv {
         println!("Figure 7: Bandwidth Variation with Load (host-based DWCS, streams s1 & s2)\n");
     }
@@ -16,12 +18,11 @@ fn main() {
         let r = host_run(level, RUN_SECS);
         if csv {
             for s in &r.streams {
-                println!("# {} {}", level.label(), s.name);
-                print!("{}", s.bandwidth.to_csv("bandwidth_bps"));
+                print_csv_block(&format!("{} {}", level.label(), s.name), &s.bandwidth, "bandwidth_bps");
             }
             continue;
         }
-        println!("--- {} ---", level.label());
+        level_header(level);
         for s in &r.streams {
             // The paper's "settling bandwidth" reads off the loaded
             // window (load runs 15-80 s); report the 40-80 s mean.
@@ -32,10 +33,7 @@ fn main() {
                     simkit::SimTime::from_nanos(80_000_000_000),
                 )
                 .unwrap_or(0.0);
-            println!(
-                "  {}: bandwidth over 40-80 s {:>8.0} bps; sent {} dropped {} violations {}",
-                s.name, loaded, s.sent, s.dropped, s.violations
-            );
+            println!("{}", stream_summary(s, "bandwidth over 40-80 s", loaded));
             print!("{}", render_series(&s.name, &s.bandwidth, "bps", 16));
         }
         println!();

@@ -4,17 +4,16 @@
 //! Paper: delay grows with frame number to ~10 000 ms unloaded; +~2 s at
 //! 45 %; up to ~30 000 ms (3x) at 60 %.
 
-use nistream_bench::{host_run, render_qdelay, LoadLevel, RUN_SECS};
+use nistream_bench::{host_run, level_header, qdelay_head, render_qdelay, LoadLevel, RUN_SECS};
 
 fn main() {
     println!("Figure 8: Queuing Delay vs Frames Sent with Load Variation (host-based DWCS)\n");
     for level in [LoadLevel::None, LoadLevel::Avg45, LoadLevel::Avg60] {
         let r = host_run(level, RUN_SECS);
-        println!("--- {} ---", level.label());
+        level_header(level);
         for s in &r.streams {
             // The paper's Figure 8 plots the first ~300 frames.
-            let shown = &s.qdelay[..s.qdelay.len().min(300)];
-            print!("{}", render_qdelay(&s.name, shown, 6));
+            print!("{}", render_qdelay(&s.name, qdelay_head(&s.qdelay, 300), 6));
         }
         println!();
     }

@@ -4,17 +4,14 @@
 //! Paper: the NI-based scheduler settles ~260 kbps per stream regardless
 //! of host web load ("completely immune to web server loading").
 
-use nistream_bench::{ni_run, render_series, RUN_SECS};
+use nistream_bench::{ni_run, render_series, stream_summary, RUN_SECS};
 
 fn main() {
     println!("Figure 9: NI Bandwidth Distribution Snapshot (NI-based DWCS, 60 % host web load)\n");
     let r = ni_run(RUN_SECS);
     for s in &r.streams {
         let settle = s.bandwidth.settling_value(0.3).unwrap_or(0.0);
-        println!(
-            "  {}: settling bandwidth {:>8.0} bps; sent {} dropped {} violations {}",
-            s.name, settle, s.sent, s.dropped, s.violations
-        );
+        println!("{}", stream_summary(s, "settling bandwidth", settle));
         print!("{}", render_series(&s.name, &s.bandwidth, "bps", 16));
     }
     if let Some(host) = &r.host {

@@ -4,33 +4,11 @@
 //! scheduler 5210.88 / 34.6; fixed point — 16425.36 / 108.48 / 4583.28 /
 //! 30.35. Run: `cargo run --release -p nistream-bench --bin repro_table1`.
 
-use nistream_bench::format_table;
+use nistream_bench::{format_table, micro_rows};
 use serversim::micro;
 
 fn main() {
     let (float, fixed) = micro::table1();
-    let rows = vec![
-        vec![
-            "Total Sched time".into(),
-            format!("{:.2}", float.total_sched_us),
-            format!("{:.2}", fixed.total_sched_us),
-        ],
-        vec![
-            "Avg frame Sched time".into(),
-            format!("{:.2}", float.avg_sched_us),
-            format!("{:.2}", fixed.avg_sched_us),
-        ],
-        vec![
-            "Total time w/o Scheduler".into(),
-            format!("{:.2}", float.total_nosched_us),
-            format!("{:.2}", fixed.total_nosched_us),
-        ],
-        vec![
-            "Avg frame time w/o Scheduler".into(),
-            format!("{:.2}", float.avg_nosched_us),
-            format!("{:.2}", fixed.avg_nosched_us),
-        ],
-    ];
     print!(
         "{}",
         format_table(
@@ -39,7 +17,7 @@ fn main() {
                 fixed.frames
             ),
             &["Microbenchmark", "Software FP (uSecs)", "Fixed Point (uSecs)"],
-            &rows,
+            &micro_rows(&[&float, &fixed]),
         )
     );
     println!(

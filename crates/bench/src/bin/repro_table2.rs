@@ -4,34 +4,12 @@
 //! fixed point — 14295.60 / 94.60 / 4195.68 / 27.78. The cache saves
 //! ~14.47 (FP) and ~13.88 (fixed) µs per frame over Table 1.
 
-use nistream_bench::format_table;
+use nistream_bench::{format_table, micro_rows};
 use serversim::micro;
 
 fn main() {
     let (float_off, fixed_off) = micro::table1();
     let (float, fixed) = micro::table2();
-    let rows = vec![
-        vec![
-            "Total Sched time".into(),
-            format!("{:.2}", float.total_sched_us),
-            format!("{:.2}", fixed.total_sched_us),
-        ],
-        vec![
-            "Avg frame Sched time".into(),
-            format!("{:.2}", float.avg_sched_us),
-            format!("{:.2}", fixed.avg_sched_us),
-        ],
-        vec![
-            "Total time w/o Scheduler".into(),
-            format!("{:.2}", float.total_nosched_us),
-            format!("{:.2}", fixed.total_nosched_us),
-        ],
-        vec![
-            "Avg frame time w/o Scheduler".into(),
-            format!("{:.2}", float.avg_nosched_us),
-            format!("{:.2}", fixed.avg_nosched_us),
-        ],
-    ];
     print!(
         "{}",
         format_table(
@@ -40,7 +18,7 @@ fn main() {
                 fixed.frames
             ),
             &["Microbenchmark", "Software FP (uSecs)", "Fixed Point (uSecs)"],
-            &rows,
+            &micro_rows(&[&float, &fixed]),
         )
     );
     println!(

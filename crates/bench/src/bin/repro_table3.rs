@@ -4,27 +4,18 @@
 //! Paper values (µs): total 14569.68, avg 72.48/96.48, w/o scheduler
 //! 4199.04 / 27.80 — "comparable to the results in Table 2".
 
-use nistream_bench::format_table;
+use nistream_bench::{format_table, micro_rows};
 use serversim::micro;
 
 fn main() {
     let hw = micro::table3();
     let (_, pinned) = micro::table2();
-    let rows = vec![
-        vec!["Total Sched time".into(), format!("{:.2}", hw.total_sched_us)],
-        vec!["Avg frame Sched time".into(), format!("{:.2}", hw.avg_sched_us)],
-        vec!["Total time w/o Scheduler".into(), format!("{:.2}", hw.total_nosched_us)],
-        vec![
-            "Avg frame time w/o Scheduler".into(),
-            format!("{:.2}", hw.avg_nosched_us),
-        ],
-    ];
     print!(
         "{}",
         format_table(
             "Table 3: Scheduler Microbenchmarks (Hardware Queues, Data Cache Enabled)",
             &["Microbenchmark", "Fixed Point (uSecs)"],
-            &rows,
+            &micro_rows(&[&hw]),
         )
     );
     println!(

@@ -9,7 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serversim::hostload::{self, HostLoadConfig, HostLoadResult};
+use serversim::hostload::{self, HostLoadConfig, HostLoadResult, StreamSeries};
+use serversim::micro::MicroResult;
 use serversim::niload::{self, NiLoadConfig, NiLoadResult};
 use simkit::SimDuration;
 use workload::mpegclient::ClientPlan;
@@ -98,6 +99,55 @@ pub fn ni_run(run_secs: u64) -> NiLoadResult {
     let host_cfg = host_config(LoadLevel::Avg60, run_secs);
     cfg.host_web = host_cfg.web.clone();
     niload::run(cfg)
+}
+
+/// Whether the binary was invoked with `--csv` (dump full traces for
+/// plotting instead of the human-readable summary).
+pub fn csv_flag() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Emit one CSV block: a `# tag` comment line followed by the trace.
+pub fn print_csv_block(tag: &str, trace: &simkit::Trace, column: &str) {
+    println!("# {tag}");
+    print!("{}", trace.to_csv(column));
+}
+
+/// Section marker for one load level within a figure's output.
+pub fn level_header(level: LoadLevel) {
+    println!("--- {} ---", level.label());
+}
+
+/// The four microbenchmark rows of Tables 1–3, one formatted column per
+/// result (Tables 1–2 print software-FP and fixed-point side by side;
+/// Table 3 prints the hardware-queue fixed-point column alone).
+pub fn micro_rows(columns: &[&MicroResult]) -> Vec<Vec<String>> {
+    let row = |label: &str, cell: fn(&MicroResult) -> f64| {
+        let mut r = vec![label.to_string()];
+        r.extend(columns.iter().map(|m| format!("{:.2}", cell(m))));
+        r
+    };
+    vec![
+        row("Total Sched time", |m| m.total_sched_us),
+        row("Avg frame Sched time", |m| m.avg_sched_us),
+        row("Total time w/o Scheduler", |m| m.total_nosched_us),
+        row("Avg frame time w/o Scheduler", |m| m.avg_nosched_us),
+    ]
+}
+
+/// Per-stream summary line shared by the bandwidth figures: a named
+/// bandwidth reading plus the sent/dropped/violations tallies.
+pub fn stream_summary(s: &StreamSeries, metric: &str, bps: f64) -> String {
+    format!(
+        "  {}: {metric} {bps:>8.0} bps; sent {} dropped {} violations {}",
+        s.name, s.sent, s.dropped, s.violations
+    )
+}
+
+/// The first `n` points of a queuing-delay series (the paper's figures
+/// plot a bounded frame range).
+pub fn qdelay_head(q: &[(u64, f64)], n: usize) -> &[(u64, f64)] {
+    &q[..q.len().min(n)]
 }
 
 /// Render a bandwidth/utilization trace as a compact `time: value` series

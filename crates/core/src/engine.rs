@@ -8,10 +8,13 @@
 //!   synchronization-free SPSC ring — Figure 4(b)'s "circular queue for
 //!   each stream eliminates the need for synchronization between the
 //!   scheduler … and the server that queues packets".
-//! * **The scheduler thread** drains rings into the DWCS scheduler
-//!   (dual-heap representation, deadline-paced by default), makes
-//!   decisions, resolves descriptors to payloads, and hands frames to the
-//!   configured [`FrameSink`]. Dropped frames' pool slots are reclaimed.
+//! * **The scheduler thread** drains rings into the shared service core
+//!   ([`dwcs::svc::SchedService`], dual-heap representation,
+//!   deadline-paced by default) bound to an [`EnginePlatform`]: decisions,
+//!   drop-reclaim ordering and dispatch accounting live in the core; the
+//!   platform resolves descriptors to pooled payloads and hands frames to
+//!   the configured [`FrameSink`]. Dropped frames' pool slots are
+//!   reclaimed by the platform.
 //! * **Control** flows over a command channel (open/close/stats/shutdown)
 //!   — the moral equivalent of DVCM instructions through the I2O unit.
 
@@ -20,8 +23,10 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use dwcs::metrics::StreamStats;
 use dwcs::ring::{Consumer, Producer, SpscRing};
 use dwcs::scheduler::Pacing;
-use dwcs::{DualHeap, DwcsScheduler, FrameDesc, FrameKind, SchedulerConfig, StreamId, StreamQos};
+use dwcs::svc::{DispatchRecord, Platform, SchedService};
+use dwcs::{DualHeap, FrameDesc, FrameKind, SchedulerConfig, StreamId, StreamQos};
 use std::net::UdpSocket;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -80,10 +85,54 @@ pub enum SinkKind {
     Udp(std::net::SocketAddr),
 }
 
+/// The clock the engine's service core reads: wall time in production,
+/// a shared settable counter when a test drives the core synchronously.
+#[derive(Clone)]
+pub enum EngineClock {
+    /// Nanoseconds elapsed since the server epoch.
+    Wall(Instant),
+    /// Virtual nanoseconds, set by the driver.
+    Virtual(Arc<AtomicU64>),
+}
+
+impl EngineClock {
+    /// A wall clock starting now.
+    pub fn wall() -> EngineClock {
+        EngineClock::Wall(Instant::now())
+    }
+
+    /// A virtual clock starting at zero; clones share the counter.
+    pub fn virtual_clock() -> EngineClock {
+        EngineClock::Virtual(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Current reading in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            EngineClock::Wall(epoch) => epoch.elapsed().as_nanos() as u64,
+            EngineClock::Virtual(ns) => ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Set a virtual clock; a wall clock ignores this (time passes by
+    /// itself).
+    pub fn set_ns(&self, t: u64) {
+        if let EngineClock::Virtual(ns) = self {
+            ns.store(t, Ordering::Relaxed);
+        }
+    }
+}
+
 /// A sink for dispatched frames. Implement to bridge into your transport.
 pub trait FrameSink: Send {
     /// Deliver one frame.
     fn deliver(&mut self, desc: &FrameDesc, on_time: bool, payload: &[u8]);
+
+    /// Observe a frame the scheduler dropped (late, within loss budget)
+    /// or discarded on stream close. Its pool slot is already reclaimed.
+    fn dropped(&mut self, desc: &FrameDesc) {
+        let _ = desc;
+    }
 }
 
 /// Discards frames.
@@ -93,10 +142,36 @@ impl FrameSink for DiscardSink {
     fn deliver(&mut self, _desc: &FrameDesc, _on_time: bool, _payload: &[u8]) {}
 }
 
-/// Collects [`SentRecord`]s.
+/// Collects [`SentRecord`]s (and drop notices) behind shared handles.
 pub struct CollectSink {
     records: Arc<parking_lot::Mutex<Vec<SentRecord>>>,
-    epoch: Instant,
+    drops: Arc<parking_lot::Mutex<Vec<FrameDesc>>>,
+    clock: EngineClock,
+}
+
+impl CollectSink {
+    /// A collector reading timestamps from `clock`; returns the sink and
+    /// shared handles to its dispatch and drop logs.
+    #[allow(clippy::type_complexity)]
+    pub fn shared(
+        clock: EngineClock,
+    ) -> (
+        CollectSink,
+        Arc<parking_lot::Mutex<Vec<SentRecord>>>,
+        Arc<parking_lot::Mutex<Vec<FrameDesc>>>,
+    ) {
+        let records = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let drops = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        (
+            CollectSink {
+                records: Arc::clone(&records),
+                drops: Arc::clone(&drops),
+                clock,
+            },
+            records,
+            drops,
+        )
+    }
 }
 
 impl FrameSink for CollectSink {
@@ -106,8 +181,12 @@ impl FrameSink for CollectSink {
             seq: desc.seq,
             len: payload.len() as u32,
             on_time,
-            at_ns: self.epoch.elapsed().as_nanos() as u64,
+            at_ns: self.clock.now_ns(),
         });
+    }
+
+    fn dropped(&mut self, desc: &FrameDesc) {
+        self.drops.lock().push(*desc);
     }
 }
 
@@ -121,6 +200,61 @@ impl FrameSink for UdpSink {
         // Best-effort, like the firmware's raw port: errors are dropped.
         let _ = self.socket.send(&payload[..payload.len().min(65_000)]);
     }
+}
+
+/// The host engine's binding of [`dwcs::svc::Platform`]: descriptors
+/// resolve against the [`FramePool`], dispatches deliver the pooled
+/// payload to a [`FrameSink`], dropped frames release their slot back to
+/// the pool, and time comes from an [`EngineClock`].
+pub struct EnginePlatform {
+    clock: EngineClock,
+    pool: FramePool,
+    sink: Box<dyn FrameSink>,
+}
+
+impl EnginePlatform {
+    /// Bind a clock, payload pool and sink into a platform.
+    pub fn new(clock: EngineClock, pool: FramePool, sink: Box<dyn FrameSink>) -> EnginePlatform {
+        EnginePlatform { clock, pool, sink }
+    }
+}
+
+impl Platform for EnginePlatform {
+    fn now(&mut self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    fn set_now(&mut self, t: u64) {
+        self.clock.set_ns(t);
+    }
+
+    fn dispatch(&mut self, rec: &DispatchRecord) {
+        let sink = &mut self.sink;
+        self.pool.take(rec.frame.desc.addr as SlotId, |payload| {
+            sink.deliver(&rec.frame.desc, rec.frame.on_time, payload);
+        });
+    }
+
+    fn reclaim(&mut self, desc: &FrameDesc) {
+        self.pool.release(desc.addr as SlotId);
+        self.sink.dropped(desc);
+    }
+}
+
+/// The engine's service core: the shared scheduler service bound to the
+/// host-thread platform. The scheduler thread drives one of these; tests
+/// (notably the cross-placement conformance suite) drive one
+/// synchronously on a virtual clock.
+pub type HostSchedCore = SchedService<DualHeap, EnginePlatform>;
+
+/// Build the engine's service core directly.
+pub fn host_sched_core(
+    cfg: SchedulerConfig,
+    clock: EngineClock,
+    pool: FramePool,
+    sink: Box<dyn FrameSink>,
+) -> HostSchedCore {
+    SchedService::new(DualHeap::new(16), cfg, EnginePlatform::new(clock, pool, sink))
 }
 
 enum Command {
@@ -193,13 +327,17 @@ impl MediaServerBuilder {
     pub fn start(self) -> std::io::Result<MediaServer> {
         let pool = FramePool::new(self.pool_slots, self.slot_size);
         let epoch = Instant::now();
-        let records = Arc::new(parking_lot::Mutex::new(Vec::new()));
-        let mut sink: Box<dyn FrameSink> = match self.sink {
+        let clock = EngineClock::Wall(epoch);
+        let mut records = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut drops = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink: Box<dyn FrameSink> = match self.sink {
             SinkKind::Discard => Box::new(DiscardSink),
-            SinkKind::Collect => Box::new(CollectSink {
-                records: Arc::clone(&records),
-                epoch,
-            }),
+            SinkKind::Collect => {
+                let (sink, recs, drps) = CollectSink::shared(clock.clone());
+                records = recs;
+                drops = drps;
+                Box::new(sink)
+            }
             SinkKind::Udp(addr) => {
                 let socket = UdpSocket::bind("0.0.0.0:0")?;
                 socket.connect(addr)?;
@@ -216,7 +354,7 @@ impl MediaServerBuilder {
         let thread_pool = pool.clone();
         let handle = std::thread::Builder::new()
             .name("dwcs-scheduler".into())
-            .spawn(move || scheduler_loop(cfg, cmd_rx, thread_pool, sink.as_mut(), epoch))?;
+            .spawn(move || scheduler_loop(cfg, cmd_rx, thread_pool, sink, clock))?;
 
         Ok(MediaServer {
             cmd_tx,
@@ -224,124 +362,106 @@ impl MediaServerBuilder {
             epoch,
             ring_capacity: self.ring_capacity,
             records,
+            drops,
             handle: parking_lot::Mutex::new(Some(handle)),
         })
     }
 }
 
-fn now_ns(epoch: Instant) -> u64 {
-    epoch.elapsed().as_nanos() as u64
+/// Apply one control command to the service core. Returns `true` on
+/// shutdown.
+fn handle_command(
+    svc: &mut HostSchedCore,
+    rings: &mut Vec<(StreamId, Consumer<FrameDesc>)>,
+    pool: &FramePool,
+    cmd: Command,
+) -> bool {
+    match cmd {
+        Command::Open(qos, cons, reply) => {
+            let sid = svc.open(qos);
+            rings.push((sid, cons));
+            let _ = reply.send(sid);
+        }
+        Command::Close(sid) => {
+            // Reclaim anything still queued in the ring; the service core
+            // routes frames already drained into the scheduler through
+            // the platform's reclaimer.
+            if let Some(pos) = rings.iter().position(|(s, _)| *s == sid) {
+                let (_, mut cons) = rings.remove(pos);
+                while let Some(desc) = cons.pop() {
+                    pool.release(desc.addr as SlotId);
+                }
+            }
+            svc.close(sid);
+        }
+        Command::Stats(sid, reply) => {
+            let known = svc.scheduler().stream_ids().any(|s| s == sid);
+            let _ = reply.send(known.then(|| svc.scheduler().stats(sid).clone()));
+        }
+        Command::StatsAll(reply) => {
+            let all: Vec<_> = svc
+                .scheduler()
+                .stream_ids()
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|sid| (sid, svc.scheduler().stats(sid).clone()))
+                .collect();
+            let _ = reply.send(all);
+        }
+        Command::Shutdown => return true,
+    }
+    false
 }
 
 fn scheduler_loop(
     cfg: SchedulerConfig,
     cmd_rx: Receiver<Command>,
     pool: FramePool,
-    sink: &mut dyn FrameSink,
-    epoch: Instant,
+    sink: Box<dyn FrameSink>,
+    clock: EngineClock,
 ) {
-    let mut sched: DwcsScheduler<DualHeap> = DwcsScheduler::with_config(DualHeap::new(16), cfg);
+    let mut svc = host_sched_core(cfg, clock.clone(), pool.clone(), sink);
     let mut rings: Vec<(StreamId, Consumer<FrameDesc>)> = Vec::new();
 
     loop {
         // 1. Control commands.
         loop {
             match cmd_rx.try_recv() {
-                Ok(Command::Open(qos, cons, reply)) => {
-                    let sid = sched.add_stream(qos);
-                    rings.push((sid, cons));
-                    let _ = reply.send(sid);
-                }
-                Ok(Command::Close(sid)) => {
-                    // Reclaim anything still queued in the ring.
-                    if let Some(pos) = rings.iter().position(|(s, _)| *s == sid) {
-                        let (_, mut cons) = rings.remove(pos);
-                        while let Some(desc) = cons.pop() {
-                            pool.release(desc.addr as SlotId);
-                        }
+                Ok(cmd) => {
+                    if handle_command(&mut svc, &mut rings, &pool, cmd) {
+                        return;
                     }
-                    sched.remove_stream(sid);
                 }
-                Ok(Command::Stats(sid, reply)) => {
-                    let known = sched.stream_ids().any(|s| s == sid);
-                    let _ = reply.send(known.then(|| sched.stats(sid).clone()));
-                }
-                Ok(Command::StatsAll(reply)) => {
-                    let all: Vec<_> = sched
-                        .stream_ids()
-                        .collect::<Vec<_>>()
-                        .into_iter()
-                        .map(|sid| (sid, sched.stats(sid).clone()))
-                        .collect();
-                    let _ = reply.send(all);
-                }
-                Ok(Command::Shutdown) | Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                    return;
-                }
+                Err(crossbeam::channel::TryRecvError::Disconnected) => return,
                 Err(crossbeam::channel::TryRecvError::Empty) => break,
             }
         }
 
-        // 2. Drain producer rings into the scheduler.
-        let t = now_ns(epoch);
+        // 2. Drain producer rings into the service core.
+        let t = clock.now_ns();
         for (sid, cons) in &mut rings {
             while let Some(desc) = cons.pop() {
-                sched.enqueue(*sid, desc, t);
+                svc.ingest_at(*sid, desc, t);
             }
         }
 
-        // 3. One scheduling decision.
-        let t = now_ns(epoch);
-        let d = sched.schedule_next(t);
-        sched.drain_dropped(|desc| pool.release(desc.addr as SlotId));
-        if let Some(f) = d.frame {
-            pool.take(f.desc.addr as SlotId, |payload| {
-                sink.deliver(&f.desc, f.on_time, payload);
-            });
+        // 3. One service pass: decide, reclaim drops, dispatch.
+        let out = svc.service_once();
+        if out.dispatched > 0 || out.decision.dropped > 0 {
             continue; // stay hot while frames flow
-        }
-        if d.dropped > 0 {
-            continue;
         }
 
         // 4. Idle: sleep until the next deadline or the next command.
-        let sleep = match sched.next_eligible() {
+        let t = clock.now_ns();
+        let sleep = match svc.next_eligible() {
             Some(at) if at > t => Duration::from_nanos((at - t).min(500_000)),
             Some(_) => continue,
             None => Duration::from_micros(500),
         };
         match cmd_rx.recv_timeout(sleep) {
             Ok(cmd) => {
-                // Re-inject: cheapest is to handle inline via a tiny queue.
-                match cmd {
-                    Command::Open(qos, cons, reply) => {
-                        let sid = sched.add_stream(qos);
-                        rings.push((sid, cons));
-                        let _ = reply.send(sid);
-                    }
-                    Command::Close(sid) => {
-                        if let Some(pos) = rings.iter().position(|(s, _)| *s == sid) {
-                            let (_, mut cons) = rings.remove(pos);
-                            while let Some(desc) = cons.pop() {
-                                pool.release(desc.addr as SlotId);
-                            }
-                        }
-                        sched.remove_stream(sid);
-                    }
-                    Command::Stats(sid, reply) => {
-                        let known = sched.stream_ids().any(|s| s == sid);
-                        let _ = reply.send(known.then(|| sched.stats(sid).clone()));
-                    }
-                    Command::StatsAll(reply) => {
-                        let all: Vec<_> = sched
-                            .stream_ids()
-                            .collect::<Vec<_>>()
-                            .into_iter()
-                            .map(|sid| (sid, sched.stats(sid).clone()))
-                            .collect();
-                        let _ = reply.send(all);
-                    }
-                    Command::Shutdown => return,
+                if handle_command(&mut svc, &mut rings, &pool, cmd) {
+                    return;
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -411,6 +531,7 @@ pub struct MediaServer {
     epoch: Instant,
     ring_capacity: usize,
     records: Arc<parking_lot::Mutex<Vec<SentRecord>>>,
+    drops: Arc<parking_lot::Mutex<Vec<FrameDesc>>>,
     handle: parking_lot::Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -476,6 +597,13 @@ impl MediaServer {
     /// Records accumulated by a [`SinkKind::Collect`] sink.
     pub fn collected(&self) -> Vec<SentRecord> {
         self.records.lock().clone()
+    }
+
+    /// Descriptors of frames dropped by the scheduler (late within loss
+    /// budget, or discarded on close) — populated by a
+    /// [`SinkKind::Collect`] sink.
+    pub fn dropped_frames(&self) -> Vec<FrameDesc> {
+        self.drops.lock().clone()
     }
 
     /// Nanoseconds since the server started (the scheduler's clock).
@@ -622,11 +750,7 @@ mod tests {
         assert_eq!(s.send(&[0u8; 16]).unwrap_err(), ServerError::PoolExhausted);
         server.close_stream(s.id()).unwrap();
         assert!(
-            wait_until(Duration::from_secs(5), || {
-                // Pool slots recovered after close (ring + queued frames).
-                MediaServer::builder(); // no-op: keep closure non-empty
-                s.pool.free_slots() == 8
-            }),
+            wait_until(Duration::from_secs(5), || s.pool.free_slots() == 8),
             "free {}",
             s.pool.free_slots()
         );
@@ -666,5 +790,42 @@ mod tests {
         let (n, _) = receiver.recv_from(&mut buf).unwrap();
         assert_eq!(&buf[..n], b"frame-payload-over-udp");
         server.shutdown();
+    }
+
+    #[test]
+    fn virtual_clock_core_runs_synchronously() {
+        // The same binding the scheduler thread uses, driven inline on a
+        // virtual clock: this is the conformance-test harness surface.
+        let pool = FramePool::new(8, 256);
+        let clock = EngineClock::virtual_clock();
+        let (sink, records, drops) = CollectSink::shared(clock.clone());
+        let mut svc = host_sched_core(SchedulerConfig::default(), clock.clone(), pool.clone(), Box::new(sink));
+        // Tolerance 1/2: the first late head drops within budget.
+        let sid = svc.open(StreamQos::new(MILLISECOND, 1, 2));
+        for seq in 0..2u64 {
+            let slot = pool.store(&[seq as u8; 32]).unwrap();
+            let desc = FrameDesc {
+                stream: sid,
+                seq,
+                len: 32,
+                kind: FrameKind::P,
+                enqueued_at: 0,
+                addr: u64::from(slot),
+            };
+            svc.ingest_at(sid, desc, 0);
+        }
+        // Far past the first deadline: seq 0 drops (slot reclaimed), the
+        // re-anchored seq 1 dispatches on time.
+        clock.set_ns(100 * MILLISECOND);
+        let out = svc.service_once();
+        assert_eq!(out.decision.dropped, 1);
+        assert_eq!(out.dispatched, 1);
+        assert_eq!(drops.lock().len(), 1);
+        let recs = records.lock();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].seq, 1);
+        assert_eq!(recs[0].at_ns, 100 * MILLISECOND, "virtual timestamps");
+        drop(recs);
+        assert_eq!(pool.free_slots(), 8, "dropped and sent slots both recovered");
     }
 }

@@ -1,11 +1,14 @@
 //! The media-scheduler DVCM extension (§3 of the paper).
 //!
-//! Wraps the DWCS scheduler as an NI-resident extension: host producers
-//! push `EnqueueFrame` instructions (frames themselves are already in NI
-//! memory — only descriptors travel), the NI task loop polls for
-//! scheduling decisions, and dispatched frames land in an outbox the
-//! embedding drains onto the wire (`serversim` charges Ethernet time;
-//! the real engine in `nistream-core` hands them to a sink thread).
+//! A thin VCM-instruction shim over the placement-agnostic service core
+//! [`dwcs::svc::SchedService`]: host producers push `EnqueueFrame`
+//! instructions (frames themselves are already in NI memory — only
+//! descriptors travel), the NI task loop polls for scheduling decisions,
+//! and the core hands dispatched frames to the extension's
+//! [`Platform`](dwcs::svc::Platform) — by default [`NiOutbox`], an
+//! outbox the embedding drains onto the wire (`serversim` charges
+//! Ethernet time; the real engine in `nistream-core` binds the same core
+//! to a sink thread instead).
 //!
 //! The schedule representation is the paper's dual heap (Figure 4); each
 //! decision's [`dwcs::repr::Work`] rides along so the i960 cost model can
@@ -13,23 +16,14 @@
 
 use crate::extension::{ExtReply, ExtensionModule};
 use crate::instr::{StreamSpec, VcmInstruction};
-use dwcs::scheduler::DispatchedFrame;
+use dwcs::svc::{Platform, SchedService};
 use dwcs::{
     DispatchMode, DualHeap, DwcsScheduler, FrameDesc, FrameKind, SchedDecision, SchedulerConfig, StreamId, StreamQos,
     Time,
 };
 use std::collections::VecDeque;
 
-/// One dispatched frame with its decision metadata.
-#[derive(Clone, Copy, Debug)]
-pub struct DispatchRecord {
-    /// The dispatched frame.
-    pub frame: DispatchedFrame,
-    /// NI time of the scheduling decision.
-    pub decided_at: Time,
-    /// Late frames dropped while reaching this decision.
-    pub dropped_before: u32,
-}
+pub use dwcs::svc::DispatchRecord;
 
 /// Completion statuses the extension returns.
 pub mod status {
@@ -41,10 +35,48 @@ pub mod status {
     pub const BAD_QOS: u8 = 3;
 }
 
-/// The DWCS scheduler as a DVCM extension module.
-pub struct MediaSchedExt {
-    sched: DwcsScheduler<DualHeap>,
+/// Upper bound on retained dropped-frame descriptors: the host reclaims
+/// them batch-wise; an inattentive host loses the oldest notices rather
+/// than growing NI memory without bound.
+const RECLAIM_LOG_CAP: usize = 4_096;
+
+/// The default NI-resident [`Platform`]: a settable NI clock, an outbox
+/// of [`DispatchRecord`]s the embedding drains onto the wire, and a
+/// bounded log of dropped descriptors for host-side slot reclamation.
+#[derive(Default)]
+pub struct NiOutbox {
+    now: Time,
     outbox: VecDeque<DispatchRecord>,
+    reclaimed: VecDeque<FrameDesc>,
+}
+
+impl Platform for NiOutbox {
+    fn now(&mut self) -> Time {
+        self.now
+    }
+
+    fn set_now(&mut self, t: Time) {
+        self.now = t;
+    }
+
+    fn dispatch(&mut self, rec: &DispatchRecord) {
+        self.outbox.push_back(*rec);
+    }
+
+    fn reclaim(&mut self, desc: &FrameDesc) {
+        if self.reclaimed.len() >= RECLAIM_LOG_CAP {
+            self.reclaimed.pop_front();
+        }
+        self.reclaimed.push_back(*desc);
+    }
+}
+
+/// The DWCS scheduler as a DVCM extension module, generic over the
+/// [`Platform`] the service core dispatches into. The default
+/// ([`NiOutbox`]) queues records for the embedding; simulation worlds
+/// substitute platforms that price wire occupancy inline.
+pub struct MediaSchedExt<P: Platform = NiOutbox> {
+    svc: SchedService<DualHeap, P>,
     /// Per-stream producer sequence numbers.
     next_seq: Vec<u64>,
     /// Decisions made (incl. idle polls that found nothing).
@@ -53,7 +85,7 @@ pub struct MediaSchedExt {
 
 impl MediaSchedExt {
     /// Extension with the paper's configuration: dual-heap representation,
-    /// coupled scheduling/dispatch.
+    /// coupled scheduling/dispatch, outbox platform.
     pub fn new(max_streams: usize) -> MediaSchedExt {
         MediaSchedExt::with_config(max_streams, SchedulerConfig::default())
     }
@@ -61,64 +93,74 @@ impl MediaSchedExt {
     /// Extension with an explicit scheduler configuration (decoupled
     /// dispatch experiments use this).
     pub fn with_config(max_streams: usize, cfg: SchedulerConfig) -> MediaSchedExt {
+        MediaSchedExt::with_platform(max_streams, cfg, NiOutbox::default())
+    }
+
+    /// Drain one dispatched frame (the wire side).
+    pub fn pop_dispatch(&mut self) -> Option<DispatchRecord> {
+        self.svc.platform_mut().outbox.pop_front()
+    }
+
+    /// Frames awaiting wire transmission.
+    pub fn outbox_len(&self) -> usize {
+        self.svc.platform().outbox.len()
+    }
+
+    /// Drain the descriptors of frames dropped (or discarded by a stream
+    /// close) since the last call — the host releases their NI-memory
+    /// slots. The log is bounded (oldest notices fall off first).
+    pub fn drain_reclaimed(&mut self) -> Vec<FrameDesc> {
+        self.svc.platform_mut().reclaimed.drain(..).collect()
+    }
+}
+
+impl<P: Platform> MediaSchedExt<P> {
+    /// Extension over an explicit platform (simulators bind cost models
+    /// here; see [`NiOutbox`] for the default).
+    pub fn with_platform(max_streams: usize, cfg: SchedulerConfig, platform: P) -> MediaSchedExt<P> {
         MediaSchedExt {
-            sched: DwcsScheduler::with_config(DualHeap::new(max_streams), cfg),
-            outbox: VecDeque::new(),
+            svc: SchedService::new(DualHeap::new(max_streams), cfg, platform),
             next_seq: Vec::new(),
             polls: 0,
         }
     }
 
     /// One scheduling decision at NI time `now`; dispatched frames go to
-    /// the outbox. Returns the raw decision for cost-model pricing.
+    /// the platform. Returns the raw decision for cost-model pricing.
     ///
     /// Under [`DispatchMode::Decoupled`] the decision lands in the
     /// scheduler's internal dispatch queue instead of the return value;
-    /// this poll drains that queue into the outbox too, so both dispatch
-    /// modes feed the wire identically.
+    /// the service pass drains that queue into the platform too, so both
+    /// dispatch modes feed the wire identically.
     pub fn poll_decision(&mut self, now: Time) -> SchedDecision {
         self.polls += 1;
-        let d = self.sched.schedule_next(now);
-        if let Some(frame) = d.frame {
-            self.outbox.push_back(DispatchRecord {
-                frame,
-                decided_at: now,
-                dropped_before: d.dropped,
-            });
-        }
-        while let Some(frame) = self.sched.pop_dispatch(now) {
-            self.outbox.push_back(DispatchRecord {
-                frame,
-                decided_at: now,
-                dropped_before: 0,
-            });
-        }
-        d
-    }
-
-    /// Drain one dispatched frame (the wire side).
-    pub fn pop_dispatch(&mut self) -> Option<DispatchRecord> {
-        self.outbox.pop_front()
-    }
-
-    /// Frames awaiting wire transmission.
-    pub fn outbox_len(&self) -> usize {
-        self.outbox.len()
+        self.svc.platform_mut().set_now(now);
+        self.svc.service_once().decision
     }
 
     /// Whether any stream has queued frames.
     pub fn has_pending(&self) -> bool {
-        self.sched.has_pending()
+        self.svc.has_pending()
     }
 
     /// Direct scheduler access (experiments read stats, windows).
     pub fn scheduler(&self) -> &DwcsScheduler<DualHeap> {
-        &self.sched
+        self.svc.scheduler()
     }
 
     /// Mutable scheduler access.
     pub fn scheduler_mut(&mut self) -> &mut DwcsScheduler<DualHeap> {
-        &mut self.sched
+        self.svc.scheduler_mut()
+    }
+
+    /// The platform the service core dispatches into.
+    pub fn platform(&self) -> &P {
+        self.svc.platform()
+    }
+
+    /// Mutable platform access.
+    pub fn platform_mut(&mut self) -> &mut P {
+        self.svc.platform_mut()
     }
 
     fn open(&mut self, spec: StreamSpec) -> ExtReply {
@@ -129,7 +171,7 @@ impl MediaSchedExt {
         if !spec.droppable {
             qos = qos.send_late();
         }
-        let sid = self.sched.add_stream(qos);
+        let sid = self.svc.open(qos);
         if sid.index() >= self.next_seq.len() {
             self.next_seq.resize(sid.index() + 1, 0);
         }
@@ -151,7 +193,7 @@ impl MediaSchedExt {
             enqueued_at: now,
             addr,
         };
-        self.sched.enqueue(stream, desc, now);
+        self.svc.ingest_at(stream, desc, now);
         ExtReply::ok()
     }
 
@@ -159,7 +201,7 @@ impl MediaSchedExt {
         if sid.index() >= self.next_seq.len() {
             return ExtReply::err(status::NO_STREAM);
         }
-        let s = self.sched.stats(sid);
+        let s = self.svc.scheduler().stats(sid);
         ExtReply::with(vec![
             s.sent_on_time as u32,
             s.sent_late as u32,
@@ -172,7 +214,7 @@ impl MediaSchedExt {
     }
 }
 
-impl ExtensionModule for MediaSchedExt {
+impl<P: Platform + 'static> ExtensionModule for MediaSchedExt<P> {
     fn name(&self) -> &str {
         "dwcs-media-scheduler"
     }
@@ -184,7 +226,7 @@ impl ExtensionModule for MediaSchedExt {
                 if sid.index() >= self.next_seq.len() {
                     ExtReply::err(status::NO_STREAM)
                 } else {
-                    self.sched.remove_stream(sid);
+                    self.svc.close(sid);
                     ExtReply::ok()
                 }
             }
@@ -324,6 +366,49 @@ mod tests {
         );
         assert_eq!(ext.on_instruction(VcmInstruction::CloseStream(sid), 0), ExtReply::ok());
         assert_eq!(ext.poll(0), 0, "closed stream's backlog discarded");
+    }
+
+    #[test]
+    fn close_surfaces_backlog_for_reclamation() {
+        let mut ext = MediaSchedExt::new(8);
+        let sid = StreamId(ext.on_instruction(open_spec(10, 1, 2), 0).payload[0]);
+        for addr in 10..13u64 {
+            ext.on_instruction(
+                VcmInstruction::EnqueueFrame {
+                    stream: sid,
+                    addr,
+                    len: 1,
+                    kind: FrameKind::B,
+                },
+                0,
+            );
+        }
+        ext.on_instruction(VcmInstruction::CloseStream(sid), 0);
+        let addrs: Vec<u64> = ext.drain_reclaimed().iter().map(|d| d.addr).collect();
+        assert_eq!(addrs, vec![10, 11, 12], "host can release the slots");
+        assert!(ext.drain_reclaimed().is_empty(), "drain clears the log");
+    }
+
+    #[test]
+    fn dropped_frames_reach_the_reclaim_log() {
+        let mut ext = MediaSchedExt::new(8);
+        // Tolerance 1/1: a late head drops within budget.
+        let sid = StreamId(ext.on_instruction(open_spec(1, 1, 1), 0).payload[0]);
+        for addr in 0..2u64 {
+            ext.on_instruction(
+                VcmInstruction::EnqueueFrame {
+                    stream: sid,
+                    addr,
+                    len: 1,
+                    kind: FrameKind::B,
+                },
+                0,
+            );
+        }
+        let d = ext.poll_decision(100 * MILLISECOND);
+        assert!(d.dropped >= 1);
+        let reclaimed = ext.drain_reclaimed();
+        assert_eq!(reclaimed.len() as u32, d.dropped, "every drop surfaced");
     }
 
     #[test]

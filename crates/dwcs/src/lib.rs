@@ -86,6 +86,7 @@ pub mod qos;
 pub mod repr;
 pub mod ring;
 pub mod scheduler;
+pub mod svc;
 pub mod types;
 
 pub use key::HeadKey;
@@ -93,4 +94,5 @@ pub use qos::{LossPolicy, MissOutcome, StreamQos, Window};
 pub use repr::{BTreeRepr, CalendarQueue, DualHeap, LinearScan, ScheduleRepr, SortedList, Work};
 pub use ring::SpscRing;
 pub use scheduler::{DeadlineAnchor, DispatchMode, DwcsScheduler, SchedDecision, SchedulerConfig};
+pub use svc::{DispatchRecord, Platform, SchedService, ServiceOutcome};
 pub use types::{FrameDesc, FrameKind, StreamId, Time};

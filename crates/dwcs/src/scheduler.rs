@@ -240,10 +240,19 @@ impl<R: ScheduleRepr> DwcsScheduler<R> {
 
     /// Deregister a stream, discarding its backlog.
     pub fn remove_stream(&mut self, sid: StreamId) {
+        self.remove_stream_with(sid, |_| {});
+    }
+
+    /// Deregister a stream, handing every still-queued descriptor to `f`
+    /// (embeddings that own payload storage reclaim the slots; see
+    /// [`crate::svc::Platform::reclaim`]).
+    pub fn remove_stream_with(&mut self, sid: StreamId, mut f: impl FnMut(FrameDesc)) {
         let slot = &mut self.streams[sid.index()];
         if slot.active {
             slot.active = false;
-            slot.queue.clear();
+            for qf in slot.queue.drain(..) {
+                f(qf.desc);
+            }
             self.repr.remove(sid);
             self.live_streams -= 1;
         }
@@ -489,6 +498,16 @@ impl<R: ScheduleRepr> DwcsScheduler<R> {
     /// Frames queued for a stream.
     pub fn backlog(&self, sid: StreamId) -> usize {
         self.streams[sid.index()].queue.len()
+    }
+
+    /// Frames queued across all active streams (co-processor cost models
+    /// scale decision time with this).
+    pub fn total_backlog(&self) -> u64 {
+        self.streams
+            .iter()
+            .filter(|s| s.active)
+            .map(|s| s.queue.len() as u64)
+            .sum()
     }
 
     /// Whether any stream has queued frames (or the dispatch queue holds

@@ -1,0 +1,413 @@
+//! The placement-agnostic scheduler **service core**.
+//!
+//! The paper's central architectural claim (§3) is that the *same* DWCS
+//! scheduler module runs unchanged wherever it is placed — in a host
+//! process, or on the NI co-processor as a DVCM run-time extension. This
+//! module makes the repository embody that claim: [`SchedService`] owns
+//! the complete service loop — ingest descriptors, pace by deadline,
+//! decide, resolve drops versus late sends, update window/violation
+//! state, emit [`DispatchRecord`]s, meter op-classes — and every
+//! placement supplies only its environment through a small [`Platform`]
+//! trait (a clock, a dispatch sink, a drop reclaimer, an op meter).
+//!
+//! Three placements bind to this core:
+//!
+//! * the real threaded engine (`nistream-core::engine`) — wall clock,
+//!   frame-pool payload resolution, pluggable frame sinks;
+//! * the DVCM media-scheduler extension (`dvcm::media_sched`) — NI time,
+//!   an outbox the embedding drains onto the wire;
+//! * the simulation worlds (`serversim::{hostload,niload,ninode}`) —
+//!   simulated time, cost-model pricing per decision and per dispatch.
+//!
+//! Like the rest of this crate the core is NI-resident code: no floating
+//! point, no panicking constructs, and fully deterministic given its
+//! inputs (enforced by `nistream-analysis`).
+
+use crate::qos::StreamQos;
+use crate::repr::ScheduleRepr;
+use crate::scheduler::{DispatchedFrame, DwcsScheduler, SchedDecision, SchedulerConfig};
+use crate::types::{FrameDesc, StreamId, Time};
+use fixedpt::SharedMeter;
+
+/// One dispatched frame with its decision metadata.
+///
+/// This is the unit every placement's dispatch path receives — the NI
+/// extension queues them in an outbox, the threaded engine resolves the
+/// descriptor to a pooled payload, the simulators price wire occupancy.
+#[derive(Clone, Copy, Debug)]
+pub struct DispatchRecord {
+    /// The dispatched frame.
+    pub frame: DispatchedFrame,
+    /// Service-core time of the scheduling decision.
+    pub decided_at: Time,
+    /// Late frames dropped while reaching this decision.
+    pub dropped_before: u32,
+}
+
+/// What one [`SchedService::service_once`] pass did.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceOutcome {
+    /// The raw scheduling decision (work counts, drop count, frame).
+    pub decision: SchedDecision,
+    /// Dispatch records handed to [`Platform::dispatch`] this pass
+    /// (coupled decision plus any decoupled queue drain).
+    pub dispatched: u32,
+}
+
+/// The environment a scheduler placement supplies to the service core.
+///
+/// Each placement provides exactly the pieces its environment owns:
+///
+/// | method | host engine (`nistream-core`) | NI extension (`dvcm`) | serversim worlds |
+/// |---|---|---|---|
+/// | [`now`](Platform::now) | wall clock since server epoch (or a virtual clock in tests) | NI time latched from the VCM instruction / poll | simulated time set by the world before each pass |
+/// | [`set_now`](Platform::set_now) | ignored (wall clock) or sets the virtual clock | latches poll time | advances the world clock |
+/// | [`on_decision`](Platform::on_decision) | unused (real time passes by itself) | unused (the embedding prices) | prices the decision on the `hwsim` CPU model and advances time |
+/// | [`dispatch`](Platform::dispatch) | resolve descriptor in the `FramePool`, deliver to the `FrameSink` | push a [`DispatchRecord`] into the outbox | price send/wire occupancy, record bandwidth and queuing delay |
+/// | [`reclaim`](Platform::reclaim) | release the frame's pool slot, notify the sink | log the descriptor for the host to reclaim | account the dropped frame (payloads are synthetic) |
+/// | [`meter`](Platform::meter) | null meter | null meter (the i960 prices per-decision [`Work`](crate::repr::Work) instead) | null meter (ditto) |
+///
+/// Default implementations make every method except [`now`](Platform::now)
+/// and [`dispatch`](Platform::dispatch) optional.
+pub trait Platform {
+    /// Current time on this placement's clock, in nanoseconds.
+    fn now(&mut self) -> Time;
+
+    /// Move a settable clock to `t`. Placements with an autonomous clock
+    /// (the threaded engine's wall clock) ignore this.
+    fn set_now(&mut self, t: Time) {
+        let _ = t;
+    }
+
+    /// Observe one completed decision pass before any dispatch is
+    /// delivered: `decision` carries the representation work counts and
+    /// `backlog` the total frames still queued across active streams.
+    /// Simulated placements price the decision here and advance their
+    /// clock; real placements let time pass by itself.
+    fn on_decision(&mut self, decision: &SchedDecision, backlog: u64) {
+        let _ = (decision, backlog);
+    }
+
+    /// Deliver one dispatched frame to this placement's transport.
+    fn dispatch(&mut self, rec: &DispatchRecord);
+
+    /// Reclaim the resources of a frame the scheduler dropped (late,
+    /// within loss budget) or discarded (stream close). The threaded
+    /// engine releases the payload's pool slot here — "a single copy of
+    /// frames in NI memory" requires every descriptor's slot to be
+    /// returned exactly once.
+    fn reclaim(&mut self, desc: &FrameDesc) {
+        let _ = desc;
+    }
+
+    /// The op meter to attach to the scheduler (defaults to the null
+    /// meter; the soft-float ablation builds attach a counting one).
+    fn meter(&self) -> SharedMeter {
+        fixedpt::ops::null_meter()
+    }
+}
+
+/// The scheduler service core: a [`DwcsScheduler`] plus the [`Platform`]
+/// it is placed on, owning the decide → reclaim → dispatch loop that was
+/// historically re-implemented by every embedding.
+///
+/// # Reclaim ordering
+///
+/// Within one service pass the order is fixed (DESIGN.md §8): frames
+/// dropped while reaching a decision are reclaimed **before** the
+/// surviving frame's dispatch is delivered. A dropped frame's pool slot
+/// is therefore free by the time the dispatch path runs — on the memory-
+/// constrained NI the reclaimed slot may be the one the very next
+/// producer burst needs. `tests/` pins this with a regression test.
+pub struct SchedService<R, P> {
+    sched: DwcsScheduler<R>,
+    platform: P,
+}
+
+impl<R: ScheduleRepr, P: Platform> SchedService<R, P> {
+    /// Build a service core over `repr` with `cfg`, placed on `platform`.
+    /// The platform's [`meter`](Platform::meter) is attached to the
+    /// scheduler.
+    pub fn new(repr: R, cfg: SchedulerConfig, platform: P) -> SchedService<R, P> {
+        let mut sched = DwcsScheduler::with_config(repr, cfg);
+        sched.set_meter(platform.meter());
+        SchedService { sched, platform }
+    }
+
+    /// Admit a stream.
+    pub fn open(&mut self, qos: StreamQos) -> StreamId {
+        self.sched.add_stream(qos)
+    }
+
+    /// Close a stream: its backlog is routed through
+    /// [`Platform::reclaim`] (slot-per-descriptor accounting survives a
+    /// mid-stream close), then the stream is deregistered.
+    pub fn close(&mut self, sid: StreamId) {
+        let platform = &mut self.platform;
+        self.sched.remove_stream_with(sid, |desc| platform.reclaim(&desc));
+    }
+
+    /// Ingest one frame descriptor at the platform's current time.
+    pub fn ingest(&mut self, sid: StreamId, desc: FrameDesc) {
+        let now = self.platform.now();
+        self.sched.enqueue(sid, desc, now);
+    }
+
+    /// Ingest one frame descriptor at an explicit time (simulated
+    /// placements timestamp sub-slice arrivals).
+    pub fn ingest_at(&mut self, sid: StreamId, desc: FrameDesc, now: Time) {
+        self.sched.enqueue(sid, desc, now);
+    }
+
+    /// One full service pass at the platform's current time:
+    ///
+    /// 1. make one scheduling decision;
+    /// 2. reclaim every frame dropped reaching it (before any dispatch —
+    ///    see the type-level docs);
+    /// 3. report the pass to [`Platform::on_decision`];
+    /// 4. deliver the coupled decision's frame, then drain the decoupled
+    ///    dispatch queue, through [`Platform::dispatch`].
+    pub fn service_once(&mut self) -> ServiceOutcome {
+        let now = self.platform.now();
+        let decision = self.sched.schedule_next(now);
+        let platform = &mut self.platform;
+        self.sched.drain_dropped(|desc| platform.reclaim(&desc));
+        let backlog = self.sched.total_backlog();
+        self.platform.on_decision(&decision, backlog);
+        let mut dispatched = 0u32;
+        if let Some(frame) = decision.frame {
+            self.platform.dispatch(&DispatchRecord {
+                frame,
+                decided_at: now,
+                dropped_before: decision.dropped,
+            });
+            dispatched += 1;
+        }
+        loop {
+            let now = self.platform.now();
+            let Some(frame) = self.sched.pop_dispatch(now) else {
+                break;
+            };
+            self.platform.dispatch(&DispatchRecord {
+                frame,
+                decided_at: now,
+                dropped_before: 0,
+            });
+            dispatched += 1;
+        }
+        ServiceOutcome { decision, dispatched }
+    }
+
+    /// When the next queued frame becomes eligible (deadline-paced
+    /// embeddings sleep until then).
+    pub fn next_eligible(&mut self) -> Option<Time> {
+        self.sched.next_eligible()
+    }
+
+    /// Whether any stream (or the decoupled dispatch queue) holds frames.
+    pub fn has_pending(&self) -> bool {
+        self.sched.has_pending()
+    }
+
+    /// The underlying scheduler (stats, windows, QoS).
+    pub fn scheduler(&self) -> &DwcsScheduler<R> {
+        &self.sched
+    }
+
+    /// Mutable scheduler access (representation experiments).
+    pub fn scheduler_mut(&mut self) -> &mut DwcsScheduler<R> {
+        &mut self.sched
+    }
+
+    /// The platform this core is placed on.
+    pub fn platform(&self) -> &P {
+        &self.platform
+    }
+
+    /// Mutable platform access (simulated placements set time, drain
+    /// series).
+    pub fn platform_mut(&mut self) -> &mut P {
+        &mut self.platform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repr::LinearScan;
+    use crate::scheduler::{DispatchMode, Pacing};
+    use crate::types::{FrameKind, MILLISECOND};
+
+    /// Test platform: settable clock, event log distinguishing reclaims
+    /// from dispatches in arrival order.
+    #[derive(Default)]
+    struct Probe {
+        now: Time,
+        events: Vec<Event>,
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Event {
+        Reclaimed { stream: u32, seq: u64 },
+        Dispatched { stream: u32, seq: u64, on_time: bool },
+        Decision { dropped: u32, backlog: u64 },
+    }
+
+    impl Platform for Probe {
+        fn now(&mut self) -> Time {
+            self.now
+        }
+        fn set_now(&mut self, t: Time) {
+            self.now = t;
+        }
+        fn on_decision(&mut self, d: &SchedDecision, backlog: u64) {
+            self.events.push(Event::Decision {
+                dropped: d.dropped,
+                backlog,
+            });
+        }
+        fn dispatch(&mut self, rec: &DispatchRecord) {
+            self.events.push(Event::Dispatched {
+                stream: rec.frame.desc.stream.0,
+                seq: rec.frame.desc.seq,
+                on_time: rec.frame.on_time,
+            });
+        }
+        fn reclaim(&mut self, desc: &FrameDesc) {
+            self.events.push(Event::Reclaimed {
+                stream: desc.stream.0,
+                seq: desc.seq,
+            });
+        }
+    }
+
+    fn svc(cfg: SchedulerConfig) -> SchedService<LinearScan, Probe> {
+        SchedService::new(LinearScan::new(8), cfg, Probe::default())
+    }
+
+    fn frame(sid: StreamId, seq: u64) -> FrameDesc {
+        FrameDesc::new(sid, seq, 1_000, FrameKind::P)
+    }
+
+    #[test]
+    fn service_pass_dispatches_through_platform() {
+        let mut s = svc(SchedulerConfig::default());
+        let sid = s.open(StreamQos::new(10 * MILLISECOND, 1, 2));
+        s.ingest_at(sid, frame(sid, 0), 0);
+        s.platform_mut().now = MILLISECOND;
+        let out = s.service_once();
+        assert_eq!(out.dispatched, 1);
+        assert!(out.decision.frame.is_some());
+        assert_eq!(
+            s.platform().events,
+            vec![
+                Event::Decision { dropped: 0, backlog: 0 },
+                Event::Dispatched {
+                    stream: sid.0,
+                    seq: 0,
+                    on_time: true
+                },
+            ]
+        );
+    }
+
+    /// Regression test for the reclaim-ordering drift the consolidation
+    /// fixed: drops reaching a decision MUST be reclaimed before the
+    /// surviving frame's dispatch is delivered (DESIGN.md §8). The old
+    /// embeddings disagreed — the threaded engine reclaimed first, the
+    /// DVCM extension and both simulators never reclaimed at all.
+    #[test]
+    fn drops_are_reclaimed_before_the_surviving_dispatch() {
+        let mut s = svc(SchedulerConfig::default());
+        // Tolerance 1/2: the first late head drops within budget.
+        let sid = s.open(StreamQos::new(MILLISECOND, 1, 2));
+        s.ingest_at(sid, frame(sid, 0), 0);
+        s.ingest_at(sid, frame(sid, 1), 0);
+        // Far past the first deadline: seq 0 drops, seq 1 re-anchors and
+        // dispatches on time.
+        s.platform_mut().now = 100 * MILLISECOND;
+        let out = s.service_once();
+        assert_eq!(out.decision.dropped, 1);
+        assert_eq!(out.dispatched, 1);
+        assert_eq!(
+            s.platform().events,
+            vec![
+                Event::Reclaimed { stream: sid.0, seq: 0 },
+                Event::Decision { dropped: 1, backlog: 0 },
+                Event::Dispatched {
+                    stream: sid.0,
+                    seq: 1,
+                    on_time: true
+                },
+            ],
+            "reclaim precedes dispatch within one pass"
+        );
+    }
+
+    #[test]
+    fn decoupled_queue_drains_through_the_same_dispatch_path() {
+        let mut s = svc(SchedulerConfig {
+            dispatch: DispatchMode::Decoupled { queue_cap: 8 },
+            ..SchedulerConfig::default()
+        });
+        let sid = s.open(StreamQos::new(10 * MILLISECOND, 1, 2));
+        s.ingest_at(sid, frame(sid, 0), 0);
+        s.ingest_at(sid, frame(sid, 1), 0);
+        let out = s.service_once();
+        // One decision queued one frame; the same pass drained it.
+        assert_eq!(out.dispatched, 1);
+        let out = s.service_once();
+        assert_eq!(out.dispatched, 1);
+        let dispatches: Vec<u64> = s
+            .platform()
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Dispatched { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dispatches, vec![0, 1], "decision order preserved");
+    }
+
+    #[test]
+    fn close_routes_backlog_through_reclaim() {
+        let mut s = svc(SchedulerConfig {
+            pacing: Pacing::DeadlinePaced,
+            ..SchedulerConfig::default()
+        });
+        let sid = s.open(StreamQos::new(10 * MILLISECOND, 1, 2));
+        for seq in 0..3 {
+            s.ingest_at(sid, frame(sid, seq), 0);
+        }
+        s.close(sid);
+        let reclaimed: Vec<u64> = s
+            .platform()
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Reclaimed { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reclaimed, vec![0, 1, 2], "whole backlog reclaimed on close");
+        assert_eq!(s.scheduler().stream_count(), 0);
+    }
+
+    #[test]
+    fn on_decision_reports_post_decision_backlog() {
+        let mut s = svc(SchedulerConfig::default());
+        let sid = s.open(StreamQos::new(10 * MILLISECOND, 1, 2));
+        for seq in 0..3 {
+            s.ingest_at(sid, frame(sid, seq), 0);
+        }
+        let _ = s.service_once();
+        assert!(
+            s.platform()
+                .events
+                .contains(&Event::Decision { dropped: 0, backlog: 2 }),
+            "backlog excludes the frame just popped: {:?}",
+            s.platform().events
+        );
+    }
+}

@@ -20,7 +20,8 @@
 
 use crate::report::{average_traces, RateWindow};
 use dwcs::scheduler::Pacing;
-use dwcs::{DualHeap, DwcsScheduler, FrameDesc, FrameKind, SchedulerConfig, StreamId, StreamQos};
+use dwcs::svc::{DispatchRecord, Platform, SchedService};
+use dwcs::{DualHeap, FrameDesc, FrameKind, SchedulerConfig, StreamId, StreamQos};
 use hwsim::HostCpu;
 use simkit::{Engine, Pcg32, SimDuration, SimTime, Trace, UtilizationSampler};
 use std::collections::VecDeque;
@@ -133,6 +134,43 @@ struct Cpu {
     model: HostCpu,
 }
 
+/// The host-placement binding of [`dwcs::svc::Platform`] for this
+/// simulation: simulated time advances as the DWCS process pays the
+/// Path-A per-frame host send tax, and every dispatch lands in the
+/// bandwidth / queuing-delay series. Send pricing is cache-independent
+/// (`HostCpu::frame_send_time` never touches the cache model), so the
+/// platform owns its own `HostCpu` instance without perturbing the
+/// per-CPU decision-cost state.
+struct HostSendPlatform {
+    now_ns: u64,
+    send_model: HostCpu,
+    frames_sent: Vec<u64>,
+    bw: Vec<RateWindow>,
+    qdelay: Vec<Vec<(u64, f64)>>,
+}
+
+impl Platform for HostSendPlatform {
+    fn now(&mut self) -> u64 {
+        self.now_ns
+    }
+
+    fn set_now(&mut self, t: u64) {
+        self.now_ns = t;
+    }
+
+    fn dispatch(&mut self, rec: &DispatchRecord) {
+        let len = u64::from(rec.frame.desc.len);
+        self.now_ns += self.send_model.frame_send_time(len).as_nanos();
+        let done_at = SimTime::from_nanos(self.now_ns);
+        let si = rec.frame.desc.stream.index().min(self.bw.len() - 1);
+        self.bw[si].record(done_at, len);
+        self.frames_sent[si] += 1;
+        let delay_ms = self.now_ns.saturating_sub(rec.frame.desc.enqueued_at) as f64 / 1e6;
+        let n = self.frames_sent[si];
+        self.qdelay[si].push((n, delay_ms));
+    }
+}
+
 struct World {
     cfg: HostLoadConfig,
     procs: Vec<Proc>,
@@ -147,12 +185,9 @@ struct World {
     cpus: Vec<Cpu>,
     pool: ApachePool,
     rng: Pcg32,
-    sched: DwcsScheduler<DualHeap>,
+    svc: SchedService<DualHeap, HostSendPlatform>,
     sids: Vec<StreamId>,
     frame_bytes: Vec<u32>,
-    frames_sent: Vec<u64>,
-    bw: Vec<RateWindow>,
-    qdelay: Vec<Vec<(u64, f64)>>,
     dwcs_pid: usize,
     dwcs_woke_at: Option<SimTime>,
     max_dwcs_wait: SimDuration,
@@ -275,7 +310,7 @@ fn start_slice(w: &mut World, eng: &mut Eng, ci: usize, pid: usize) {
                     _ => FrameKind::B,
                 };
                 let desc = FrameDesc::new(sid, seq, len, kind);
-                w.sched.enqueue(sid, desc, t.as_nanos());
+                w.svc.ingest_at(sid, desc, t.as_nanos());
             }
             let done = {
                 let Kind::Producer { next_frame, .. } = &w.procs[pid].kind else {
@@ -291,11 +326,14 @@ fn start_slice(w: &mut World, eng: &mut Eng, ci: usize, pid: usize) {
             }
         }
         Kind::Dwcs => {
-            // Process every eligible frame within the quantum.
-            let mut worked = false;
+            // Process every eligible frame within the quantum. Decision
+            // cost is priced on *this CPU's* cache-stateful model; the
+            // service core then runs one decide/reclaim/dispatch pass on
+            // the platform clock, which advances by the per-frame send
+            // tax whenever a frame goes out.
             loop {
                 let t_cur = now + used;
-                match w.sched.next_eligible() {
+                match w.svc.next_eligible() {
                     Some(d) if d <= t_cur.as_nanos() => {
                         let decision_cost = w.cpus[ci].model.decision_time(16);
                         if used + decision_cost > quantum {
@@ -303,19 +341,11 @@ fn start_slice(w: &mut World, eng: &mut Eng, ci: usize, pid: usize) {
                         }
                         used += decision_cost;
                         let decide_at = now + used;
-                        let d = w.sched.schedule_next(decide_at.as_nanos());
-                        if let Some(f) = d.frame {
-                            let send = w.cpus[ci].model.frame_send_time(u64::from(f.desc.len));
-                            used += send;
-                            let done_at = now + used;
-                            let si = f.desc.stream.index().min(w.bw.len() - 1);
-                            w.bw[si].record(done_at, u64::from(f.desc.len));
-                            w.frames_sent[si] += 1;
-                            let delay_ms = done_at.as_nanos().saturating_sub(f.desc.enqueued_at) as f64 / 1e6;
-                            let n = w.frames_sent[si];
-                            w.qdelay[si].push((n, delay_ms));
+                        w.svc.platform_mut().now_ns = decide_at.as_nanos();
+                        let out = w.svc.service_once();
+                        if out.dispatched > 0 {
+                            used = SimDuration::from_nanos(w.svc.platform_mut().now_ns.saturating_sub(now.as_nanos()));
                         }
-                        worked = true;
                         if used >= quantum {
                             break;
                         }
@@ -323,11 +353,10 @@ fn start_slice(w: &mut World, eng: &mut Eng, ci: usize, pid: usize) {
                     _ => break,
                 }
             }
-            let _ = worked;
             // More eligible work right now? requeue; else block + wake at
             // the next deadline.
             let t_end = (now + used).as_nanos();
-            match w.sched.next_eligible() {
+            match w.svc.next_eligible() {
                 Some(d) if d <= t_end => after = After::Requeue,
                 Some(d) => {
                     after = After::Block;
@@ -462,11 +491,20 @@ pub fn run(cfg: HostLoadConfig) -> HostLoadResult {
         late_grace: grace,
         ..SchedulerConfig::default()
     };
-    let mut sched = DwcsScheduler::with_config(DualHeap::new(nstreams.max(1)), sched_cfg);
+    let platform = HostSendPlatform {
+        now_ns: 0,
+        send_model: HostCpu::new(),
+        frames_sent: vec![0; nstreams],
+        bw: (0..nstreams)
+            .map(|_| RateWindow::new(SimDuration::from_secs(1)))
+            .collect(),
+        qdelay: vec![Vec::new(); nstreams],
+    };
+    let mut svc = SchedService::new(DualHeap::new(nstreams.max(1)), sched_cfg, platform);
     let mut sids = Vec::new();
     let mut frame_bytes = Vec::new();
     for c in &cfg.plan.clients {
-        sids.push(sched.add_stream(StreamQos::new(c.period, c.loss_num, c.loss_den)));
+        sids.push(svc.open(StreamQos::new(c.period, c.loss_num, c.loss_den)));
         frame_bytes.push(ClientPlan::frame_bytes(c));
     }
 
@@ -486,14 +524,9 @@ pub fn run(cfg: HostLoadConfig) -> HostLoadResult {
         lo_q: VecDeque::new(),
         pool: ApachePool::new(),
         rng: Pcg32::new(seed, 77),
-        sched,
+        svc,
         sids,
         frame_bytes,
-        frames_sent: vec![0; nstreams],
-        bw: (0..nstreams)
-            .map(|_| RateWindow::new(SimDuration::from_secs(1)))
-            .collect(),
-        qdelay: vec![Vec::new(); nstreams],
         dwcs_pid: 0,
         dwcs_woke_at: None,
         max_dwcs_wait: SimDuration::ZERO,
@@ -537,11 +570,13 @@ pub fn run(cfg: HostLoadConfig) -> HostLoadResult {
 
     let mut streams = Vec::new();
     for (i, c) in w.cfg.plan.clients.iter().enumerate() {
-        let stats = w.sched.stats(w.sids[i]);
+        let bandwidth = w.svc.platform_mut().bw.remove(0).finish(run_t);
+        let qdelay = std::mem::take(&mut w.svc.platform_mut().qdelay[i]);
+        let stats = w.svc.scheduler().stats(w.sids[i]);
         streams.push(StreamSeries {
             name: c.name.clone(),
-            bandwidth: w.bw.remove(0).finish(run_t),
-            qdelay: std::mem::take(&mut w.qdelay[i]),
+            bandwidth,
+            qdelay,
             sent: stats.sent(),
             dropped: stats.dropped,
             violations: stats.violations,

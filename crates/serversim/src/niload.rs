@@ -19,13 +19,63 @@ use crate::hostload::{self, HostLoadConfig, HostLoadResult, StreamSeries};
 use crate::report::RateWindow;
 use dvcm::instr::{StreamSpec, VcmInstruction};
 use dvcm::{ExtensionModule, MediaSchedExt};
-use dwcs::scheduler::Pacing;
+use dwcs::scheduler::{Pacing, SchedDecision};
+use dwcs::svc::{DispatchRecord, Platform};
 use dwcs::{SchedulerConfig, StreamId};
 use hwsim::i960::dwcs_work;
 use hwsim::{Ethernet, I960Core};
 use simkit::{SimDuration, SimTime};
 use workload::mpegclient::ClientPlan;
 use workload::profile::LoadProfile;
+
+/// The NI-placement binding of [`dwcs::svc::Platform`] for this
+/// simulation: every decision the service core takes is priced on the
+/// i960 model (cache-stateful, so the single core instance sees the same
+/// access sequence the firmware would), and every dispatch pays the NI
+/// dispatch cost plus wire occupancy on the NI's own Ethernet port —
+/// the path that never crosses the host bus.
+struct NiWirePlatform {
+    now_ns: u64,
+    core: I960Core,
+    eth: Ethernet,
+    sent: Vec<u64>,
+    bw: Vec<RateWindow>,
+    qdelay: Vec<Vec<(u64, f64)>>,
+    decision_total: SimDuration,
+    decisions: u64,
+}
+
+impl Platform for NiWirePlatform {
+    fn now(&mut self) -> u64 {
+        self.now_ns
+    }
+
+    fn set_now(&mut self, t: u64) {
+        self.now_ns = t;
+    }
+
+    fn on_decision(&mut self, decision: &SchedDecision, backlog: u64) {
+        let work = dwcs_work::Work {
+            compares: decision.work.compares,
+            touches: decision.work.touches,
+        };
+        let cost = self.core.decision_time(work, backlog.min(64));
+        self.decision_total += cost;
+        self.decisions += 1;
+        self.now_ns += cost.as_nanos();
+    }
+
+    fn dispatch(&mut self, rec: &DispatchRecord) {
+        let len = u64::from(rec.frame.desc.len);
+        self.now_ns += self.core.dispatch_time().as_nanos();
+        self.now_ns += self.eth.send_occupancy(len).as_nanos();
+        let si = rec.frame.desc.stream.index();
+        self.sent[si] += 1;
+        self.bw[si].record(SimTime::from_nanos(self.now_ns), len);
+        let delay_ms = self.now_ns.saturating_sub(rec.frame.desc.enqueued_at) as f64 / 1e6;
+        self.qdelay[si].push((self.sent[si], delay_ms));
+    }
+}
 
 /// Experiment configuration.
 #[derive(Clone, Debug)]
@@ -73,14 +123,23 @@ pub struct NiLoadResult {
 /// Run the NI experiment.
 pub fn run(cfg: NiLoadConfig) -> NiLoadResult {
     // --- The NI pipeline (host load cannot reach it by construction). ---
-    let mut core = I960Core::new().with_cache(cfg.ni_cache);
-    let mut eth = Ethernet::new();
+    let n = cfg.plan.clients.len();
+    let platform = NiWirePlatform {
+        now_ns: 0,
+        core: I960Core::new().with_cache(cfg.ni_cache),
+        eth: Ethernet::new(),
+        sent: vec![0; n],
+        bw: (0..n).map(|_| RateWindow::new(SimDuration::from_secs(1))).collect(),
+        qdelay: vec![Vec::new(); n],
+        decision_total: SimDuration::ZERO,
+        decisions: 0,
+    };
 
     let sched_cfg = SchedulerConfig {
         pacing: Pacing::DeadlinePaced,
         ..SchedulerConfig::default()
     };
-    let mut ext = MediaSchedExt::with_config(cfg.plan.clients.len().max(1), sched_cfg);
+    let mut ext = MediaSchedExt::with_platform(n.max(1), sched_cfg, platform);
 
     // Open streams and inject every frame descriptor through the DVCM
     // instruction path (producers on a disk-NI DMA frames across the PCI
@@ -115,15 +174,11 @@ pub fn run(cfg: NiLoadConfig) -> NiLoadResult {
         }
     }
 
-    // NI service loop: sleep to the next eligible deadline, decide, send.
-    let n = cfg.plan.clients.len();
-    let mut bw: Vec<RateWindow> = (0..n).map(|_| RateWindow::new(SimDuration::from_secs(1))).collect();
-    let mut qdelay: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n];
-    let mut sent = vec![0u64; n];
+    // NI service loop: sleep to the next eligible deadline, then run one
+    // service pass — the platform prices the decision and any dispatch,
+    // advancing the NI clock as a side effect.
     let mut now = SimTime::ZERO;
     let end = SimTime::ZERO + cfg.run;
-    let mut decision_total = SimDuration::ZERO;
-    let mut decisions = 0u64;
 
     while now < end {
         let Some(next) = ext.scheduler_mut().next_eligible() else {
@@ -134,35 +189,23 @@ pub fn run(cfg: NiLoadConfig) -> NiLoadResult {
             break;
         }
         now = now.max(next_t);
-        let d = ext.poll_decision(now.as_nanos());
-        let work = dwcs_work::Work {
-            compares: d.work.compares,
-            touches: d.work.touches,
-        };
-        let backlog: u64 = sids.iter().map(|&s| ext.scheduler().backlog(s) as u64).sum();
-        let cost = core.decision_time(work, backlog.min(64));
-        decision_total += cost;
-        decisions += 1;
-        now += cost;
-        if let Some(rec) = ext.pop_dispatch() {
-            // Dispatch + wire occupancy on the NI's own port.
-            now += core.dispatch_time();
-            now += eth.send_occupancy(u64::from(rec.frame.desc.len));
-            let si = rec.frame.desc.stream.index();
-            sent[si] += 1;
-            bw[si].record(now, u64::from(rec.frame.desc.len));
-            let delay_ms = now.as_nanos().saturating_sub(rec.frame.desc.enqueued_at) as f64 / 1e6;
-            qdelay[si].push((sent[si], delay_ms));
-        }
+        let _ = ext.poll_decision(now.as_nanos());
+        now = SimTime::from_nanos(ext.platform().now_ns);
     }
 
+    let (decision_total, decisions) = {
+        let p = ext.platform();
+        (p.decision_total, p.decisions)
+    };
     let mut streams = Vec::new();
     for (i, c) in cfg.plan.clients.iter().enumerate() {
+        let bandwidth = ext.platform_mut().bw.remove(0).finish(end);
+        let qdelay = std::mem::take(&mut ext.platform_mut().qdelay[i]);
         let stats = ext.scheduler().stats(sids[i]);
         streams.push(StreamSeries {
             name: c.name.clone(),
-            bandwidth: bw.remove(0).finish(end),
-            qdelay: std::mem::take(&mut qdelay[i]),
+            bandwidth,
+            qdelay,
             sent: stats.sent(),
             dropped: stats.dropped,
             violations: stats.violations,
