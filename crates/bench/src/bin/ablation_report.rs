@@ -11,7 +11,7 @@
 
 use fixedpt::ops::MathMode;
 use hwsim::profiles::{decision_us, ALL};
-use nistream_bench::format_table;
+use nistream_bench::{format_table, trace_path, write_trace, TraceCapture};
 use serversim::cluster::{node_capacity, sweep_ni_split, NodeConfig};
 use serversim::pcibus_sim;
 
@@ -86,4 +86,9 @@ fn main() {
     );
     println!("the bus never becomes the bottleneck — the scheduler NI's CPU+wire");
     println!("budget saturates first, which is why peer-to-peer offload scales (§4.2.2).");
+    if let Some(p) = trace_path() {
+        // The ablations price decisions analytically (no service core
+        // runs), so the document carries a labeled run with no events.
+        write_trace(&p, &[("ablations", &TraceCapture::default())]);
+    }
 }

@@ -4,11 +4,16 @@
 //! file drains at stream rate); maximum ~11 000 ms for s1 vs the 10 000 ms
 //! of the unloaded host-based case — and identical under host load.
 
-use nistream_bench::{ni_run, qdelay_head, render_qdelay, RUN_SECS};
+use nistream_bench::{ni_run, ni_run_traced, qdelay_head, render_qdelay, trace_path, write_trace, RUN_SECS};
 
 fn main() {
+    let trace = trace_path();
     println!("Figure 10: NI Queuing Delay vs Frames Sent (NI-based DWCS, 60 % host web load)\n");
-    let r = ni_run(RUN_SECS);
+    let r = if trace.is_some() {
+        ni_run_traced(RUN_SECS)
+    } else {
+        ni_run(RUN_SECS)
+    };
     for s in &r.streams {
         // The paper's Figure 10 plots ~140 frames of a shorter snapshot;
         // we show the first 330 (the 11 s point of the linear ramp).
@@ -23,4 +28,7 @@ fn main() {
     }
     println!("\npaper: linear growth, max ~11 000 ms (s1) — cf. 10 000 ms host-based unloaded;");
     println!("the series is bit-identical with and without host load (see niload tests)");
+    if let Some(p) = trace {
+        write_trace(&p, &[("ni 60% host web load", &r.trace)]);
+    }
 }

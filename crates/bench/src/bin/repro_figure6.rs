@@ -4,31 +4,45 @@
 //! runs apply httperf load from ~15 s, with the 60 % run's sustained
 //! phase exceeding 80 %.
 
-use nistream_bench::{csv_flag, host_run, level_header, print_csv_block, render_series, LoadLevel, RUN_SECS};
+use nistream_bench::{
+    csv_flag, host_run, host_run_traced, level_header, print_csv_block, render_series, trace_path, write_trace,
+    LoadLevel, RUN_SECS,
+};
 
 fn main() {
-    // `--csv` dumps the full traces for plotting instead of the summary.
+    // `--csv` dumps the full traces for plotting instead of the summary;
+    // `--trace <path>` additionally writes the scheduler event stream.
     let csv = csv_flag();
+    let trace = trace_path();
     if !csv {
         println!("Figure 6: CPU Utilization Variation with Server Load ({RUN_SECS} s runs)\n");
     }
+    let mut captures = Vec::new();
     for level in [LoadLevel::None, LoadLevel::Avg45, LoadLevel::Avg60] {
-        let r = host_run(level, RUN_SECS);
+        let r = if trace.is_some() {
+            host_run_traced(level, RUN_SECS)
+        } else {
+            host_run(level, RUN_SECS)
+        };
         if csv {
             print_csv_block(level.label(), &r.cpu_util, "cpu_util_pct");
-            continue;
+        } else {
+            level_header(level);
+            println!(
+                "  average utilization: {:>5.1} %   peak: {:>5.1} %",
+                r.avg_util, r.peak_util
+            );
+            print!("{}", render_series("total CPU util", &r.cpu_util, "%", 20));
+            println!();
         }
-        level_header(level);
-        println!(
-            "  average utilization: {:>5.1} %   peak: {:>5.1} %",
-            r.avg_util, r.peak_util
-        );
-        print!("{}", render_series("total CPU util", &r.cpu_util, "%", 20));
-        println!();
+        captures.push((level.label(), r.trace));
     }
-    if csv {
-        return;
+    if !csv {
+        println!("paper: no-load avg ~15 % peak ~35 %; 45 % and 60 % average runs, the");
+        println!("latter exceeding 80 % during its 40-80 s loaded window");
     }
-    println!("paper: no-load avg ~15 % peak ~35 %; 45 % and 60 % average runs, the");
-    println!("latter exceeding 80 % during its 40-80 s loaded window");
+    if let Some(p) = trace {
+        let runs: Vec<_> = captures.iter().map(|(l, c)| (*l, c)).collect();
+        write_trace(&p, &runs);
+    }
 }

@@ -5,40 +5,53 @@
 //! ~230 k at 45 %; falls to ~100 k and settles below 125 k at 60 %.
 
 use nistream_bench::{
-    csv_flag, host_run, level_header, print_csv_block, render_series, stream_summary, LoadLevel, RUN_SECS,
+    csv_flag, host_run, host_run_traced, level_header, print_csv_block, render_series, stream_summary, trace_path,
+    write_trace, LoadLevel, RUN_SECS,
 };
 
 fn main() {
-    // `--csv` dumps the full bandwidth traces for plotting.
+    // `--csv` dumps the full bandwidth traces for plotting; `--trace
+    // <path>` additionally writes the scheduler event stream.
     let csv = csv_flag();
+    let trace = trace_path();
     if !csv {
         println!("Figure 7: Bandwidth Variation with Load (host-based DWCS, streams s1 & s2)\n");
     }
+    let mut captures = Vec::new();
     for level in [LoadLevel::None, LoadLevel::Avg45, LoadLevel::Avg60] {
-        let r = host_run(level, RUN_SECS);
+        let r = if trace.is_some() {
+            host_run_traced(level, RUN_SECS)
+        } else {
+            host_run(level, RUN_SECS)
+        };
         if csv {
             for s in &r.streams {
                 print_csv_block(&format!("{} {}", level.label(), s.name), &s.bandwidth, "bandwidth_bps");
             }
-            continue;
+        } else {
+            level_header(level);
+            for s in &r.streams {
+                // The paper's "settling bandwidth" reads off the loaded
+                // window (load runs 15-80 s); report the 40-80 s mean.
+                let loaded = s
+                    .bandwidth
+                    .mean_between(
+                        simkit::SimTime::from_nanos(40_000_000_000),
+                        simkit::SimTime::from_nanos(80_000_000_000),
+                    )
+                    .unwrap_or(0.0);
+                println!("{}", stream_summary(s, "bandwidth over 40-80 s", loaded));
+                print!("{}", render_series(&s.name, &s.bandwidth, "bps", 16));
+            }
+            println!();
         }
-        level_header(level);
-        for s in &r.streams {
-            // The paper's "settling bandwidth" reads off the loaded
-            // window (load runs 15-80 s); report the 40-80 s mean.
-            let loaded = s
-                .bandwidth
-                .mean_between(
-                    simkit::SimTime::from_nanos(40_000_000_000),
-                    simkit::SimTime::from_nanos(80_000_000_000),
-                )
-                .unwrap_or(0.0);
-            println!("{}", stream_summary(s, "bandwidth over 40-80 s", loaded));
-            print!("{}", render_series(&s.name, &s.bandwidth, "bps", 16));
-        }
-        println!();
+        captures.push((level.label(), r.trace));
     }
     if !csv {
         println!("paper: ~250k settle unloaded; ~230k @45 %; <125k @60 % (half of unloaded)");
+    }
+    if let Some(p) = trace {
+        let runs: Vec<_> = captures.iter().map(|(l, c)| (*l, c)).collect();
+        write_trace(&p, &runs);
     }
 }

@@ -4,18 +4,31 @@
 //! Paper: delay grows with frame number to ~10 000 ms unloaded; +~2 s at
 //! 45 %; up to ~30 000 ms (3x) at 60 %.
 
-use nistream_bench::{host_run, level_header, qdelay_head, render_qdelay, LoadLevel, RUN_SECS};
+use nistream_bench::{
+    host_run, host_run_traced, level_header, qdelay_head, render_qdelay, trace_path, write_trace, LoadLevel, RUN_SECS,
+};
 
 fn main() {
+    let trace = trace_path();
     println!("Figure 8: Queuing Delay vs Frames Sent with Load Variation (host-based DWCS)\n");
+    let mut captures = Vec::new();
     for level in [LoadLevel::None, LoadLevel::Avg45, LoadLevel::Avg60] {
-        let r = host_run(level, RUN_SECS);
+        let r = if trace.is_some() {
+            host_run_traced(level, RUN_SECS)
+        } else {
+            host_run(level, RUN_SECS)
+        };
         level_header(level);
         for s in &r.streams {
             // The paper's Figure 8 plots the first ~300 frames.
             print!("{}", render_qdelay(&s.name, qdelay_head(&s.qdelay, 300), 6));
         }
         println!();
+        captures.push((level.label(), r.trace));
     }
     println!("paper: unloaded reaches ~10 000 ms; 45 % adds ~2 000 ms; 60 % reaches ~30 000 ms");
+    if let Some(p) = trace {
+        let runs: Vec<_> = captures.iter().map(|(l, c)| (*l, c)).collect();
+        write_trace(&p, &runs);
+    }
 }

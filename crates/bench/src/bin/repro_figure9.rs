@@ -4,11 +4,16 @@
 //! Paper: the NI-based scheduler settles ~260 kbps per stream regardless
 //! of host web load ("completely immune to web server loading").
 
-use nistream_bench::{ni_run, render_series, stream_summary, RUN_SECS};
+use nistream_bench::{ni_run, ni_run_traced, render_series, stream_summary, trace_path, write_trace, RUN_SECS};
 
 fn main() {
+    let trace = trace_path();
     println!("Figure 9: NI Bandwidth Distribution Snapshot (NI-based DWCS, 60 % host web load)\n");
-    let r = ni_run(RUN_SECS);
+    let r = if trace.is_some() {
+        ni_run_traced(RUN_SECS)
+    } else {
+        ni_run(RUN_SECS)
+    };
     for s in &r.streams {
         let settle = s.bandwidth.settling_value(0.3).unwrap_or(0.0);
         println!("{}", stream_summary(s, "settling bandwidth", settle));
@@ -25,4 +30,7 @@ fn main() {
         r.mean_decision_us
     );
     println!("\npaper: ~260 kbps settling for s1, matching the unloaded host-based scheduler");
+    if let Some(p) = trace {
+        write_trace(&p, &[("ni 60% host web load", &r.trace)]);
+    }
 }

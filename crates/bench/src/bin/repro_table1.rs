@@ -4,11 +4,32 @@
 //! scheduler 5210.88 / 34.6; fixed point — 16425.36 / 108.48 / 4583.28 /
 //! 30.35. Run: `cargo run --release -p nistream-bench --bin repro_table1`.
 
-use nistream_bench::{format_table, micro_rows};
-use serversim::micro;
+use fixedpt::ops::MathMode;
+use nistream_bench::{format_table, micro_rows, trace_path, write_trace, TraceCapture, TraceRing, TRACE_CAP};
+use serversim::micro::{self, MicroConfig};
 
 fn main() {
-    let (float, fixed) = micro::table1();
+    let trace = trace_path();
+    let (float, fixed, captures) = if trace.is_some() {
+        let mut rf = TraceRing::with_capacity(TRACE_CAP);
+        let mut rx = TraceRing::with_capacity(TRACE_CAP);
+        let float = micro::run_traced(
+            &MicroConfig {
+                math: MathMode::SoftFloat,
+                ..MicroConfig::default()
+            },
+            &mut rf,
+        );
+        let fixed = micro::run_traced(&MicroConfig::default(), &mut rx);
+        let caps = vec![
+            ("software-fp", TraceCapture::from_ring(&mut rf)),
+            ("fixed-point", TraceCapture::from_ring(&mut rx)),
+        ];
+        (float, fixed, caps)
+    } else {
+        let (float, fixed) = micro::table1();
+        (float, fixed, Vec::new())
+    };
     print!(
         "{}",
         format_table(
@@ -26,4 +47,8 @@ fn main() {
         fixed.overhead_us()
     );
     println!("paper: FP ~95 us, fixed ~78 us; fixed-point advantage ~20 us/decision");
+    if let Some(p) = trace {
+        let runs: Vec<_> = captures.iter().map(|(l, c)| (*l, c)).collect();
+        write_trace(&p, &runs);
+    }
 }

@@ -4,12 +4,40 @@
 //! fixed point — 14295.60 / 94.60 / 4195.68 / 27.78. The cache saves
 //! ~14.47 (FP) and ~13.88 (fixed) µs per frame over Table 1.
 
-use nistream_bench::{format_table, micro_rows};
-use serversim::micro;
+use fixedpt::ops::MathMode;
+use nistream_bench::{format_table, micro_rows, trace_path, write_trace, TraceCapture, TraceRing, TRACE_CAP};
+use serversim::micro::{self, MicroConfig};
 
 fn main() {
+    let trace = trace_path();
     let (float_off, fixed_off) = micro::table1();
-    let (float, fixed) = micro::table2();
+    let (float, fixed, captures) = if trace.is_some() {
+        let mut rf = TraceRing::with_capacity(TRACE_CAP);
+        let mut rx = TraceRing::with_capacity(TRACE_CAP);
+        let float = micro::run_traced(
+            &MicroConfig {
+                math: MathMode::SoftFloat,
+                cache: true,
+                ..MicroConfig::default()
+            },
+            &mut rf,
+        );
+        let fixed = micro::run_traced(
+            &MicroConfig {
+                cache: true,
+                ..MicroConfig::default()
+            },
+            &mut rx,
+        );
+        let caps = vec![
+            ("software-fp cached", TraceCapture::from_ring(&mut rf)),
+            ("fixed-point cached", TraceCapture::from_ring(&mut rx)),
+        ];
+        (float, fixed, caps)
+    } else {
+        let (float, fixed) = micro::table2();
+        (float, fixed, Vec::new())
+    };
     print!(
         "{}",
         format_table(
@@ -30,4 +58,8 @@ fn main() {
         "scheduler overhead, fixed point: {:.2} us (paper ~66.82)",
         fixed.overhead_us()
     );
+    if let Some(p) = trace {
+        let runs: Vec<_> = captures.iter().map(|(l, c)| (*l, c)).collect();
+        write_trace(&p, &runs);
+    }
 }

@@ -4,11 +4,26 @@
 //! Paper values (µs): total 14569.68, avg 72.48/96.48, w/o scheduler
 //! 4199.04 / 27.80 — "comparable to the results in Table 2".
 
-use nistream_bench::{format_table, micro_rows};
-use serversim::micro;
+use hwsim::i960::DescriptorStore;
+use nistream_bench::{format_table, micro_rows, trace_path, write_trace, TraceCapture, TraceRing, TRACE_CAP};
+use serversim::micro::{self, MicroConfig};
 
 fn main() {
-    let hw = micro::table3();
+    let trace = trace_path();
+    let (hw, captures) = if trace.is_some() {
+        let mut ring = TraceRing::with_capacity(TRACE_CAP);
+        let hw = micro::run_traced(
+            &MicroConfig {
+                cache: true,
+                store: DescriptorStore::HwQueueRegs,
+                ..MicroConfig::default()
+            },
+            &mut ring,
+        );
+        (hw, vec![("hw-queue", TraceCapture::from_ring(&mut ring))])
+    } else {
+        (micro::table3(), Vec::new())
+    };
     let (_, pinned) = micro::table2();
     print!(
         "{}",
@@ -24,4 +39,8 @@ fn main() {
     );
     println!("paper: \"the cost of looping through descriptors in local memory-mapped register");
     println!("space or in pinned memory pages for the i960 RD appears to be comparable\"");
+    if let Some(p) = trace {
+        let runs: Vec<_> = captures.iter().map(|(l, c)| (*l, c)).collect();
+        write_trace(&p, &runs);
+    }
 }

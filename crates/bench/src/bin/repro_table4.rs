@@ -5,7 +5,7 @@
 //! Expt II (Path C) 5.4 ms; Expt III (Path B) 5.415 ms
 //! (4.2 disk + 1.2 net + 0.015 PCI).
 
-use nistream_bench::format_table;
+use nistream_bench::{format_table, trace_path, write_trace, TraceCapture};
 use serversim::paths::{self, PathConfig};
 
 fn main() {
@@ -41,4 +41,9 @@ fn main() {
         )
     );
     println!("\npaper: 1(ufs)/8(VxWorks) | 5.4 | 5.415 (4.2disk + 1.2net + 0.015pci)");
+    if let Some(p) = trace_path() {
+        // The critical-path benchmarks never cross the DWCS service core,
+        // so the document carries a labeled run with no events.
+        write_trace(&p, &[("table4 critical paths", &TraceCapture::default())]);
+    }
 }

@@ -3,7 +3,7 @@
 //! Paper: MPEG file (773 665 bytes) DMA 11 673.84 µs / 66.27 MB/s;
 //! PIO word read 3.6 µs; PIO word write 3.1 µs.
 
-use nistream_bench::format_table;
+use nistream_bench::{format_table, trace_path, write_trace, TraceCapture};
 use serversim::paths;
 
 fn main() {
@@ -24,4 +24,9 @@ fn main() {
         )
     );
     println!("\npaper: 11673.84 / 66.27 | 3.6 | 3.1");
+    if let Some(p) = trace_path() {
+        // The PCI transfer benchmarks never cross the DWCS service core,
+        // so the document carries a labeled run with no events.
+        write_trace(&p, &[("table5 pci transfers", &TraceCapture::default())]);
+    }
 }

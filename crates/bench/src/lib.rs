@@ -13,9 +13,11 @@ use serversim::hostload::{self, HostLoadConfig, HostLoadResult, StreamSeries};
 use serversim::micro::MicroResult;
 use serversim::niload::{self, NiLoadConfig, NiLoadResult};
 use simkit::SimDuration;
+use std::path::{Path, PathBuf};
 use workload::mpegclient::ClientPlan;
 use workload::profile::LoadProfile;
 
+pub use nistream_trace::{TraceCapture, TraceRing};
 pub use serversim::report::format_table;
 
 /// Standard figure run length (the paper's traces span ~100 s).
@@ -87,9 +89,9 @@ pub fn host_run(level: LoadLevel, run_secs: u64) -> HostLoadResult {
     hostload::run(host_config(level, run_secs))
 }
 
-/// Run the NI-based experiment (Figures 9–10): streams on the NI, the
+/// NI-experiment configuration (Figures 9–10): streams on the NI, the
 /// 60 %-level web load on the host where it cannot reach them.
-pub fn ni_run(run_secs: u64) -> NiLoadResult {
+pub fn ni_config(run_secs: u64) -> NiLoadConfig {
     let mut cfg = NiLoadConfig {
         run: SimDuration::from_secs(run_secs),
         frames_per_stream: (run_secs * 30) as usize,
@@ -98,13 +100,65 @@ pub fn ni_run(run_secs: u64) -> NiLoadResult {
     };
     let host_cfg = host_config(LoadLevel::Avg60, run_secs);
     cfg.host_web = host_cfg.web.clone();
-    niload::run(cfg)
+    cfg
+}
+
+/// Run the NI-based experiment (Figures 9–10).
+pub fn ni_run(run_secs: u64) -> NiLoadResult {
+    niload::run(ni_config(run_secs))
 }
 
 /// Whether the binary was invoked with `--csv` (dump full traces for
 /// plotting instead of the human-readable summary).
 pub fn csv_flag() -> bool {
     std::env::args().any(|a| a == "--csv")
+}
+
+/// Event capacity used for `--trace` runs: 64 Ki events (~4 MB worth of
+/// headroom relative to the i960RD board budget) holds every event a
+/// 100 s figure run emits without overflow.
+pub const TRACE_CAP: usize = 1 << 16;
+
+/// The destination given by `--trace <path>`, if the flag was passed.
+/// Tracing reruns nothing and perturbs nothing: the scheduler runs with a
+/// ring attached, stdout stays byte-identical, and the drained events are
+/// written to `<path>` on exit.
+pub fn trace_path() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Serialize labeled captures to `path`: CSV when the extension is
+/// `.csv`, the `nistream-trace/v1` JSON document otherwise.
+pub fn write_trace(path: &Path, runs: &[(&str, &TraceCapture)]) {
+    let body = if path.extension().is_some_and(|e| e == "csv") {
+        nistream_core::report::trace_to_csv(runs)
+    } else {
+        nistream_core::report::trace_to_json(runs)
+    };
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("failed to write trace to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+/// [`host_run`] with an event trace attached (same run, same outputs).
+pub fn host_run_traced(level: LoadLevel, run_secs: u64) -> HostLoadResult {
+    let mut cfg = host_config(level, run_secs);
+    cfg.trace_capacity = TRACE_CAP;
+    hostload::run(cfg)
+}
+
+/// [`ni_run`] with an event trace attached (same run, same outputs).
+pub fn ni_run_traced(run_secs: u64) -> NiLoadResult {
+    let mut cfg = ni_config(run_secs);
+    cfg.trace_capacity = TRACE_CAP;
+    niload::run(cfg)
 }
 
 /// Emit one CSV block: a `# tag` comment line followed by the trace.

@@ -25,6 +25,7 @@ use dwcs::ring::{Consumer, Producer, SpscRing};
 use dwcs::scheduler::Pacing;
 use dwcs::svc::{DispatchRecord, Platform, SchedService};
 use dwcs::{DualHeap, FrameDesc, FrameKind, SchedulerConfig, StreamId, StreamQos};
+use nistream_trace::{TraceCapture, TraceRing};
 use std::net::UdpSocket;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -210,12 +211,28 @@ pub struct EnginePlatform {
     clock: EngineClock,
     pool: FramePool,
     sink: Box<dyn FrameSink>,
+    trace: Option<TraceRing>,
 }
 
 impl EnginePlatform {
-    /// Bind a clock, payload pool and sink into a platform.
+    /// Bind a clock, payload pool and sink into a platform (untraced).
     pub fn new(clock: EngineClock, pool: FramePool, sink: Box<dyn FrameSink>) -> EnginePlatform {
-        EnginePlatform { clock, pool, sink }
+        EnginePlatform {
+            clock,
+            pool,
+            sink,
+            trace: None,
+        }
+    }
+
+    /// Install a trace ring of `capacity` events (0 removes tracing).
+    pub fn set_trace(&mut self, capacity: usize) {
+        self.trace = (capacity > 0).then(|| TraceRing::with_capacity(capacity));
+    }
+
+    /// Drain the trace ring (empty capture when tracing is off).
+    pub fn drain_trace(&mut self) -> TraceCapture {
+        self.trace.as_mut().map(TraceCapture::from_ring).unwrap_or_default()
     }
 }
 
@@ -238,6 +255,10 @@ impl Platform for EnginePlatform {
     fn reclaim(&mut self, desc: &FrameDesc) {
         self.pool.release(desc.addr as SlotId);
         self.sink.dropped(desc);
+    }
+
+    fn tracer(&mut self) -> Option<&mut TraceRing> {
+        self.trace.as_mut()
     }
 }
 
@@ -262,6 +283,7 @@ enum Command {
     Close(StreamId),
     Stats(StreamId, Sender<Option<StreamStats>>),
     StatsAll(Sender<Vec<(StreamId, StreamStats)>>),
+    DrainTrace(Sender<TraceCapture>),
     Shutdown,
 }
 
@@ -273,6 +295,7 @@ pub struct MediaServerBuilder {
     pacing: Pacing,
     late_grace: u64,
     sink: SinkKind,
+    trace_capacity: usize,
 }
 
 impl Default for MediaServerBuilder {
@@ -287,6 +310,7 @@ impl Default for MediaServerBuilder {
             // (tighten for hard pacing experiments).
             late_grace: 5 * dwcs::types::MILLISECOND,
             sink: SinkKind::Discard,
+            trace_capacity: 0,
         }
     }
 }
@@ -323,6 +347,14 @@ impl MediaServerBuilder {
         self
     }
 
+    /// Attach an event trace ring of `capacity` events to the scheduler
+    /// thread (0 — the default — disables tracing). Drain with
+    /// [`MediaServer::drain_trace`].
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
     /// Spawn the scheduler thread and return the server.
     pub fn start(self) -> std::io::Result<MediaServer> {
         let pool = FramePool::new(self.pool_slots, self.slot_size);
@@ -352,9 +384,10 @@ impl MediaServerBuilder {
             ..SchedulerConfig::default()
         };
         let thread_pool = pool.clone();
+        let trace_capacity = self.trace_capacity;
         let handle = std::thread::Builder::new()
             .name("dwcs-scheduler".into())
-            .spawn(move || scheduler_loop(cfg, cmd_rx, thread_pool, sink, clock))?;
+            .spawn(move || scheduler_loop(cfg, cmd_rx, thread_pool, sink, clock, trace_capacity))?;
 
         Ok(MediaServer {
             cmd_tx,
@@ -408,6 +441,9 @@ fn handle_command(
                 .collect();
             let _ = reply.send(all);
         }
+        Command::DrainTrace(reply) => {
+            let _ = reply.send(svc.platform_mut().drain_trace());
+        }
         Command::Shutdown => return true,
     }
     false
@@ -419,8 +455,10 @@ fn scheduler_loop(
     pool: FramePool,
     sink: Box<dyn FrameSink>,
     clock: EngineClock,
+    trace_capacity: usize,
 ) {
     let mut svc = host_sched_core(cfg, clock.clone(), pool.clone(), sink);
+    svc.platform_mut().set_trace(trace_capacity);
     let mut rings: Vec<(StreamId, Consumer<FrameDesc>)> = Vec::new();
 
     loop {
@@ -606,6 +644,16 @@ impl MediaServer {
         self.drops.lock().clone()
     }
 
+    /// Drain the scheduler thread's trace ring (empty capture when the
+    /// server was built without [`MediaServerBuilder::trace`]).
+    pub fn drain_trace(&self) -> Result<TraceCapture, ServerError> {
+        let (tx, rx) = bounded(1);
+        self.cmd_tx
+            .send(Command::DrainTrace(tx))
+            .map_err(|_| ServerError::Stopped)?;
+        rx.recv().map_err(|_| ServerError::Stopped)
+    }
+
     /// Nanoseconds since the server started (the scheduler's clock).
     pub fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
@@ -789,6 +837,40 @@ mod tests {
         let mut buf = [0u8; 64];
         let (n, _) = receiver.recv_from(&mut buf).unwrap();
         assert_eq!(&buf[..n], b"frame-payload-over-udp");
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_server_captures_the_event_stream() {
+        let server = MediaServer::builder()
+            .sink(SinkKind::Collect)
+            .pacing(Pacing::WorkConserving)
+            .trace(1024)
+            .start()
+            .unwrap();
+        let mut s = server.open_stream(StreamQos::new(MILLISECOND, 1, 2)).unwrap();
+        for i in 0..5u8 {
+            s.send(&[i; 64]).unwrap();
+        }
+        assert!(wait_until(Duration::from_secs(5), || server.collected().len() == 5));
+        let cap = server.drain_trace().unwrap();
+        use nistream_trace::TraceEvent;
+        let admits = cap
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Admit { .. }))
+            .count();
+        let dispatches = cap
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Dispatch { .. }))
+            .count();
+        assert_eq!(admits, 1, "one stream admitted");
+        assert_eq!(dispatches, 5, "every delivered frame traced");
+        // Untraced server yields an empty capture.
+        let untraced = MediaServer::builder().start().unwrap();
+        assert!(untraced.drain_trace().unwrap().is_empty());
+        untraced.shutdown();
         server.shutdown();
     }
 

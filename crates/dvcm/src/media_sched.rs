@@ -21,6 +21,7 @@ use dwcs::{
     DispatchMode, DualHeap, DwcsScheduler, FrameDesc, FrameKind, SchedDecision, SchedulerConfig, StreamId, StreamQos,
     Time,
 };
+use nistream_trace::{TraceCapture, TraceEvent, TraceRing};
 use std::collections::VecDeque;
 
 pub use dwcs::svc::DispatchRecord;
@@ -48,6 +49,7 @@ pub struct NiOutbox {
     now: Time,
     outbox: VecDeque<DispatchRecord>,
     reclaimed: VecDeque<FrameDesc>,
+    trace: Option<TraceRing>,
 }
 
 impl Platform for NiOutbox {
@@ -68,6 +70,10 @@ impl Platform for NiOutbox {
             self.reclaimed.pop_front();
         }
         self.reclaimed.push_back(*desc);
+    }
+
+    fn tracer(&mut self) -> Option<&mut TraceRing> {
+        self.trace.as_mut()
     }
 }
 
@@ -111,6 +117,23 @@ impl MediaSchedExt {
     /// slots. The log is bounded (oldest notices fall off first).
     pub fn drain_reclaimed(&mut self) -> Vec<FrameDesc> {
         self.svc.platform_mut().reclaimed.drain(..).collect()
+    }
+
+    /// Attach an NI-resident trace ring of `capacity` events (0 removes
+    /// tracing). The service core then emits the canonical event stream
+    /// into it; drain with [`drain_trace`](MediaSchedExt::drain_trace).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.svc.platform_mut().trace = (capacity > 0).then(|| TraceRing::with_capacity(capacity));
+    }
+
+    /// Drain captured trace events (empty capture when tracing is off).
+    pub fn drain_trace(&mut self) -> TraceCapture {
+        self.svc
+            .platform_mut()
+            .trace
+            .as_mut()
+            .map(TraceCapture::from_ring)
+            .unwrap_or_default()
     }
 }
 
@@ -163,14 +186,23 @@ impl<P: Platform> MediaSchedExt<P> {
         self.svc.platform_mut()
     }
 
-    fn open(&mut self, spec: StreamSpec) -> ExtReply {
+    fn open(&mut self, spec: StreamSpec, now: Time) -> ExtReply {
         if spec.period == 0 || spec.loss_den == 0 || spec.loss_num > spec.loss_den {
+            if let Some(ring) = self.svc.platform_mut().tracer() {
+                ring.push(TraceEvent::Reject {
+                    at: now,
+                    reason: u32::from(status::BAD_QOS),
+                });
+            }
             return ExtReply::err(status::BAD_QOS);
         }
         let mut qos = StreamQos::new(spec.period, spec.loss_num, spec.loss_den);
         if !spec.droppable {
             qos = qos.send_late();
         }
+        // Latch instruction time so the service core stamps the Admit
+        // event with it.
+        self.svc.platform_mut().set_now(now);
         let sid = self.svc.open(qos);
         if sid.index() >= self.next_seq.len() {
             self.next_seq.resize(sid.index() + 1, 0);
@@ -221,11 +253,12 @@ impl<P: Platform + 'static> ExtensionModule for MediaSchedExt<P> {
 
     fn on_instruction(&mut self, instr: VcmInstruction, now: Time) -> ExtReply {
         match instr {
-            VcmInstruction::OpenStream(spec) => self.open(spec),
+            VcmInstruction::OpenStream(spec) => self.open(spec, now),
             VcmInstruction::CloseStream(sid) => {
                 if sid.index() >= self.next_seq.len() {
                     ExtReply::err(status::NO_STREAM)
                 } else {
+                    self.svc.platform_mut().set_now(now);
                     self.svc.close(sid);
                     ExtReply::ok()
                 }
@@ -449,6 +482,46 @@ mod tests {
         assert_eq!(ext.outbox_len(), 3, "decoupled decisions drain to the outbox");
         let addrs: Vec<u64> = std::iter::from_fn(|| ext.pop_dispatch().map(|r| r.frame.desc.addr)).collect();
         assert_eq!(addrs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn traced_extension_captures_admits_rejects_and_dispatches() {
+        let mut ext = MediaSchedExt::new(8);
+        ext.enable_trace(256);
+        let sid = StreamId(ext.on_instruction(open_spec(10, 1, 2), 0).payload[0]);
+        assert_eq!(ext.on_instruction(open_spec(0, 1, 2), 5).status, status::BAD_QOS);
+        ext.on_instruction(
+            VcmInstruction::EnqueueFrame {
+                stream: sid,
+                addr: 0xA000,
+                len: 1000,
+                kind: FrameKind::I,
+            },
+            0,
+        );
+        ext.poll(MILLISECOND);
+        let cap = ext.drain_trace();
+        let kinds: Vec<&'static str> = cap
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Admit { .. } => "admit",
+                TraceEvent::Reject { .. } => "reject",
+                TraceEvent::Decision { .. } => "decision",
+                TraceEvent::Dispatch { .. } => "dispatch",
+                TraceEvent::Drop { .. } => "drop",
+                TraceEvent::QueueDepth { .. } => "qdepth",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["admit", "reject", "decision", "dispatch", "qdepth"]);
+        assert!(cap
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Reject { at: 5, reason } if *reason == u32::from(status::BAD_QOS))));
+        // Tracing off: captures are empty and behaviour is unchanged.
+        ext.enable_trace(0);
+        ext.poll(2 * MILLISECOND);
+        assert!(ext.drain_trace().is_empty());
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::repr::ScheduleRepr;
 use crate::scheduler::{DispatchedFrame, DwcsScheduler, SchedDecision, SchedulerConfig};
 use crate::types::{FrameDesc, StreamId, Time};
 use fixedpt::SharedMeter;
+use nistream_trace::{TraceEvent, TraceRing};
 
 /// One dispatched frame with its decision metadata.
 ///
@@ -105,6 +106,21 @@ pub trait Platform {
     fn meter(&self) -> SharedMeter {
         fixedpt::ops::null_meter()
     }
+
+    /// The NI-resident trace ring events should be pushed into, if this
+    /// placement carries one (`None` — the default — disables tracing
+    /// with zero overhead on the service path).
+    ///
+    /// The service core emits the events *centrally* through this hook,
+    /// so every placement produces the identical stream for the same
+    /// schedule: per pass `Drop*` (reclaims precede dispatches,
+    /// DESIGN.md §8), then `Decision`, then `Dispatch*`, then
+    /// `QueueDepth`, all stamped with the pass-start clock — placement
+    /// cost models advance time *after* the decision, so the stamps are
+    /// placement-invariant.
+    fn tracer(&mut self) -> Option<&mut TraceRing> {
+        None
+    }
 }
 
 /// The scheduler service core: a [`DwcsScheduler`] plus the [`Platform`]
@@ -134,17 +150,48 @@ impl<R: ScheduleRepr, P: Platform> SchedService<R, P> {
         SchedService { sched, platform }
     }
 
-    /// Admit a stream.
+    /// Admit a stream (traced as an `Admit` event when the platform
+    /// carries a ring).
     pub fn open(&mut self, qos: StreamQos) -> StreamId {
-        self.sched.add_stream(qos)
+        let at = if self.platform.tracer().is_some() {
+            self.platform.now()
+        } else {
+            0
+        };
+        let sid = self.sched.add_stream(qos);
+        if let Some(ring) = self.platform.tracer() {
+            ring.push(TraceEvent::Admit {
+                at,
+                stream: sid.0,
+                period: qos.period,
+                loss_num: qos.loss_num,
+                loss_den: qos.loss_den,
+            });
+        }
+        sid
     }
 
     /// Close a stream: its backlog is routed through
     /// [`Platform::reclaim`] (slot-per-descriptor accounting survives a
-    /// mid-stream close), then the stream is deregistered.
+    /// mid-stream close), then the stream is deregistered. Each
+    /// discarded frame is traced as a `Drop`.
     pub fn close(&mut self, sid: StreamId) {
+        let at = if self.platform.tracer().is_some() {
+            self.platform.now()
+        } else {
+            0
+        };
         let platform = &mut self.platform;
-        self.sched.remove_stream_with(sid, |desc| platform.reclaim(&desc));
+        self.sched.remove_stream_with(sid, |desc| {
+            if let Some(ring) = platform.tracer() {
+                ring.push(TraceEvent::Drop {
+                    at,
+                    stream: desc.stream.0,
+                    seq: desc.seq,
+                });
+            }
+            platform.reclaim(&desc);
+        });
     }
 
     /// Ingest one frame descriptor at the platform's current time.
@@ -167,20 +214,47 @@ impl<R: ScheduleRepr, P: Platform> SchedService<R, P> {
     /// 3. report the pass to [`Platform::on_decision`];
     /// 4. deliver the coupled decision's frame, then drain the decoupled
     ///    dispatch queue, through [`Platform::dispatch`].
+    ///
+    /// When the platform carries a [`Platform::tracer`] ring the pass
+    /// additionally emits `Drop*`, `Decision`, `Dispatch*`, `QueueDepth`
+    /// events in that order, stamped with the pass-start clock (the
+    /// decoupled drain stamps each dispatch with its own pop time, which
+    /// is what [`DispatchRecord::decided_at`] already records).
     pub fn service_once(&mut self) -> ServiceOutcome {
         let now = self.platform.now();
         let decision = self.sched.schedule_next(now);
         let platform = &mut self.platform;
-        self.sched.drain_dropped(|desc| platform.reclaim(&desc));
+        self.sched.drain_dropped(|desc| {
+            if let Some(ring) = platform.tracer() {
+                ring.push(TraceEvent::Drop {
+                    at: now,
+                    stream: desc.stream.0,
+                    seq: desc.seq,
+                });
+            }
+            platform.reclaim(&desc);
+        });
         let backlog = self.sched.total_backlog();
+        if let Some(ring) = self.platform.tracer() {
+            ring.push(TraceEvent::Decision {
+                at: now,
+                stream: decision.frame.map(|f| f.desc.stream.0),
+                dropped: decision.dropped,
+                backlog,
+                compares: decision.work.compares,
+                touches: decision.work.touches,
+            });
+        }
         self.platform.on_decision(&decision, backlog);
         let mut dispatched = 0u32;
         if let Some(frame) = decision.frame {
-            self.platform.dispatch(&DispatchRecord {
+            let rec = DispatchRecord {
                 frame,
                 decided_at: now,
                 dropped_before: decision.dropped,
-            });
+            };
+            Self::trace_dispatch(&mut self.platform, &rec);
+            self.platform.dispatch(&rec);
             dispatched += 1;
         }
         loop {
@@ -188,14 +262,37 @@ impl<R: ScheduleRepr, P: Platform> SchedService<R, P> {
             let Some(frame) = self.sched.pop_dispatch(now) else {
                 break;
             };
-            self.platform.dispatch(&DispatchRecord {
+            let rec = DispatchRecord {
                 frame,
                 decided_at: now,
                 dropped_before: 0,
-            });
+            };
+            Self::trace_dispatch(&mut self.platform, &rec);
+            self.platform.dispatch(&rec);
             dispatched += 1;
         }
+        if let Some(ring) = self.platform.tracer() {
+            ring.push(TraceEvent::QueueDepth {
+                at: now,
+                depth: self.sched.total_backlog(),
+            });
+        }
         ServiceOutcome { decision, dispatched }
+    }
+
+    /// Trace one dispatch just before it is delivered, stamped with the
+    /// record's decision time.
+    fn trace_dispatch(platform: &mut P, rec: &DispatchRecord) {
+        if let Some(ring) = platform.tracer() {
+            ring.push(TraceEvent::Dispatch {
+                at: rec.decided_at,
+                stream: rec.frame.desc.stream.0,
+                seq: rec.frame.desc.seq,
+                len: rec.frame.desc.len,
+                deadline: rec.frame.deadline,
+                on_time: rec.frame.on_time,
+            });
+        }
     }
 
     /// When the next queued frame becomes eligible (deadline-paced
@@ -392,6 +489,155 @@ mod tests {
             .collect();
         assert_eq!(reclaimed, vec![0, 1, 2], "whole backlog reclaimed on close");
         assert_eq!(s.scheduler().stream_count(), 0);
+    }
+
+    /// Probe carrying a trace ring: the service core must emit the
+    /// canonical per-pass event sequence through [`Platform::tracer`].
+    struct TracedProbe {
+        inner: Probe,
+        ring: TraceRing,
+    }
+
+    impl TracedProbe {
+        fn new(cap: usize) -> TracedProbe {
+            TracedProbe {
+                inner: Probe::default(),
+                ring: TraceRing::with_capacity(cap),
+            }
+        }
+    }
+
+    impl Platform for TracedProbe {
+        fn now(&mut self) -> Time {
+            self.inner.now
+        }
+        fn set_now(&mut self, t: Time) {
+            self.inner.now = t;
+        }
+        fn on_decision(&mut self, d: &SchedDecision, backlog: u64) {
+            self.inner.on_decision(d, backlog);
+        }
+        fn dispatch(&mut self, rec: &DispatchRecord) {
+            self.inner.dispatch(rec);
+        }
+        fn reclaim(&mut self, desc: &FrameDesc) {
+            self.inner.reclaim(desc);
+        }
+        fn tracer(&mut self) -> Option<&mut TraceRing> {
+            Some(&mut self.ring)
+        }
+    }
+
+    #[test]
+    fn traced_pass_emits_drop_decision_dispatch_depth_in_order() {
+        let mut s = SchedService::new(LinearScan::new(8), SchedulerConfig::default(), TracedProbe::new(64));
+        let sid = s.open(StreamQos::new(MILLISECOND, 1, 2));
+        s.ingest_at(sid, frame(sid, 0), 0);
+        s.ingest_at(sid, frame(sid, 1), 0);
+        s.ingest_at(sid, frame(sid, 2), 0);
+        // Far past the first deadline: seq 0 drops within budget, seq 1
+        // dispatches, seq 2 stays queued.
+        s.platform_mut().inner.now = 100 * MILLISECOND;
+        let _ = s.service_once();
+        let events = s.platform_mut().ring.drain();
+        let at = 100 * MILLISECOND;
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::Admit {
+                    at: 0,
+                    stream: sid.0,
+                    period: MILLISECOND,
+                    loss_num: 1,
+                    loss_den: 2,
+                },
+                TraceEvent::Drop {
+                    at,
+                    stream: sid.0,
+                    seq: 0
+                },
+                TraceEvent::Decision {
+                    at,
+                    stream: Some(sid.0),
+                    dropped: 1,
+                    backlog: 1,
+                    compares: events
+                        .iter()
+                        .find_map(|e| match *e {
+                            TraceEvent::Decision { compares, .. } => Some(compares),
+                            _ => None,
+                        })
+                        .unwrap_or(0),
+                    touches: events
+                        .iter()
+                        .find_map(|e| match *e {
+                            TraceEvent::Decision { touches, .. } => Some(touches),
+                            _ => None,
+                        })
+                        .unwrap_or(0),
+                },
+                // Seq 1 re-anchored after the drop: deadline now + period.
+                TraceEvent::Dispatch {
+                    at,
+                    stream: sid.0,
+                    seq: 1,
+                    len: 1_000,
+                    deadline: 101 * MILLISECOND,
+                    on_time: true,
+                },
+                TraceEvent::QueueDepth { at, depth: 1 },
+            ],
+        );
+    }
+
+    #[test]
+    fn traced_close_emits_drops_for_the_backlog() {
+        let mut s = SchedService::new(LinearScan::new(8), SchedulerConfig::default(), TracedProbe::new(64));
+        let sid = s.open(StreamQos::new(10 * MILLISECOND, 1, 2));
+        s.ingest_at(sid, frame(sid, 0), 0);
+        s.ingest_at(sid, frame(sid, 1), 0);
+        s.close(sid);
+        let drops: Vec<u64> = s
+            .platform_mut()
+            .ring
+            .drain()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Drop { seq, .. } => Some(seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drops, vec![0, 1], "close traces the whole backlog as drops");
+    }
+
+    #[test]
+    fn untraced_platform_emits_nothing_and_behaves_identically() {
+        let run = |traced: bool| {
+            if traced {
+                let mut s = SchedService::new(LinearScan::new(8), SchedulerConfig::default(), TracedProbe::new(64));
+                let sid = s.open(StreamQos::new(MILLISECOND, 1, 2));
+                for seq in 0..4 {
+                    s.ingest_at(sid, frame(sid, seq), 0);
+                }
+                for k in 1..6 {
+                    s.platform_mut().inner.now = k * 2 * MILLISECOND;
+                    let _ = s.service_once();
+                }
+                s.platform().inner.events.clone()
+            } else {
+                let mut s = svc(SchedulerConfig::default());
+                let sid = s.open(StreamQos::new(MILLISECOND, 1, 2));
+                for seq in 0..4 {
+                    s.ingest_at(sid, frame(sid, seq), 0);
+                }
+                for k in 1..6 {
+                    s.platform_mut().now = k * 2 * MILLISECOND;
+                    let _ = s.service_once();
+                }
+                s.platform().events.clone()
+            }
+        };
+        assert_eq!(run(true), run(false), "tracing must not perturb scheduling");
     }
 
     #[test]

@@ -23,6 +23,7 @@ use dwcs::scheduler::Pacing;
 use dwcs::svc::{DispatchRecord, Platform, SchedService};
 use dwcs::{DualHeap, FrameDesc, FrameKind, SchedulerConfig, StreamId, StreamQos};
 use hwsim::HostCpu;
+use nistream_trace::{TraceCapture, TraceRing};
 use simkit::{Engine, Pcg32, SimDuration, SimTime, Trace, UtilizationSampler};
 use std::collections::VecDeque;
 use workload::apache::ApachePool;
@@ -48,6 +49,8 @@ pub struct HostLoadConfig {
     pub web_cycles_per_byte: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Scheduler trace ring capacity in events (0 disables tracing).
+    pub trace_capacity: usize,
 }
 
 impl Default for HostLoadConfig {
@@ -61,6 +64,7 @@ impl Default for HostLoadConfig {
             run: SimDuration::from_secs(100),
             web_cycles_per_byte: 2,
             seed: 0x686f_7374, // "host"
+            trace_capacity: 0,
         }
     }
 }
@@ -100,6 +104,9 @@ pub struct HostLoadResult {
     /// Worst observed wake-to-run latency of the DWCS process (ms) — the
     /// direct measure of CPU contention the paper blames for degradation.
     pub max_dwcs_wait_ms: f64,
+    /// Scheduler event trace (empty unless
+    /// [`HostLoadConfig::trace_capacity`] is set).
+    pub trace: TraceCapture,
 }
 
 // ---------------------------------------------------------------------
@@ -141,12 +148,37 @@ struct Cpu {
 /// (`HostCpu::frame_send_time` never touches the cache model), so the
 /// platform owns its own `HostCpu` instance without perturbing the
 /// per-CPU decision-cost state.
-struct HostSendPlatform {
+///
+/// Public so the cross-placement trace-conformance suite can drive this
+/// binding directly on a scripted schedule.
+pub struct HostSendPlatform {
     now_ns: u64,
     send_model: HostCpu,
     frames_sent: Vec<u64>,
     bw: Vec<RateWindow>,
     qdelay: Vec<Vec<(u64, f64)>>,
+    trace: Option<TraceRing>,
+}
+
+impl HostSendPlatform {
+    /// A platform serving `nstreams` streams, with a trace ring of
+    /// `trace_capacity` events (0 disables tracing).
+    pub fn new(nstreams: usize, trace_capacity: usize) -> HostSendPlatform {
+        let n = nstreams.max(1);
+        HostSendPlatform {
+            now_ns: 0,
+            send_model: HostCpu::new(),
+            frames_sent: vec![0; n],
+            bw: (0..n).map(|_| RateWindow::new(SimDuration::from_secs(1))).collect(),
+            qdelay: vec![Vec::new(); n],
+            trace: (trace_capacity > 0).then(|| TraceRing::with_capacity(trace_capacity)),
+        }
+    }
+
+    /// Drain the trace ring (empty capture when tracing is off).
+    pub fn drain_trace(&mut self) -> TraceCapture {
+        self.trace.as_mut().map(TraceCapture::from_ring).unwrap_or_default()
+    }
 }
 
 impl Platform for HostSendPlatform {
@@ -168,6 +200,10 @@ impl Platform for HostSendPlatform {
         let delay_ms = self.now_ns.saturating_sub(rec.frame.desc.enqueued_at) as f64 / 1e6;
         let n = self.frames_sent[si];
         self.qdelay[si].push((n, delay_ms));
+    }
+
+    fn tracer(&mut self) -> Option<&mut TraceRing> {
+        self.trace.as_mut()
     }
 }
 
@@ -491,15 +527,7 @@ pub fn run(cfg: HostLoadConfig) -> HostLoadResult {
         late_grace: grace,
         ..SchedulerConfig::default()
     };
-    let platform = HostSendPlatform {
-        now_ns: 0,
-        send_model: HostCpu::new(),
-        frames_sent: vec![0; nstreams],
-        bw: (0..nstreams)
-            .map(|_| RateWindow::new(SimDuration::from_secs(1)))
-            .collect(),
-        qdelay: vec![Vec::new(); nstreams],
-    };
+    let platform = HostSendPlatform::new(nstreams, cfg.trace_capacity);
     let mut svc = SchedService::new(DualHeap::new(nstreams.max(1)), sched_cfg, platform);
     let mut sids = Vec::new();
     let mut frame_bytes = Vec::new();
@@ -590,6 +618,7 @@ pub fn run(cfg: HostLoadConfig) -> HostLoadResult {
         streams,
         web_completed: w.pool.completed,
         max_dwcs_wait_ms: w.max_dwcs_wait.as_millis_f64(),
+        trace: w.svc.platform_mut().drain_trace(),
     }
 }
 
@@ -686,6 +715,40 @@ mod tests {
         let b = run(quick_cfg());
         assert_eq!(a.avg_util, b.avg_util);
         assert_eq!(a.streams[0].sent, b.streams[0].sent);
+    }
+
+    #[test]
+    fn tracing_captures_the_run_without_perturbing_it() {
+        let plain = run(quick_cfg());
+        let mut cfg = quick_cfg();
+        cfg.trace_capacity = 1 << 16;
+        let traced = run(cfg);
+
+        assert!(plain.trace.is_empty(), "tracing off by default");
+        assert!(!traced.trace.is_empty(), "traced run captures events");
+        assert_eq!(traced.trace.overflow, 0, "64 Ki ring holds a 30 s run");
+        let admits = traced
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, nistream_trace::TraceEvent::Admit { .. }))
+            .count();
+        assert_eq!(admits, 2, "one admit per stream");
+        let dispatches = traced
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, nistream_trace::TraceEvent::Dispatch { .. }))
+            .count() as u64;
+        let sent: u64 = traced.streams.iter().map(|s| s.sent).sum();
+        assert_eq!(dispatches, sent, "every send is traced");
+
+        // The observer effect is zero: all published series match.
+        assert_eq!(plain.avg_util, traced.avg_util);
+        for (a, b) in plain.streams.iter().zip(&traced.streams) {
+            assert_eq!(a.sent, b.sent);
+            assert_eq!(a.qdelay, b.qdelay);
+        }
     }
 
     #[test]

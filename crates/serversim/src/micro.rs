@@ -21,6 +21,7 @@ use dwcs::{DualHeap, DwcsScheduler, FrameDesc, FrameKind, StreamQos};
 use fixedpt::ops::MathMode;
 use hwsim::i960::{dwcs_work, DescriptorStore, I960Core};
 use mpeg1::{EncoderConfig, Segmenter, SyntheticEncoder};
+use nistream_trace::{TraceEvent, TraceRing};
 use simkit::SimDuration;
 
 /// One microbenchmark configuration cell.
@@ -95,6 +96,20 @@ fn segmented_frames(frames: usize) -> Vec<(FrameKind, u32, u64)> {
 
 /// Run one microbenchmark cell.
 pub fn run(cfg: &MicroConfig) -> MicroResult {
+    run_inner(cfg, None)
+}
+
+/// Run one microbenchmark cell with the scheduled pass narrated into an
+/// NI trace ring: one `Admit` per stream, then per service pass any
+/// `Drop`s, the `Decision`, and the `Dispatch` if a frame went out, all
+/// stamped with the pass's deadline-query time (the same pass-start
+/// convention the service core uses). The measurement itself is
+/// untouched — [`run`] and `run_traced` return identical numbers.
+pub fn run_traced(cfg: &MicroConfig, ring: &mut TraceRing) -> MicroResult {
+    run_inner(cfg, Some(ring))
+}
+
+fn run_inner(cfg: &MicroConfig, mut trace: Option<&mut TraceRing>) -> MicroResult {
     let mut core = I960Core::new()
         .with_math(cfg.math)
         .with_cache(cfg.cache)
@@ -107,6 +122,17 @@ pub fn run(cfg: &MicroConfig) -> MicroResult {
     let sids: Vec<_> = (0..cfg.streams)
         .map(|_| sched.add_stream(StreamQos::new(period, 2, 8)))
         .collect();
+    if let Some(ring) = trace.as_deref_mut() {
+        for sid in &sids {
+            ring.push(TraceEvent::Admit {
+                at: 0,
+                stream: sid.0,
+                period,
+                loss_num: 2,
+                loss_den: 8,
+            });
+        }
+    }
     let frames = segmented_frames(cfg.frames);
     for (i, &(kind, len, addr)) in frames.iter().enumerate() {
         let sid = sids[i % sids.len()];
@@ -126,6 +152,33 @@ pub fn run(cfg: &MicroConfig) -> MicroResult {
         // paced loop.
         let t = sched.next_eligible().expect("frames remain");
         let d = sched.schedule_next(t);
+        if let Some(ring) = trace.as_deref_mut() {
+            sched.drain_dropped(|desc| {
+                ring.push(TraceEvent::Drop {
+                    at: t,
+                    stream: desc.stream.0,
+                    seq: desc.seq,
+                });
+            });
+            ring.push(TraceEvent::Decision {
+                at: t,
+                stream: d.frame.map(|f| f.desc.stream.0),
+                dropped: d.dropped,
+                backlog: sched.total_backlog(),
+                compares: d.work.compares,
+                touches: d.work.touches,
+            });
+            if let Some(f) = d.frame {
+                ring.push(TraceEvent::Dispatch {
+                    at: t,
+                    stream: f.desc.stream.0,
+                    seq: f.desc.seq,
+                    len: f.desc.len,
+                    deadline: f.deadline,
+                    on_time: f.on_time,
+                });
+            }
+        }
         let work = dwcs_work::Work {
             compares: d.work.compares,
             touches: d.work.touches,
@@ -287,6 +340,28 @@ mod tests {
             "{:.1}",
             fixed_on.overhead_us()
         );
+    }
+
+    #[test]
+    fn traced_cell_matches_untraced_and_narrates_every_frame() {
+        let cfg = MicroConfig::default();
+        let plain = run(&cfg);
+        let mut ring = TraceRing::with_capacity(4096);
+        let traced = run_traced(&cfg, &mut ring);
+
+        assert_eq!(plain.total_sched_us, traced.total_sched_us);
+        assert_eq!(plain.total_nosched_us, traced.total_nosched_us);
+
+        let events = ring.drain();
+        assert_eq!(ring.overflow(), 0);
+        let admits = events.iter().filter(|e| matches!(e, TraceEvent::Admit { .. })).count();
+        assert_eq!(admits, 1, "single-stream cell");
+        let dispatches = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Dispatch { .. }))
+            .count();
+        let drops = events.iter().filter(|e| matches!(e, TraceEvent::Drop { .. })).count();
+        assert_eq!(dispatches + drops, plain.frames, "every frame leaves a trace");
     }
 
     #[test]

@@ -24,6 +24,7 @@ use dwcs::svc::{DispatchRecord, Platform};
 use dwcs::{SchedulerConfig, StreamId};
 use hwsim::i960::dwcs_work;
 use hwsim::{Ethernet, I960Core};
+use nistream_trace::{TraceCapture, TraceRing};
 use simkit::{SimDuration, SimTime};
 use workload::mpegclient::ClientPlan;
 use workload::profile::LoadProfile;
@@ -34,7 +35,10 @@ use workload::profile::LoadProfile;
 /// access sequence the firmware would), and every dispatch pays the NI
 /// dispatch cost plus wire occupancy on the NI's own Ethernet port —
 /// the path that never crosses the host bus.
-struct NiWirePlatform {
+///
+/// Public so the cross-placement trace-conformance suite can drive this
+/// binding directly on a scripted schedule.
+pub struct NiWirePlatform {
     now_ns: u64,
     core: I960Core,
     eth: Ethernet,
@@ -43,6 +47,32 @@ struct NiWirePlatform {
     qdelay: Vec<Vec<(u64, f64)>>,
     decision_total: SimDuration,
     decisions: u64,
+    trace: Option<TraceRing>,
+}
+
+impl NiWirePlatform {
+    /// A platform serving `nstreams` streams, with the cache policy of the
+    /// modelled i960 and a trace ring of `trace_capacity` events (0
+    /// disables tracing).
+    pub fn new(nstreams: usize, ni_cache: bool, trace_capacity: usize) -> NiWirePlatform {
+        let n = nstreams.max(1);
+        NiWirePlatform {
+            now_ns: 0,
+            core: I960Core::new().with_cache(ni_cache),
+            eth: Ethernet::new(),
+            sent: vec![0; n],
+            bw: (0..n).map(|_| RateWindow::new(SimDuration::from_secs(1))).collect(),
+            qdelay: vec![Vec::new(); n],
+            decision_total: SimDuration::ZERO,
+            decisions: 0,
+            trace: (trace_capacity > 0).then(|| TraceRing::with_capacity(trace_capacity)),
+        }
+    }
+
+    /// Drain the trace ring (empty capture when tracing is off).
+    pub fn drain_trace(&mut self) -> TraceCapture {
+        self.trace.as_mut().map(TraceCapture::from_ring).unwrap_or_default()
+    }
 }
 
 impl Platform for NiWirePlatform {
@@ -75,6 +105,10 @@ impl Platform for NiWirePlatform {
         let delay_ms = self.now_ns.saturating_sub(rec.frame.desc.enqueued_at) as f64 / 1e6;
         self.qdelay[si].push((self.sent[si], delay_ms));
     }
+
+    fn tracer(&mut self) -> Option<&mut TraceRing> {
+        self.trace.as_mut()
+    }
 }
 
 /// Experiment configuration.
@@ -93,6 +127,9 @@ pub struct NiLoadConfig {
     /// running the scheduler thread, with no disks attached allowing data
     /// caching").
     pub ni_cache: bool,
+    /// Capacity of the NI trace ring in events; 0 (the default) disables
+    /// tracing entirely.
+    pub trace_capacity: usize,
 }
 
 impl Default for NiLoadConfig {
@@ -103,6 +140,7 @@ impl Default for NiLoadConfig {
             run: SimDuration::from_secs(100),
             host_web: LoadProfile::none(),
             ni_cache: true,
+            trace_capacity: 0,
         }
     }
 }
@@ -118,22 +156,15 @@ pub struct NiLoadResult {
     pub host: Option<HostLoadResult>,
     /// Mean NI scheduling decision time observed (µs).
     pub mean_decision_us: f64,
+    /// Events drained from the NI trace ring (empty when tracing is off).
+    pub trace: TraceCapture,
 }
 
 /// Run the NI experiment.
 pub fn run(cfg: NiLoadConfig) -> NiLoadResult {
     // --- The NI pipeline (host load cannot reach it by construction). ---
     let n = cfg.plan.clients.len();
-    let platform = NiWirePlatform {
-        now_ns: 0,
-        core: I960Core::new().with_cache(cfg.ni_cache),
-        eth: Ethernet::new(),
-        sent: vec![0; n],
-        bw: (0..n).map(|_| RateWindow::new(SimDuration::from_secs(1))).collect(),
-        qdelay: vec![Vec::new(); n],
-        decision_total: SimDuration::ZERO,
-        decisions: 0,
-    };
+    let platform = NiWirePlatform::new(n, cfg.ni_cache, cfg.trace_capacity);
 
     let sched_cfg = SchedulerConfig {
         pacing: Pacing::DeadlinePaced,
@@ -236,6 +267,7 @@ pub fn run(cfg: NiLoadConfig) -> NiLoadResult {
         } else {
             decision_total.as_micros_f64() / decisions as f64
         },
+        trace: ext.platform_mut().drain_trace(),
     }
 }
 
@@ -283,6 +315,33 @@ mod tests {
         // ...while the host really was loaded.
         let host = loaded.host.expect("host world ran");
         assert!(host.avg_util > 30.0, "host avg {:.1} %", host.avg_util);
+    }
+
+    #[test]
+    fn tracing_captures_the_ni_run_without_perturbing_it() {
+        let plain = run(quick());
+        let mut cfg = quick();
+        cfg.trace_capacity = 1 << 16;
+        let traced = run(cfg);
+
+        assert!(plain.trace.is_empty(), "tracing off by default");
+        assert!(!traced.trace.is_empty(), "traced run captures events");
+        assert_eq!(traced.trace.overflow, 0, "64 Ki ring holds a 30 s run");
+        let dispatches = traced
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, nistream_trace::TraceEvent::Dispatch { .. }))
+            .count() as u64;
+        let sent: u64 = traced.streams.iter().map(|s| s.sent).sum();
+        assert_eq!(dispatches, sent, "every NI send is traced");
+
+        // The observer effect is zero: all published series match.
+        assert_eq!(plain.mean_decision_us, traced.mean_decision_us);
+        for (a, b) in plain.streams.iter().zip(&traced.streams) {
+            assert_eq!(a.sent, b.sent);
+            assert_eq!(a.qdelay, b.qdelay);
+        }
     }
 
     #[test]

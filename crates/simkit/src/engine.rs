@@ -50,6 +50,12 @@ impl<W> Ord for Entry<W> {
     }
 }
 
+/// Observer invoked as each event fires: `(time, sequence)`. The sequence
+/// number is the one [`Engine::schedule_at`] assigned, so a hook sees the
+/// exact deterministic firing order and can feed an external tracer
+/// without touching the world.
+pub type FireHook = Box<dyn FnMut(SimTime, u64)>;
+
 /// The discrete-event engine for worlds of type `W`.
 pub struct Engine<W> {
     now: SimTime,
@@ -57,6 +63,7 @@ pub struct Engine<W> {
     seq: u64,
     cancelled: BTreeSet<u64>,
     fired: u64,
+    hook: Option<FireHook>,
 }
 
 impl<W> Default for Engine<W> {
@@ -74,7 +81,20 @@ impl<W> Engine<W> {
             seq: 0,
             cancelled: BTreeSet::new(),
             fired: 0,
+            hook: None,
         }
+    }
+
+    /// Install an observer called as each event fires, after the clock has
+    /// advanced to the event's time but before the event itself runs.
+    /// Replaces any previous hook.
+    pub fn set_fire_hook(&mut self, hook: impl FnMut(SimTime, u64) + 'static) {
+        self.hook = Some(Box::new(hook));
+    }
+
+    /// Remove the fire observer, returning it if one was installed.
+    pub fn clear_fire_hook(&mut self) -> Option<FireHook> {
+        self.hook.take()
     }
 
     /// Current simulated time.
@@ -136,6 +156,9 @@ impl<W> Engine<W> {
             debug_assert!(entry.at >= self.now);
             self.now = entry.at;
             self.fired += 1;
+            if let Some(hook) = self.hook.as_mut() {
+                hook(entry.at, entry.seq);
+            }
             (entry.f)(world, self);
             return true;
         }
@@ -285,6 +308,40 @@ mod tests {
         eng.schedule_at(at(7), |_: &mut World, _| {});
         eng.cancel(id);
         assert_eq!(eng.peek_time(), Some(at(7)));
+    }
+
+    #[test]
+    fn fire_hook_observes_time_and_sequence_before_each_event() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let log = seen.clone();
+        eng.set_fire_hook(move |t, seq| log.borrow_mut().push((t.as_nanos(), seq)));
+        let cancelled = eng.schedule_at(at(5), |_: &mut World, _| {});
+        eng.schedule_at(at(10), |w: &mut World, _| w.log.push((10, "a")));
+        eng.schedule_at(at(10), |w: &mut World, _| w.log.push((10, "b")));
+        eng.cancel(cancelled);
+        eng.run(&mut w);
+        // Cancelled events never reach the hook; survivors report the
+        // sequence numbers schedule_at returned, in firing order.
+        assert_eq!(*seen.borrow(), vec![(10, 1), (10, 2)]);
+        assert_eq!(w.log, vec![(10, "a"), (10, "b")]);
+    }
+
+    #[test]
+    fn clear_fire_hook_stops_observation() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let log = seen.clone();
+        eng.set_fire_hook(move |t, _| log.borrow_mut().push(t.as_nanos()));
+        eng.schedule_at(at(1), |_: &mut World, _| {});
+        eng.step(&mut w);
+        assert!(eng.clear_fire_hook().is_some());
+        assert!(eng.clear_fire_hook().is_none(), "already removed");
+        eng.schedule_at(at(2), |_: &mut World, _| {});
+        eng.step(&mut w);
+        assert_eq!(*seen.borrow(), vec![1], "nothing observed after clear");
     }
 
     #[test]

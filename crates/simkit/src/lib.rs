@@ -37,7 +37,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Engine, EventFn, EventId};
+pub use engine::{Engine, EventFn, EventId, FireHook};
 pub use resource::Resource;
 pub use rng::Pcg32;
 pub use stats::{Counter, Histogram, Summary, Trace, UtilizationSampler};

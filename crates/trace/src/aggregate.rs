@@ -1,0 +1,285 @@
+//! Host-side aggregation: fold drained events into counters and
+//! histograms.
+//!
+//! Everything here is integer arithmetic so that summaries — like the
+//! raw event streams — serialize byte-deterministically. Convenience
+//! floating-point views (mean latency in ms, ...) live with the rest of
+//! the repo's float bridges in `nistream_core::report`, never here.
+
+use crate::event::TraceEvent;
+use std::collections::BTreeMap;
+
+/// A log₂ histogram over `u64` nanosecond values.
+///
+/// Bucket `i` holds values `v` with `⌊log₂ v⌋ = i - 1` (bucket 0 holds
+/// exactly 0), i.e. bucket boundaries are powers of two — coarse, but
+/// enough to separate microsecond decision latencies from millisecond
+/// queueing tails, and integer-exact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = (64 - v.leading_zeros()) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Recorded sample count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Occupancy of bucket `i` (0 for out-of-range `i`).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// `(lower_bound, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+            .collect()
+    }
+}
+
+/// Per-stream event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamAgg {
+    /// Frames dispatched.
+    pub dispatches: u64,
+    /// Dispatches that made their deadline.
+    pub on_time: u64,
+    /// Dispatches past their deadline (send-late policy).
+    pub late: u64,
+    /// Frames dropped.
+    pub drops: u64,
+    /// Payload bytes dispatched.
+    pub bytes: u64,
+}
+
+/// The folded view of one drained event stream.
+#[derive(Clone, Debug, Default)]
+pub struct Aggregate {
+    /// Streams admitted.
+    pub admits: u64,
+    /// Stream opens refused.
+    pub rejects: u64,
+    /// Scheduling decisions observed.
+    pub decisions: u64,
+    /// Decisions that selected no frame.
+    pub idle_decisions: u64,
+    /// Total representation compares across decisions.
+    pub compares: u64,
+    /// Total representation touches across decisions.
+    pub touches: u64,
+    /// Largest post-decision backlog observed.
+    pub max_backlog: u64,
+    /// Lateness past deadline per dispatch (0 when on time), ns.
+    pub latency: Histogram,
+    /// Absolute change in per-stream inter-dispatch gap, ns.
+    pub jitter: Histogram,
+    streams: BTreeMap<u32, StreamAgg>,
+    last_at: BTreeMap<u32, u64>,
+    last_gap: BTreeMap<u32, u64>,
+}
+
+impl Aggregate {
+    /// A fresh, empty aggregate.
+    pub fn new() -> Aggregate {
+        Aggregate::default()
+    }
+
+    /// Fold a slice of events (typically one ring drain).
+    pub fn fold_all(&mut self, events: &[TraceEvent]) {
+        for ev in events {
+            self.fold(ev);
+        }
+    }
+
+    /// Fold one event.
+    pub fn fold(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Admit { .. } => self.admits += 1,
+            TraceEvent::Reject { .. } => self.rejects += 1,
+            TraceEvent::Decision {
+                stream,
+                backlog,
+                compares,
+                touches,
+                ..
+            } => {
+                self.decisions += 1;
+                if stream.is_none() {
+                    self.idle_decisions += 1;
+                }
+                self.compares += compares;
+                self.touches += touches;
+                self.max_backlog = self.max_backlog.max(backlog);
+            }
+            TraceEvent::Dispatch {
+                at,
+                stream,
+                len,
+                deadline,
+                on_time,
+                ..
+            } => {
+                let s = self.streams.entry(stream).or_default();
+                s.dispatches += 1;
+                if on_time {
+                    s.on_time += 1;
+                } else {
+                    s.late += 1;
+                }
+                s.bytes += u64::from(len);
+                self.latency.record(at.saturating_sub(deadline));
+                if let Some(&prev) = self.last_at.get(&stream) {
+                    let gap = at.saturating_sub(prev);
+                    if let Some(&pg) = self.last_gap.get(&stream) {
+                        self.jitter.record(gap.abs_diff(pg));
+                    }
+                    self.last_gap.insert(stream, gap);
+                }
+                self.last_at.insert(stream, at);
+            }
+            TraceEvent::Drop { stream, .. } => {
+                self.streams.entry(stream).or_default().drops += 1;
+            }
+            TraceEvent::QueueDepth { depth, .. } => {
+                self.max_backlog = self.max_backlog.max(depth);
+            }
+        }
+    }
+
+    /// Per-stream counters, ascending by stream id.
+    pub fn streams(&self) -> impl Iterator<Item = (u32, &StreamAgg)> {
+        self.streams.iter().map(|(&sid, agg)| (sid, agg))
+    }
+
+    /// Counters for one stream, if it appeared in the trace.
+    pub fn stream(&self, sid: u32) -> Option<&StreamAgg> {
+        self.streams.get(&sid)
+    }
+
+    /// Total frames dispatched across streams.
+    pub fn total_dispatches(&self) -> u64 {
+        self.streams.values().map(|s| s.dispatches).sum()
+    }
+
+    /// Total frames dropped across streams.
+    pub fn total_drops(&self) -> u64 {
+        self.streams.values().map(|s| s.drops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(0), 1, "zero bucket");
+        assert_eq!(h.bucket(1), 1, "v=1");
+        assert_eq!(h.bucket(2), 2, "v in [2,4)");
+        assert_eq!(h.bucket(3), 1, "v in [4,8)");
+        assert_eq!(h.bucket(11), 1, "v in [1024,2048)");
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (2, 2), (4, 1), (1024, 1)]);
+    }
+
+    #[test]
+    fn fold_tracks_streams_latency_and_jitter() {
+        let mut a = Aggregate::new();
+        a.fold_all(&[
+            TraceEvent::Admit {
+                at: 0,
+                stream: 1,
+                period: 10,
+                loss_num: 1,
+                loss_den: 2,
+            },
+            TraceEvent::Dispatch {
+                at: 10,
+                stream: 1,
+                seq: 0,
+                len: 100,
+                deadline: 10,
+                on_time: true,
+            },
+            TraceEvent::Dispatch {
+                at: 25,
+                stream: 1,
+                seq: 1,
+                len: 100,
+                deadline: 20,
+                on_time: false,
+            },
+            TraceEvent::Dispatch {
+                at: 30,
+                stream: 1,
+                seq: 2,
+                len: 100,
+                deadline: 30,
+                on_time: true,
+            },
+            TraceEvent::Drop {
+                at: 40,
+                stream: 1,
+                seq: 3,
+            },
+            TraceEvent::QueueDepth { at: 40, depth: 7 },
+        ]);
+        let s = a.stream(1).copied().unwrap_or_default();
+        assert_eq!((s.dispatches, s.on_time, s.late, s.drops, s.bytes), (3, 2, 1, 1, 300));
+        assert_eq!(a.latency.count(), 3);
+        assert_eq!(a.latency.sum(), 5, "only the late dispatch adds lateness");
+        // Gaps: 15 then 5 → one jitter sample of 10.
+        assert_eq!(a.jitter.count(), 1);
+        assert_eq!(a.jitter.sum(), 10);
+        assert_eq!(a.max_backlog, 7);
+        assert_eq!(a.admits, 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! The compact NI-resident trace record.
+//!
+//! Every field is a plain integer: timestamps are the scheduler's
+//! nanosecond virtual time (`u64`, the same fixed-point convention as
+//! `dwcs::types::Time`), identifiers are raw `u32` stream indices. The
+//! variants deliberately exclude placement-specific data — pool slot
+//! addresses, NI buffer addresses, sink identities — so that the same
+//! schedule produces byte-identical event streams on every placement.
+
+/// One scheduler-observable event.
+///
+/// Ordering within one service pass is fixed by the service core:
+/// `Drop*` (reclaim-before-dispatch, DESIGN.md §8), then `Decision`,
+/// then `Dispatch*`, then `QueueDepth`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A stream was admitted.
+    Admit {
+        /// Admission time (ns, virtual).
+        at: u64,
+        /// Raw stream id.
+        stream: u32,
+        /// Request period / deadline spacing (ns).
+        period: u64,
+        /// Loss-tolerance numerator (x of x/y).
+        loss_num: u32,
+        /// Loss-tolerance denominator (y of x/y).
+        loss_den: u32,
+    },
+    /// A stream open was refused (bad QoS spec, table full, ...).
+    Reject {
+        /// Refusal time (ns, virtual).
+        at: u64,
+        /// Embedding-defined status code (e.g. DVCM `status::BAD_QOS`).
+        reason: u32,
+    },
+    /// One scheduling decision completed.
+    Decision {
+        /// Decision time (ns, virtual).
+        at: u64,
+        /// Winning stream, if any frame was selected.
+        stream: Option<u32>,
+        /// Late frames dropped while reaching this decision.
+        dropped: u32,
+        /// Frames still queued across streams after the decision.
+        backlog: u64,
+        /// Representation compare count for this decision.
+        compares: u64,
+        /// Representation touch count for this decision.
+        touches: u64,
+    },
+    /// One frame handed to the placement's transport.
+    Dispatch {
+        /// Decision time of the pass that released the frame (ns).
+        at: u64,
+        /// Raw stream id.
+        stream: u32,
+        /// Frame sequence number within the stream.
+        seq: u64,
+        /// Payload length (bytes).
+        len: u32,
+        /// The deadline the frame was scheduled against (ns).
+        deadline: u64,
+        /// Whether the frame made its deadline.
+        on_time: bool,
+    },
+    /// One frame dropped (late within loss budget, or stream close).
+    Drop {
+        /// Drop time (ns, virtual).
+        at: u64,
+        /// Raw stream id.
+        stream: u32,
+        /// Frame sequence number within the stream.
+        seq: u64,
+    },
+    /// Total queued frames after one service pass.
+    QueueDepth {
+        /// Measurement time (ns, virtual).
+        at: u64,
+        /// Frames queued across all streams.
+        depth: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp (ns, virtual).
+    pub fn at(&self) -> u64 {
+        match *self {
+            TraceEvent::Admit { at, .. }
+            | TraceEvent::Reject { at, .. }
+            | TraceEvent::Decision { at, .. }
+            | TraceEvent::Dispatch { at, .. }
+            | TraceEvent::Drop { at, .. }
+            | TraceEvent::QueueDepth { at, .. } => at,
+        }
+    }
+
+    /// The stream the event concerns, when it concerns exactly one.
+    pub fn stream(&self) -> Option<u32> {
+        match *self {
+            TraceEvent::Admit { stream, .. }
+            | TraceEvent::Dispatch { stream, .. }
+            | TraceEvent::Drop { stream, .. } => Some(stream),
+            TraceEvent::Decision { stream, .. } => stream,
+            TraceEvent::Reject { .. } | TraceEvent::QueueDepth { .. } => None,
+        }
+    }
+}

@@ -17,6 +17,7 @@ pub use mpeg1;
 pub use nistream_core as core;
 pub use nistream_core::engine;
 pub use nistream_core::pool;
+pub use nistream_trace as trace;
 pub use serversim;
 pub use simkit;
 pub use vxkit;

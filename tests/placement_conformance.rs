@@ -18,75 +18,14 @@
 //! timestamps and on-time flags, the dropped-frame set in reclaim order,
 //! and per-stream service statistics.
 
+mod common;
+
+use common::{base_config, decoupled_config, drive, script};
 use nistream::dvcm::instr::{StreamSpec, VcmInstruction};
 use nistream::dvcm::{ExtensionModule, MediaSchedExt};
-use nistream::dwcs::scheduler::{DispatchMode, Pacing};
-use nistream::dwcs::types::MILLISECOND;
-use nistream::dwcs::{FrameDesc, FrameKind, SchedulerConfig, StreamQos};
+use nistream::dwcs::{FrameDesc, SchedulerConfig, StreamQos};
 use nistream::engine::{host_sched_core, CollectSink, EngineClock};
 use nistream::pool::FramePool;
-
-/// One scripted stream: QoS plus per-frame (len, kind).
-struct ScriptStream {
-    period: u64,
-    loss_num: u32,
-    loss_den: u32,
-    droppable: bool,
-    frames: Vec<(u32, FrameKind)>,
-}
-
-/// The shared script: three streams whose QoS mix is deliberately
-/// infeasible under the jittered polling below, so the run produces
-/// on-time sends, late sends, window violations AND dropped frames.
-fn script() -> Vec<ScriptStream> {
-    let kind_of = |k: usize| match k % 9 {
-        0 => FrameKind::I,
-        3 | 6 => FrameKind::P,
-        _ => FrameKind::B,
-    };
-    let frames = |n: usize, base: u32| (0..n).map(|k| (base + 37 * (k as u32 % 7), kind_of(k))).collect();
-    vec![
-        // Tolerant video: 1 loss per window of 2, droppable.
-        ScriptStream {
-            period: 10 * MILLISECOND,
-            loss_num: 1,
-            loss_den: 2,
-            droppable: true,
-            frames: frames(12, 400),
-        },
-        // Strict telemetry: no losses allowed, late frames sent anyway —
-        // the violation source.
-        ScriptStream {
-            period: 5 * MILLISECOND,
-            loss_num: 0,
-            loss_den: 1,
-            droppable: false,
-            frames: frames(12, 64),
-        },
-        // Slow bulk stream: 2 losses per window of 4, droppable.
-        ScriptStream {
-            period: 20 * MILLISECOND,
-            loss_num: 2,
-            loss_den: 4,
-            droppable: true,
-            frames: frames(12, 700),
-        },
-    ]
-}
-
-/// Poll-time jitter past each head deadline, cycled per decision. The
-/// large entries push polls far past deadlines to force drops (droppable
-/// streams) and violations (send-late streams).
-const JITTER: [u64; 8] = [
-    0,
-    2 * MILLISECOND,
-    0,
-    12 * MILLISECOND,
-    MILLISECOND,
-    0,
-    30 * MILLISECOND,
-    3 * MILLISECOND,
-];
 
 /// Everything observable about one run, placement-independent.
 #[derive(Debug, PartialEq, Eq)]
@@ -97,44 +36,6 @@ struct Outcome {
     drops: Vec<(u32, u64)>,
     /// `(sent_on_time, sent_late, dropped, violations)` per stream.
     stats: Vec<(u64, u64, u64, u64)>,
-}
-
-fn base_config() -> SchedulerConfig {
-    SchedulerConfig {
-        pacing: Pacing::DeadlinePaced,
-        ..SchedulerConfig::default()
-    }
-}
-
-fn decoupled_config() -> SchedulerConfig {
-    SchedulerConfig {
-        dispatch: DispatchMode::Decoupled { queue_cap: 2 },
-        ..base_config()
-    }
-}
-
-/// The shared drive loop: poll at each head deadline plus cycling jitter
-/// until the backlog drains. `next` and `pass` are the only
-/// placement-specific hooks.
-fn drive(mut next: impl FnMut() -> Option<u64>, mut pass: impl FnMut(u64), mut pending: impl FnMut() -> bool) {
-    let mut i = 0usize;
-    let mut guard = 0u32;
-    let mut t = 0u64;
-    while let Some(d) = next() {
-        guard += 1;
-        assert!(guard < 10_000, "drive loop runaway");
-        t = t.max(d + JITTER[i % JITTER.len()]);
-        i += 1;
-        pass(t);
-    }
-    // Decoupled mode can leave paced frames in the dispatch queue after
-    // the stream queues empty; drain them on a widening clock.
-    while pending() {
-        guard += 1;
-        assert!(guard < 10_000, "drain loop runaway");
-        t += 5 * MILLISECOND;
-        pass(t);
-    }
 }
 
 /// Run the script through the host engine's service core on a virtual

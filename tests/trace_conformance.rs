@@ -1,0 +1,249 @@
+//! Trace conformance: every placement narrates the same schedule.
+//!
+//! The tracing layer extends the placement-invariance claim pinned by
+//! `placement_conformance.rs` from *outcomes* to *event streams*: the
+//! host engine's service core, the DVCM media-scheduler extension, and
+//! both whole-server simulation bindings (`HostSendPlatform`,
+//! `NiWirePlatform`) run the shared frame script with a trace ring
+//! attached, and the serialized traces must be byte-identical — same
+//! events, same order, same timestamps, regardless of where the
+//! scheduler runs or which cost model prices its decisions.
+
+mod common;
+
+use common::{base_config, decoupled_config, drive, script};
+use nistream::dvcm::instr::{StreamSpec, VcmInstruction};
+use nistream::dvcm::{ExtensionModule, MediaSchedExt};
+use nistream::dwcs::svc::{Platform, SchedService};
+use nistream::dwcs::{DualHeap, FrameDesc, SchedulerConfig, StreamQos};
+use nistream::engine::{host_sched_core, CollectSink, EngineClock};
+use nistream::pool::FramePool;
+use nistream::serversim::hostload::HostSendPlatform;
+use nistream::serversim::niload::NiWirePlatform;
+use nistream::trace::{to_lines, TraceCapture, TraceEvent};
+use std::cell::RefCell;
+
+const CAP: usize = 4096;
+
+/// Serialize a capture to its canonical byte form (overflow header plus
+/// one line per event) so placement comparison is a plain `assert_eq!`
+/// on strings.
+fn canon(cap: &TraceCapture) -> String {
+    format!("overflow={}\n{}", cap.overflow, to_lines(&cap.events))
+}
+
+/// Drive the shared script through a raw `SchedService` bound to any
+/// platform; returns the drained capture.
+fn run_svc<P: Platform>(cfg: SchedulerConfig, platform: P, drain: impl FnOnce(&mut P) -> TraceCapture) -> TraceCapture {
+    let mut svc = SchedService::new(DualHeap::new(16), cfg, platform);
+    let streams = script();
+    let sids: Vec<_> = streams
+        .iter()
+        .map(|s| {
+            let mut qos = StreamQos::new(s.period, s.loss_num, s.loss_den);
+            if !s.droppable {
+                qos = qos.send_late();
+            }
+            svc.open(qos)
+        })
+        .collect();
+    let mut addr = 0x9000_0000u64;
+    for (si, s) in streams.iter().enumerate() {
+        for (seq, &(len, kind)) in s.frames.iter().enumerate() {
+            let desc = FrameDesc {
+                stream: sids[si],
+                seq: seq as u64,
+                len,
+                kind,
+                enqueued_at: 0,
+                addr,
+            };
+            svc.ingest_at(sids[si], desc, 0);
+            addr += u64::from(len);
+        }
+    }
+    {
+        let svc = RefCell::new(&mut svc);
+        drive(
+            || svc.borrow_mut().next_eligible(),
+            |t| {
+                let mut s = svc.borrow_mut();
+                s.platform_mut().set_now(t);
+                s.service_once();
+            },
+            || svc.borrow().has_pending(),
+        );
+    }
+    drain(svc.platform_mut())
+}
+
+/// The host engine's service core (virtual clock, real frame pool).
+fn trace_host_engine(cfg: SchedulerConfig) -> TraceCapture {
+    let pool = FramePool::new(64, 1024);
+    let clock = EngineClock::virtual_clock();
+    let (sink, _records, _drops) = CollectSink::shared(clock.clone());
+    let mut svc = host_sched_core(cfg, clock.clone(), pool.clone(), Box::new(sink));
+    svc.platform_mut().set_trace(CAP);
+
+    let streams = script();
+    let sids: Vec<_> = streams
+        .iter()
+        .map(|s| {
+            let mut qos = StreamQos::new(s.period, s.loss_num, s.loss_den);
+            if !s.droppable {
+                qos = qos.send_late();
+            }
+            svc.open(qos)
+        })
+        .collect();
+    for (si, s) in streams.iter().enumerate() {
+        for (seq, &(len, kind)) in s.frames.iter().enumerate() {
+            let payload = vec![si as u8; len as usize];
+            let slot = pool.store(&payload).expect("pool sized for the script");
+            let desc = FrameDesc {
+                stream: sids[si],
+                seq: seq as u64,
+                len,
+                kind,
+                enqueued_at: 0,
+                addr: u64::from(slot),
+            };
+            svc.ingest_at(sids[si], desc, 0);
+        }
+    }
+    {
+        let clock = &clock;
+        let svc = RefCell::new(&mut svc);
+        drive(
+            || svc.borrow_mut().next_eligible(),
+            |t| {
+                clock.set_ns(t);
+                svc.borrow_mut().service_once();
+            },
+            || svc.borrow().has_pending(),
+        );
+    }
+    svc.platform_mut().drain_trace()
+}
+
+/// The DVCM media-scheduler extension (VCM instruction path, NI outbox).
+fn trace_ni_extension(cfg: SchedulerConfig) -> TraceCapture {
+    let mut ext = MediaSchedExt::with_config(8, cfg);
+    ext.enable_trace(CAP);
+
+    let streams = script();
+    let sids: Vec<_> = streams
+        .iter()
+        .map(|s| {
+            let reply = ext.on_instruction(
+                VcmInstruction::OpenStream(StreamSpec {
+                    period: s.period,
+                    loss_num: s.loss_num,
+                    loss_den: s.loss_den,
+                    droppable: s.droppable,
+                }),
+                0,
+            );
+            assert_eq!(reply.status, 0, "admission");
+            nistream::dwcs::StreamId(reply.payload[0])
+        })
+        .collect();
+    let mut addr = 0x9000_0000u64;
+    for (si, s) in streams.iter().enumerate() {
+        for &(len, kind) in &s.frames {
+            let reply = ext.on_instruction(
+                VcmInstruction::EnqueueFrame {
+                    stream: sids[si],
+                    addr,
+                    len,
+                    kind,
+                },
+                0,
+            );
+            assert_eq!(reply.status, 0, "enqueue");
+            addr += u64::from(len);
+        }
+    }
+    {
+        let ext = RefCell::new(&mut ext);
+        drive(
+            || ext.borrow_mut().scheduler_mut().next_eligible(),
+            |t| {
+                ext.borrow_mut().poll_decision(t);
+                while ext.borrow_mut().pop_dispatch().is_some() {}
+            },
+            || ext.borrow().has_pending(),
+        );
+    }
+    ext.drain_trace()
+}
+
+/// The trace must exercise every event class the script can produce, or
+/// byte-equality would pin a vacuous stream.
+fn assert_trace_nontrivial(cap: &TraceCapture) {
+    assert!(!cap.is_empty(), "script produces events");
+    assert_eq!(cap.overflow, 0, "ring sized for the script");
+    let has = |f: fn(&TraceEvent) -> bool| cap.events.iter().any(f);
+    assert!(has(|e| matches!(e, TraceEvent::Admit { .. })), "admits");
+    assert!(has(|e| matches!(e, TraceEvent::Decision { .. })), "decisions");
+    assert!(
+        has(|e| matches!(e, TraceEvent::Dispatch { on_time: true, .. })),
+        "on-time dispatches"
+    );
+    assert!(
+        has(|e| matches!(e, TraceEvent::Dispatch { on_time: false, .. })),
+        "late dispatches"
+    );
+    assert!(has(|e| matches!(e, TraceEvent::Drop { .. })), "drops");
+    assert!(has(|e| matches!(e, TraceEvent::QueueDepth { .. })), "queue depths");
+}
+
+#[test]
+fn all_four_placements_emit_byte_identical_traces() {
+    let engine = trace_host_engine(base_config());
+    let ext = trace_ni_extension(base_config());
+    let hostsend = run_svc(
+        base_config(),
+        HostSendPlatform::new(3, CAP),
+        HostSendPlatform::drain_trace,
+    );
+    let niwire = run_svc(
+        base_config(),
+        NiWirePlatform::new(3, true, CAP),
+        NiWirePlatform::drain_trace,
+    );
+
+    assert_trace_nontrivial(&engine);
+    let golden = canon(&engine);
+    assert_eq!(golden, canon(&ext), "engine vs DVCM extension");
+    assert_eq!(golden, canon(&hostsend), "engine vs host-send simulation platform");
+    assert_eq!(golden, canon(&niwire), "engine vs NI-wire simulation platform");
+}
+
+#[test]
+fn cost_models_do_not_leak_into_the_trace() {
+    // The two simulation platforms price passes on different hardware
+    // models (host CPU vs i960+Ethernet), advancing their clocks by
+    // different amounts mid-pass — yet every event is stamped with the
+    // pass-start time, so the narration is identical. The cache flag
+    // changes i960 pricing only; flipping it must change nothing either.
+    let cached = run_svc(
+        base_config(),
+        NiWirePlatform::new(3, true, CAP),
+        NiWirePlatform::drain_trace,
+    );
+    let uncached = run_svc(
+        base_config(),
+        NiWirePlatform::new(3, false, CAP),
+        NiWirePlatform::drain_trace,
+    );
+    assert_eq!(canon(&cached), canon(&uncached));
+}
+
+#[test]
+fn decoupled_dispatch_traces_are_placement_invariant() {
+    let engine = trace_host_engine(decoupled_config());
+    let ext = trace_ni_extension(decoupled_config());
+    assert_trace_nontrivial(&engine);
+    assert_eq!(canon(&engine), canon(&ext), "decoupled engine vs DVCM extension");
+}
