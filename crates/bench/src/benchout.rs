@@ -1,0 +1,106 @@
+//! Shared plumbing for the `bench_engine` / `bench_sched` binaries: flag
+//! parsing, median-of-reps reduction, and the stable-schema `BENCH_*.json`
+//! documents they emit at the repository root.
+//!
+//! The documents are hand-rolled JSON with a fixed key set and key order
+//! (`schema` first, then run parameters, then one row per measurement), so
+//! downstream tooling can diff them across commits; only the measured
+//! values change run to run. `validate_doc` is the CI smoke gate: it
+//! re-reads an emitted document and checks the schema tag and every
+//! required key are present.
+
+use std::path::{Path, PathBuf};
+
+/// `--quick` flag: CI smoke mode — fewer events and repetitions, same
+/// schema and scenario set.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// `--check` flag: validate the existing document instead of re-measuring.
+pub fn check_flag() -> bool {
+    std::env::args().any(|a| a == "--check")
+}
+
+/// Median of an odd (or even: lower-middle-biased mean) number of reps.
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty(), "median of no reps");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("bench values are finite"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// The repository root (the `BENCH_*.json` destination), resolved from the
+/// crate location so the binaries work from any working directory.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Write `body` to `<repo root>/<file_name>`, returning the path.
+pub fn write_doc(file_name: &str, body: &str) -> PathBuf {
+    let path = repo_root().join(file_name);
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    path
+}
+
+/// Validate an emitted document: the schema tag and every required key
+/// must appear. Returns a human-readable error naming the first miss.
+pub fn validate_doc(file_name: &str, schema: &str, required_keys: &[&str]) -> Result<(), String> {
+    let path = repo_root().join(file_name);
+    let body = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{}: {e} (run the bench first to emit it)", path.display()))?;
+    let tag = format!("\"schema\": \"{schema}\"");
+    if !body.contains(&tag) {
+        return Err(format!("{file_name}: missing or wrong schema tag (want {tag})"));
+    }
+    for key in required_keys {
+        if !body.contains(&format!("\"{key}\":")) {
+            return Err(format!("{file_name}: required key \"{key}\" absent"));
+        }
+    }
+    Ok(())
+}
+
+/// Exit path shared by the `--check` mode of both binaries.
+pub fn run_check(file_name: &str, schema: &str, required_keys: &[&str]) -> ! {
+    match validate_doc(file_name, schema, required_keys) {
+        Ok(()) => {
+            println!("{file_name}: schema ok ({schema})");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(vec![7.0]), 7.0);
+    }
+
+    #[test]
+    fn repo_root_holds_the_workspace_manifest() {
+        assert!(repo_root().join("Cargo.toml").exists());
+    }
+
+    #[test]
+    fn validate_catches_missing_keys() {
+        let err = validate_doc("Cargo.toml", "nope/v0", &[]).unwrap_err();
+        assert!(err.contains("schema tag"));
+    }
+}

@@ -7,16 +7,20 @@
 //! 3. Shared-PCI-bus contention sweep (producer NIs vs delivered
 //!    throughput, bus utilization, DMA wait).
 //!
+//! The three sections are independent: each renders to a string in its own
+//! sweep cell and the strings print in section order.
+//!
 //! Run: `cargo run --release -p nistream-bench --bin ablation_report`
 
 use fixedpt::ops::MathMode;
 use hwsim::profiles::{decision_us, ALL};
-use nistream_bench::{format_table, trace_path, write_trace, TraceCapture};
+use nistream_bench::{format_table, par_sweep, trace_path, write_trace, Cell, TraceCapture};
 use serversim::cluster::{node_capacity, sweep_ni_split, NodeConfig};
 use serversim::pcibus_sim;
+use std::fmt::Write as _;
 
-fn main() {
-    // 1. Offload targets.
+/// Ablation 1: offload targets.
+fn offload_targets() -> String {
     let rows: Vec<Vec<String>> = ALL
         .iter()
         .map(|p| {
@@ -28,34 +32,49 @@ fn main() {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        format_table(
-            "Ablation 1: DWCS decision cost across offload targets (40 descriptor touches)",
-            &["Target", "fixed-point (us)", "float (us)", "FPU"],
-            &rows,
-        )
+    let mut out = format_table(
+        "Ablation 1: DWCS decision cost across offload targets (40 descriptor touches)",
+        &["Target", "fixed-point (us)", "float (us)", "FPU"],
+        &rows,
     );
-    println!("paper: host ~50 us vs i960RD ~65 us — \"comparable, although the i960RD");
-    println!("is a much slower processor\"; fixed-point is what closes the gap.\n");
+    let _ = writeln!(
+        out,
+        "paper: host ~50 us vs i960RD ~65 us — \"comparable, although the i960RD"
+    );
+    let _ = writeln!(
+        out,
+        "is a much slower processor\"; fixed-point is what closes the gap.\n"
+    );
+    out
+}
 
-    // 2. NI split.
+/// Ablation 2: scheduler/producer NI split.
+fn ni_split() -> String {
     let node = NodeConfig::default();
     let cap = node_capacity(&node);
-    println!("Ablation 2: scheduler/producer NI balance (6-slot node, 260 kb/s streams)");
-    println!(
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation 2: scheduler/producer NI balance (6-slot node, 260 kb/s streams)"
+    );
+    let _ = writeln!(
+        out,
         "  per-NI limits: scheduler {} | producer {} | PCI {}",
         cap.streams_per_scheduler_ni, cap.streams_per_producer_ni, cap.pci_stream_limit
     );
     for (sched, streams) in sweep_ni_split(6, &node) {
-        println!(
+        let _ = writeln!(
+            out,
             "  {sched} scheduler / {} producer NIs -> {streams:>4} streams",
             6 - sched
         );
     }
-    println!();
+    let _ = writeln!(out);
+    out
+}
 
-    // 3. Bus contention.
+/// Ablation 3: shared-PCI-bus contention.
+fn bus_contention() -> String {
     let rows: Vec<Vec<String>> = pcibus_sim::sweep(&[1, 2, 4, 8, 16])
         .into_iter()
         .map(|(p, r)| {
@@ -69,23 +88,35 @@ fn main() {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        format_table(
-            "Ablation 3: shared-PCI contention, 5 s runs (8 x 30fps streams per producer NI)",
-            &[
-                "producer NIs",
-                "delivered",
-                "Mb/s",
-                "bus util %",
-                "DMA wait ms",
-                "sched-NI util %"
-            ],
-            &rows,
-        )
+    let mut out = format_table(
+        "Ablation 3: shared-PCI contention, 5 s runs (8 x 30fps streams per producer NI)",
+        &[
+            "producer NIs",
+            "delivered",
+            "Mb/s",
+            "bus util %",
+            "DMA wait ms",
+            "sched-NI util %",
+        ],
+        &rows,
     );
-    println!("the bus never becomes the bottleneck — the scheduler NI's CPU+wire");
-    println!("budget saturates first, which is why peer-to-peer offload scales (§4.2.2).");
+    let _ = writeln!(
+        out,
+        "the bus never becomes the bottleneck — the scheduler NI's CPU+wire"
+    );
+    let _ = writeln!(
+        out,
+        "budget saturates first, which is why peer-to-peer offload scales (§4.2.2)."
+    );
+    out
+}
+
+fn main() {
+    let sections: Vec<Cell<'static, String>> =
+        vec![Box::new(offload_targets), Box::new(ni_split), Box::new(bus_contention)];
+    for section in par_sweep(sections) {
+        print!("{section}");
+    }
     if let Some(p) = trace_path() {
         // The ablations price decisions analytically (no service core
         // runs), so the document carries a labeled run with no events.

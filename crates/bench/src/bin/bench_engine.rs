@@ -1,0 +1,216 @@
+//! Event-executive throughput: the timing-wheel [`simkit::Engine`] vs the
+//! retired binary-heap executive ([`simkit::HeapEngine`], kept as the
+//! differential oracle and as this benchmark's baseline).
+//!
+//! Each scenario seeds a population of self-rescheduling timers and fires
+//! a fixed number of events through both executives, measuring fired
+//! events per wall-clock second. Scenarios cover the wheel's distinct code
+//! paths: level-0 churn, multi-level cascading, same-instant FIFO bursts,
+//! cancel-heavy schedules, and deltas beyond the wheel horizon (overflow
+//! heap).
+//!
+//! Emits `BENCH_engine.json` (schema `nistream-bench/engine/v1`) at the
+//! repository root: median-of-reps events/sec per scenario per executive.
+//!
+//! Flags: `--quick` (CI smoke: fewer events/reps, same schema), `--check`
+//! (validate the existing document and exit).
+
+use nistream_bench::benchout::{check_flag, median, quick_flag, run_check, write_doc};
+use simkit::{Engine, HeapEngine, Pcg32, SimDuration, SimTime};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const FILE: &str = "BENCH_engine.json";
+const SCHEMA: &str = "nistream-bench/engine/v1";
+const REQUIRED_KEYS: [&str; 9] = [
+    "schema",
+    "mode",
+    "reps",
+    "events_per_rep",
+    "scenarios",
+    "name",
+    "heap_eps",
+    "wheel_eps",
+    "speedup",
+];
+
+/// What the fired timers do.
+#[derive(Clone, Copy)]
+enum Kind {
+    /// Every fire schedules one successor.
+    Churn,
+    /// Every fire schedules two successors and cancels one of them.
+    CancelHeavy,
+}
+
+struct Scenario {
+    name: &'static str,
+    kind: Kind,
+    /// Initial timer population.
+    pending: u32,
+    /// Reschedule deltas are uniform in `(0, span_ns]` …
+    span_ns: u64,
+    /// … rounded up to a multiple of this (1 ⇒ no rounding; 1 ms ⇒ many
+    /// exactly-simultaneous events exercising FIFO order).
+    quantum_ns: u64,
+    seed: u64,
+}
+
+/// The scenario set: one per wheel code path.
+const SCENARIOS: [Scenario; 5] = [
+    // Deltas within one level-0 rotation (≤ ~1 ms).
+    Scenario {
+        name: "churn_short",
+        kind: Kind::Churn,
+        pending: 4096,
+        span_ns: 1_000_000,
+        quantum_ns: 1,
+        seed: 11,
+    },
+    // Deltas up to 400 ms: entries land on levels 1–2 and cascade down.
+    Scenario {
+        name: "churn_wide",
+        kind: Kind::Churn,
+        pending: 4096,
+        span_ns: 400_000_000,
+        quantum_ns: 1,
+        seed: 12,
+    },
+    // Whole-ms deltas: thousands of events per instant, FIFO-ordered.
+    Scenario {
+        name: "same_instant_bursts",
+        kind: Kind::Churn,
+        pending: 2048,
+        span_ns: 4_000_000,
+        quantum_ns: 1_000_000,
+        seed: 13,
+    },
+    // Two schedules + one cancel per fire: slot recycling under churn.
+    Scenario {
+        name: "cancel_heavy",
+        kind: Kind::CancelHeavy,
+        pending: 2048,
+        span_ns: 2_000_000,
+        quantum_ns: 1,
+        seed: 14,
+    },
+    // Deltas up to 120 s — beyond the ~68.7 s wheel horizon, so a steady
+    // fraction of entries detours through the overflow heap.
+    Scenario {
+        name: "far_horizon",
+        kind: Kind::Churn,
+        pending: 1024,
+        span_ns: 120_000_000_000,
+        quantum_ns: 1,
+        seed: 15,
+    },
+];
+
+/// Per-run state the timers draw their reschedule deltas from.
+struct World {
+    rng: Pcg32,
+    span_ns: u64,
+    quantum_ns: u64,
+}
+
+impl World {
+    fn new(scn: &Scenario) -> World {
+        World {
+            rng: Pcg32::new(scn.seed, 0xbe0c),
+            span_ns: scn.span_ns,
+            quantum_ns: scn.quantum_ns,
+        }
+    }
+
+    fn delta(&mut self) -> SimDuration {
+        let wide = (u64::from(self.rng.next_u32()) << 32) | u64::from(self.rng.next_u32());
+        let raw = wide % self.span_ns;
+        let ns = (raw / self.quantum_ns + 1) * self.quantum_ns;
+        SimDuration::from_nanos(ns)
+    }
+}
+
+/// Generate one driver per executive type (the two engines expose the same
+/// API but are distinct types).
+macro_rules! driver {
+    ($run:ident, $engine:ty) => {
+        fn $run(scn: &Scenario, events: u64) -> f64 {
+            type E = $engine;
+            fn tick(w: &mut World, e: &mut E) {
+                let dt = w.delta();
+                e.schedule_in(dt, tick);
+            }
+            fn tick_cancel(w: &mut World, e: &mut E) {
+                let dt = w.delta();
+                let victim = e.schedule_in(w.delta(), |_: &mut World, _: &mut E| {});
+                e.cancel(victim);
+                e.schedule_in(dt, tick_cancel);
+            }
+            let mut w = World::new(scn);
+            let mut e = <E>::new();
+            for i in 0..scn.pending {
+                // Knuth-hash the index for a uniform initial spread.
+                let at = 1 + u64::from(i).wrapping_mul(2_654_435_761) % scn.span_ns;
+                match scn.kind {
+                    Kind::Churn => e.schedule_at(SimTime::from_nanos(at), tick),
+                    Kind::CancelHeavy => e.schedule_at(SimTime::from_nanos(at), tick_cancel),
+                };
+            }
+            // analysis: allow(sim-determinism) reason="wall clock is the quantity being measured"
+            let t0 = Instant::now();
+            let fired = e.run_steps(&mut w, events);
+            let elapsed = t0.elapsed().as_secs_f64();
+            assert_eq!(fired, events, "executive ran dry mid-measurement");
+            events as f64 / elapsed
+        }
+    };
+}
+
+driver!(run_wheel, Engine<World>);
+driver!(run_heap, HeapEngine<World>);
+
+fn main() {
+    if check_flag() {
+        run_check(FILE, SCHEMA, &REQUIRED_KEYS);
+    }
+    let quick = quick_flag();
+    let (events, reps) = if quick { (30_000u64, 3usize) } else { (300_000, 5) };
+    let mode = if quick { "quick" } else { "full" };
+
+    println!("bench_engine: {mode} mode, {events} events/rep, {reps} reps, median reported\n");
+    println!(
+        "{:<22} {:>14} {:>14} {:>9}",
+        "scenario", "heap ev/s", "wheel ev/s", "speedup"
+    );
+
+    let mut rows = String::new();
+    for scn in &SCENARIOS {
+        // Alternate executives rep by rep so slow drift (thermal, noisy
+        // neighbours) biases neither side.
+        let mut heap_eps = Vec::with_capacity(reps);
+        let mut wheel_eps = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            heap_eps.push(run_heap(scn, events));
+            wheel_eps.push(run_wheel(scn, events));
+        }
+        let (h, w) = (median(heap_eps), median(wheel_eps));
+        println!("{:<22} {:>14.0} {:>14.0} {:>8.2}x", scn.name, h, w, w / h);
+        let _ = write!(
+            rows,
+            "{}    {{ \"name\": \"{}\", \"pending\": {}, \"span_ns\": {}, \"heap_eps\": {:.0}, \"wheel_eps\": {:.0}, \"speedup\": {:.3} }}",
+            if rows.is_empty() { "" } else { ",\n" },
+            scn.name,
+            scn.pending,
+            scn.span_ns,
+            h,
+            w,
+            w / h
+        );
+    }
+
+    let body = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"mode\": \"{mode}\",\n  \"reps\": {reps},\n  \"events_per_rep\": {events},\n  \"scenarios\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = write_doc(FILE, &body);
+    println!("\nwrote {}", path.display());
+}

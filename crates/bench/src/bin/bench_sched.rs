@@ -1,0 +1,123 @@
+//! Scheduling-decision throughput across the five `dwcs::repr` schedule
+//! representations (§3.1.1's data-structure experimentation), at stream
+//! populations from 64 to 16384.
+//!
+//! Each measurement enqueues a fixed total frame budget across `n` streams
+//! and times the drain loop alone (`schedule_next` until the schedule is
+//! empty), reporting scheduling decisions per wall-clock second.
+//!
+//! Emits `BENCH_sched.json` (schema `nistream-bench/sched/v1`) at the
+//! repository root: median-of-reps decisions/sec per (repr, streams) cell.
+//!
+//! Flags: `--quick` (CI smoke: smaller budget/reps, same schema),
+//! `--check` (validate the existing document and exit).
+
+use dwcs::{
+    BTreeRepr, CalendarQueue, DualHeap, DwcsScheduler, FrameDesc, FrameKind, LinearScan, ScheduleRepr, SortedList,
+    StreamId, StreamQos,
+};
+use nistream_bench::benchout::{check_flag, median, quick_flag, run_check, write_doc};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const FILE: &str = "BENCH_sched.json";
+const SCHEMA: &str = "nistream-bench/sched/v1";
+const REQUIRED_KEYS: [&str; 7] = [
+    "schema",
+    "mode",
+    "reps",
+    "frame_budget",
+    "results",
+    "repr",
+    "decisions_per_sec",
+];
+
+/// Stream populations (the paper's NI holds tens of streams; the upper
+/// sizes probe the asymptotics of each structure).
+const SIZES: [u32; 5] = [64, 256, 1024, 4096, 16384];
+
+/// One timed drain: enqueue `frames_per_stream` frames on each of
+/// `streams` streams, then clock `schedule_next` until the schedule is
+/// empty. Returns decisions per second.
+fn drive<R: ScheduleRepr>(repr: R, streams: u32, frames_per_stream: u64) -> f64 {
+    let mut s = DwcsScheduler::new(repr);
+    let sids: Vec<StreamId> = (0..streams)
+        .map(|i| s.add_stream(StreamQos::new(1_000_000 + u64::from(i) * 7_919, 2, 8)))
+        .collect();
+    for seq in 0..frames_per_stream {
+        for (i, &sid) in sids.iter().enumerate() {
+            s.enqueue(
+                sid,
+                FrameDesc::new(sid, seq, 1000, FrameKind::P),
+                seq * 1_000 + i as u64,
+            );
+        }
+    }
+    let mut decisions = 0u64;
+    let mut t = 0u64;
+    // analysis: allow(sim-determinism) reason="wall clock is the quantity being measured"
+    let t0 = Instant::now();
+    loop {
+        let d = s.schedule_next(t);
+        decisions += 1;
+        if d.frame.is_none() {
+            break;
+        }
+        t += 10_000;
+    }
+    decisions as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn measure<R: ScheduleRepr>(make: impl Fn() -> R, streams: u32, frames_per_stream: u64, reps: usize) -> f64 {
+    median((0..reps).map(|_| drive(make(), streams, frames_per_stream)).collect())
+}
+
+fn main() {
+    if check_flag() {
+        run_check(FILE, SCHEMA, &REQUIRED_KEYS);
+    }
+    let quick = quick_flag();
+    let (budget, reps) = if quick { (4_096u64, 3usize) } else { (16_384, 5) };
+    let mode = if quick { "quick" } else { "full" };
+
+    println!("bench_sched: {mode} mode, ~{budget} frames/rep, {reps} reps, median decisions/sec\n");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "streams", "linear-scan", "sorted-list", "dual-heap", "btree", "calendar-q"
+    );
+
+    let mut rows = String::new();
+    let mut emit = |repr: &str, streams: u32, dps: f64| {
+        let _ = write!(
+            rows,
+            "{}    {{ \"repr\": \"{repr}\", \"streams\": {streams}, \"decisions_per_sec\": {dps:.0} }}",
+            if rows.is_empty() { "" } else { ",\n" },
+        );
+    };
+    for &n in &SIZES {
+        let fps = (budget / u64::from(n)).max(1);
+        let cells = [
+            ("linear-scan", measure(|| LinearScan::new(n as usize), n, fps, reps)),
+            ("sorted-list", measure(SortedList::new, n, fps, reps)),
+            ("dual-heap", measure(|| DualHeap::new(n as usize), n, fps, reps)),
+            ("btree", measure(BTreeRepr::new, n, fps, reps)),
+            (
+                "calendar-queue",
+                measure(|| CalendarQueue::new(1_000_000, 32), n, fps, reps),
+            ),
+        ];
+        println!(
+            "{:<10} {:>14.0} {:>14.0} {:>14.0} {:>14.0} {:>14.0}",
+            n, cells[0].1, cells[1].1, cells[2].1, cells[3].1, cells[4].1
+        );
+        for (repr, dps) in cells {
+            emit(repr, n, dps);
+        }
+    }
+
+    let body = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"mode\": \"{mode}\",\n  \"reps\": {reps},\n  \"frame_budget\": {budget},\n  \"results\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = write_doc(FILE, &body);
+    println!("\nwrote {}", path.display());
+}

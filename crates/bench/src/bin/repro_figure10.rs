@@ -4,16 +4,12 @@
 //! file drains at stream rate); maximum ~11 000 ms for s1 vs the 10 000 ms
 //! of the unloaded host-based case — and identical under host load.
 
-use nistream_bench::{ni_run, ni_run_traced, qdelay_head, render_qdelay, trace_path, write_trace, RUN_SECS};
+use nistream_bench::{ni_sweep, qdelay_head, render_qdelay, trace_path, write_trace, RUN_SECS};
 
 fn main() {
     let trace = trace_path();
     println!("Figure 10: NI Queuing Delay vs Frames Sent (NI-based DWCS, 60 % host web load)\n");
-    let r = if trace.is_some() {
-        ni_run_traced(RUN_SECS)
-    } else {
-        ni_run(RUN_SECS)
-    };
+    let r = ni_sweep(RUN_SECS, trace.is_some());
     for s in &r.streams {
         // The paper's Figure 10 plots ~140 frames of a shorter snapshot;
         // we show the first 330 (the 11 s point of the linear ramp).

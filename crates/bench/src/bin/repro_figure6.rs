@@ -5,8 +5,7 @@
 //! phase exceeding 80 %.
 
 use nistream_bench::{
-    csv_flag, host_run, host_run_traced, level_header, print_csv_block, render_series, trace_path, write_trace,
-    LoadLevel, RUN_SECS,
+    csv_flag, host_sweep, level_header, print_csv_block, render_series, trace_path, write_trace, RUN_SECS,
 };
 
 fn main() {
@@ -18,12 +17,9 @@ fn main() {
         println!("Figure 6: CPU Utilization Variation with Server Load ({RUN_SECS} s runs)\n");
     }
     let mut captures = Vec::new();
-    for level in [LoadLevel::None, LoadLevel::Avg45, LoadLevel::Avg60] {
-        let r = if trace.is_some() {
-            host_run_traced(level, RUN_SECS)
-        } else {
-            host_run(level, RUN_SECS)
-        };
+    // The three load levels are independent cells: simulate in parallel,
+    // then print in level order (stdout is byte-identical to a loop).
+    for (level, r) in host_sweep(RUN_SECS, trace.is_some()) {
         if csv {
             print_csv_block(level.label(), &r.cpu_util, "cpu_util_pct");
         } else {

@@ -5,8 +5,8 @@
 //! ~230 k at 45 %; falls to ~100 k and settles below 125 k at 60 %.
 
 use nistream_bench::{
-    csv_flag, host_run, host_run_traced, level_header, print_csv_block, render_series, stream_summary, trace_path,
-    write_trace, LoadLevel, RUN_SECS,
+    csv_flag, host_sweep, level_header, print_csv_block, render_series, stream_summary, trace_path, write_trace,
+    RUN_SECS,
 };
 
 fn main() {
@@ -18,12 +18,9 @@ fn main() {
         println!("Figure 7: Bandwidth Variation with Load (host-based DWCS, streams s1 & s2)\n");
     }
     let mut captures = Vec::new();
-    for level in [LoadLevel::None, LoadLevel::Avg45, LoadLevel::Avg60] {
-        let r = if trace.is_some() {
-            host_run_traced(level, RUN_SECS)
-        } else {
-            host_run(level, RUN_SECS)
-        };
+    // Independent cells: simulate the three levels in parallel, print in
+    // level order.
+    for (level, r) in host_sweep(RUN_SECS, trace.is_some()) {
         if csv {
             for s in &r.streams {
                 print_csv_block(&format!("{} {}", level.label(), s.name), &s.bandwidth, "bandwidth_bps");

@@ -4,20 +4,15 @@
 //! Paper: delay grows with frame number to ~10 000 ms unloaded; +~2 s at
 //! 45 %; up to ~30 000 ms (3x) at 60 %.
 
-use nistream_bench::{
-    host_run, host_run_traced, level_header, qdelay_head, render_qdelay, trace_path, write_trace, LoadLevel, RUN_SECS,
-};
+use nistream_bench::{host_sweep, level_header, qdelay_head, render_qdelay, trace_path, write_trace, RUN_SECS};
 
 fn main() {
     let trace = trace_path();
     println!("Figure 8: Queuing Delay vs Frames Sent with Load Variation (host-based DWCS)\n");
     let mut captures = Vec::new();
-    for level in [LoadLevel::None, LoadLevel::Avg45, LoadLevel::Avg60] {
-        let r = if trace.is_some() {
-            host_run_traced(level, RUN_SECS)
-        } else {
-            host_run(level, RUN_SECS)
-        };
+    // Independent cells: simulate the three levels in parallel, print in
+    // level order.
+    for (level, r) in host_sweep(RUN_SECS, trace.is_some()) {
         level_header(level);
         for s in &r.streams {
             // The paper's Figure 8 plots the first ~300 frames.

@@ -4,16 +4,12 @@
 //! Paper: the NI-based scheduler settles ~260 kbps per stream regardless
 //! of host web load ("completely immune to web server loading").
 
-use nistream_bench::{ni_run, ni_run_traced, render_series, stream_summary, trace_path, write_trace, RUN_SECS};
+use nistream_bench::{ni_sweep, render_series, stream_summary, trace_path, write_trace, RUN_SECS};
 
 fn main() {
     let trace = trace_path();
     println!("Figure 9: NI Bandwidth Distribution Snapshot (NI-based DWCS, 60 % host web load)\n");
-    let r = if trace.is_some() {
-        ni_run_traced(RUN_SECS)
-    } else {
-        ni_run(RUN_SECS)
-    };
+    let r = ni_sweep(RUN_SECS, trace.is_some());
     for s in &r.streams {
         let settle = s.bandwidth.settling_value(0.3).unwrap_or(0.0);
         println!("{}", stream_summary(s, "settling bandwidth", settle));

@@ -17,8 +17,12 @@ use std::path::{Path, PathBuf};
 use workload::mpegclient::ClientPlan;
 use workload::profile::LoadProfile;
 
+pub mod benchout;
+pub mod sweep;
+
 pub use nistream_trace::{TraceCapture, TraceRing};
 pub use serversim::report::format_table;
+pub use sweep::{par_sweep, par_sweep_with, sweep_threads, Cell};
 
 /// Standard figure run length (the paper's traces span ~100 s).
 pub const RUN_SECS: u64 = 100;
@@ -159,6 +163,42 @@ pub fn ni_run_traced(run_secs: u64) -> NiLoadResult {
     let mut cfg = ni_config(run_secs);
     cfg.trace_capacity = TRACE_CAP;
     niload::run(cfg)
+}
+
+/// The three load levels of Figures 6–8, in figure order.
+pub const HOST_LEVELS: [LoadLevel; 3] = [LoadLevel::None, LoadLevel::Avg45, LoadLevel::Avg60];
+
+/// Run the host-based experiment at every load level, fanned across the
+/// [`par_sweep`] runner; results come back in [`HOST_LEVELS`] order, so
+/// figure binaries compute here and then print sequentially — output is
+/// byte-identical to the per-level loop this replaces.
+pub fn host_sweep(run_secs: u64, traced: bool) -> Vec<(LoadLevel, HostLoadResult)> {
+    let cells: Vec<Cell<'static, HostLoadResult>> = HOST_LEVELS
+        .iter()
+        .map(|&level| -> Cell<'static, HostLoadResult> {
+            Box::new(move || {
+                if traced {
+                    host_run_traced(level, run_secs)
+                } else {
+                    host_run(level, run_secs)
+                }
+            })
+        })
+        .collect();
+    HOST_LEVELS.into_iter().zip(par_sweep(cells)).collect()
+}
+
+/// Run the NI-based experiment through the sweep runner (a single-cell
+/// sweep: Figures 9–10 have one placement, one load level).
+pub fn ni_sweep(run_secs: u64, traced: bool) -> NiLoadResult {
+    let cells: Vec<Cell<'static, NiLoadResult>> = vec![Box::new(move || {
+        if traced {
+            ni_run_traced(run_secs)
+        } else {
+            ni_run(run_secs)
+        }
+    })];
+    par_sweep(cells).pop().expect("single-cell sweep returns one result")
 }
 
 /// Emit one CSV block: a `# tag` comment line followed by the trace.

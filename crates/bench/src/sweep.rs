@@ -1,0 +1,151 @@
+//! Deterministic parallel sweep runner.
+//!
+//! Every figure reproduction is a sweep of *independent* simulation cells
+//! (load level × placement × seed): each cell seeds its own [`simkit`]
+//! engine and shares no state with its neighbours, so the cells can run on
+//! any thread in any order without perturbing a single byte of output.
+//! [`par_sweep`] exploits that: it fans the cells across OS threads and
+//! hands the results back **in cell order**, so a caller that computes
+//! first and prints second emits output byte-identical to the sequential
+//! loop it replaced.
+//!
+//! # Determinism argument
+//!
+//! * Cells are `FnOnce` closures over owned/`Copy` inputs — nothing shared,
+//!   nothing mutable across cells.
+//! * Cells are pre-striped round-robin over the workers (`cell i` → worker
+//!   `i % threads`), so *which* thread runs a cell is a pure function of
+//!   the cell index and the thread count — there is no racy work-stealing
+//!   queue. (The vendored `crossbeam` channel shim is single-consumer, so
+//!   a shared job queue was never an option anyway.)
+//! * Results travel back as `(index, value)` pairs on one channel and are
+//!   placed into a slot vector by index; arrival order is irrelevant.
+//! * With `threads == 1` (or one cell) the cells run inline on the calling
+//!   thread in order — the reference behaviour the parallel path must, and
+//!   does, reproduce byte-for-byte (see `tests/par_sweep_gate.rs`).
+//!
+//! Thread count comes from `NISTREAM_SWEEP_THREADS` when set, else the
+//! machine's available parallelism; it is a *performance* knob only —
+//! results are identical at every value.
+
+use crossbeam::channel;
+
+/// One independent unit of sweep work, boxed so heterogeneous call sites
+/// (traced/untraced runs, different load levels) fit one sweep.
+pub type Cell<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Number of worker threads a sweep will use: `NISTREAM_SWEEP_THREADS`
+/// when set to a positive integer, else `std::thread::available_parallelism`.
+pub fn sweep_threads() -> usize {
+    if let Ok(v) = std::env::var("NISTREAM_SWEEP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("NISTREAM_SWEEP_THREADS={v:?} is not a positive integer; using default");
+    }
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// Run independent cells across [`sweep_threads`] OS threads, returning
+/// their results in cell order.
+pub fn par_sweep<T: Send>(cells: Vec<Cell<'_, T>>) -> Vec<T> {
+    par_sweep_with(sweep_threads(), cells)
+}
+
+/// [`par_sweep`] with an explicit thread count (the byte-identity gate
+/// test runs the same sweep at 1 and N threads and diffs the results).
+pub fn par_sweep_with<T: Send>(threads: usize, cells: Vec<Cell<'_, T>>) -> Vec<T> {
+    let threads = threads.min(cells.len());
+    if threads <= 1 {
+        // Reference path: run inline, in order, on the calling thread.
+        return cells.into_iter().map(|cell| cell()).collect();
+    }
+    let n = cells.len();
+
+    // Pre-stripe cells round-robin so cell→thread assignment is a pure
+    // function of (index, threads), not of runtime timing.
+    let mut stripes: Vec<Vec<(usize, Cell<'_, T>)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, cell) in cells.into_iter().enumerate() {
+        stripes[i % threads].push((i, cell));
+    }
+
+    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for stripe in stripes {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for (i, cell) in stripe {
+                    // The receiver lives past the workers; send only fails
+                    // if the main thread is already unwinding.
+                    let _ = tx.send((i, cell()));
+                }
+            });
+        }
+        drop(tx);
+        for _ in 0..n {
+            // `recv` errors only if a worker panicked and dropped its
+            // sender; panic here and let the scope propagate the cause.
+            let (i, value) = rx.recv().expect("sweep worker panicked");
+            out[i] = Some(value);
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every cell index reported exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(n: usize) -> Vec<Cell<'static, usize>> {
+        (0..n)
+            .map(|i| -> Cell<'static, usize> { Box::new(move || i * i) })
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_cell_order() {
+        for threads in [1, 2, 3, 7, 64] {
+            let got = par_sweep_with(threads, squares(23));
+            let want: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_cell_sweeps() {
+        assert!(par_sweep_with(4, squares(0)).is_empty());
+        assert_eq!(par_sweep_with(4, squares(1)), vec![0]);
+    }
+
+    #[test]
+    fn cells_may_borrow_from_the_caller() {
+        let labels = ["a", "bb", "ccc"];
+        let cells: Vec<Cell<'_, usize>> = labels
+            .iter()
+            .map(|l| -> Cell<'_, usize> { Box::new(|| l.len()) })
+            .collect();
+        assert_eq!(par_sweep_with(2, cells), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_stateful_cells() {
+        // Each cell runs its own tiny simulation; 1-thread and N-thread
+        // sweeps must agree exactly.
+        let build = || -> Vec<Cell<'static, u64>> {
+            (0..8u64)
+                .map(|seed| -> Cell<'static, u64> {
+                    Box::new(move || {
+                        let mut rng = simkit::Pcg32::new(seed, 54);
+                        (0..1000).map(|_| rng.next_u32() as u64).sum()
+                    })
+                })
+                .collect()
+        };
+        assert_eq!(par_sweep_with(1, build()), par_sweep_with(5, build()));
+    }
+}

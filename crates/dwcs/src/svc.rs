@@ -138,6 +138,10 @@ pub trait Platform {
 pub struct SchedService<R, P> {
     sched: DwcsScheduler<R>,
     platform: P,
+    /// Per-pass drop staging, hoisted here so the steady-state service
+    /// pass allocates nothing: the buffer trades capacity back and forth
+    /// with the scheduler's internal drop list every pass.
+    drops: Vec<FrameDesc>,
 }
 
 impl<R: ScheduleRepr, P: Platform> SchedService<R, P> {
@@ -147,7 +151,11 @@ impl<R: ScheduleRepr, P: Platform> SchedService<R, P> {
     pub fn new(repr: R, cfg: SchedulerConfig, platform: P) -> SchedService<R, P> {
         let mut sched = DwcsScheduler::with_config(repr, cfg);
         sched.set_meter(platform.meter());
-        SchedService { sched, platform }
+        SchedService {
+            sched,
+            platform,
+            drops: Vec::new(),
+        }
     }
 
     /// Admit a stream (traced as an `Admit` event when the platform
@@ -223,17 +231,17 @@ impl<R: ScheduleRepr, P: Platform> SchedService<R, P> {
     pub fn service_once(&mut self) -> ServiceOutcome {
         let now = self.platform.now();
         let decision = self.sched.schedule_next(now);
-        let platform = &mut self.platform;
-        self.sched.drain_dropped(|desc| {
-            if let Some(ring) = platform.tracer() {
+        self.sched.take_dropped(&mut self.drops);
+        for desc in self.drops.drain(..) {
+            if let Some(ring) = self.platform.tracer() {
                 ring.push(TraceEvent::Drop {
                     at: now,
                     stream: desc.stream.0,
                     seq: desc.seq,
                 });
             }
-            platform.reclaim(&desc);
-        });
+            self.platform.reclaim(&desc);
+        }
         let backlog = self.sched.total_backlog();
         if let Some(ring) = self.platform.tracer() {
             ring.push(TraceEvent::Decision {

@@ -304,7 +304,6 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
-    use crate::strategy::Strategy as _;
 
     #[test]
     fn rng_is_deterministic_per_name() {

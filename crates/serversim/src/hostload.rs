@@ -517,7 +517,7 @@ fn schedule_web_arrivals(w: &mut World, eng: &mut Eng) {
 
 /// Run the experiment.
 pub fn run(cfg: HostLoadConfig) -> HostLoadResult {
-    let mut eng: Eng = Engine::new();
+    let mut eng: Eng = <Eng>::new();
     let nstreams = cfg.plan.clients.len();
 
     // Scheduler: deadline-paced, one-period grace (see module docs).

@@ -1,53 +1,71 @@
 //! The event-scheduling executive.
 //!
-//! A binary heap of `(time, sequence, event)` entries. The sequence number
-//! makes simultaneous events fire in scheduling order (FIFO-stable), which
-//! the hardware models rely on for determinism (e.g. two DMA completions in
-//! the same nanosecond).
+//! A hierarchical timing wheel of `(time, sequence)` entries (see
+//! [`crate::wheel`] for the layout) over a slab arena that owns the event
+//! closures. The sequence number makes simultaneous events fire in
+//! scheduling order (FIFO-stable), which the hardware models rely on for
+//! determinism (e.g. two DMA completions in the same nanosecond); the
+//! wheel preserves that order *exactly*, bit-for-bit against the original
+//! binary-heap executive (kept as [`crate::reference::HeapEngine`] and
+//! pinned by a differential property test).
 //!
 //! Events are boxed `FnOnce(&mut W, &mut Engine<W>)` closures: the *world*
 //! `W` is whatever struct the caller composes out of hardware models, and
 //! the engine hands it back mutably to each event together with itself so
 //! the event can schedule follow-ups. Keeping the world outside the engine
 //! avoids interior mutability entirely.
+//!
+//! # Why a wheel
+//!
+//! The heap executive paid `O(log n)` sift work per schedule and per pop,
+//! plus an ordered-set membership probe per pop for cancellation. Here a
+//! schedule is a bitmap update and a push onto a recycled slot vector, a
+//! pop is a bitmap scan amortised over a whole tick's worth of events,
+//! and cancellation is an `O(1)` arena mark — the `EventId` carries its
+//! arena index and a generation counter, so cancelling a fired, unknown
+//! or doubly-cancelled id is a true no-op and [`Engine::pending`] stays
+//! exact (the old executive leaked a tombstone per stale cancel).
 
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-// BTreeSet rather than HashSet: iteration-order-free here, but the simkit
-// determinism lint bans randomized-state containers wholesale so models never
-// grow an order dependence by accident.
-use std::collections::{BTreeSet, BinaryHeap};
+use crate::wheel::{TimerEntry, TimerWheel};
 
 /// A scheduled event: a one-shot closure over the world and the engine.
 pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
 
 /// Identifier of a scheduled event, usable with [`Engine::cancel`].
+///
+/// Packs the arena slot index with the slot's generation at scheduling
+/// time; the generation advances when the slot is recycled, so a stale id
+/// can never cancel a later event that happens to reuse the slot.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
 
-struct Entry<W> {
-    at: SimTime,
-    seq: u64,
-    f: EventFn<W>,
+impl EventId {
+    fn new(generation: u32, index: u32) -> EventId {
+        EventId((u64::from(generation) << 32) | u64::from(index))
+    }
+
+    fn index(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
-impl<W> PartialEq for Entry<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Arena slot payload states. `Free` slots sit on the free list;
+/// `Cancelled` slots wait for their wheel entry to surface and be
+/// discarded (lazy cancellation keeps the wheel remove-free).
+enum SlotState<W> {
+    Free,
+    Pending(EventFn<W>),
+    Cancelled,
 }
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Entry<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest-first, and
-        // among equals lowest sequence first.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
-    }
+
+struct ArenaSlot<W> {
+    generation: u32,
+    state: SlotState<W>,
 }
 
 /// Observer invoked as each event fires: `(time, sequence)`. The sequence
@@ -59,10 +77,14 @@ pub type FireHook = Box<dyn FnMut(SimTime, u64)>;
 /// The discrete-event engine for worlds of type `W`.
 pub struct Engine<W> {
     now: SimTime,
-    heap: BinaryHeap<Entry<W>>,
+    wheel: TimerWheel,
+    /// Event storage; slots recycle through `free` so steady-state
+    /// scheduling reuses both the slot and its box-free `SlotState` move.
+    arena: Vec<ArenaSlot<W>>,
+    free: Vec<u32>,
     seq: u64,
-    cancelled: BTreeSet<u64>,
     fired: u64,
+    pending: usize,
     hook: Option<FireHook>,
 }
 
@@ -77,10 +99,12 @@ impl<W> Engine<W> {
     pub fn new() -> Engine<W> {
         Engine {
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
+            wheel: TimerWheel::new(),
+            arena: Vec::new(),
+            free: Vec::new(),
             seq: 0,
-            cancelled: BTreeSet::new(),
             fired: 0,
+            pending: 0,
             hook: None,
         }
     }
@@ -108,9 +132,10 @@ impl<W> Engine<W> {
         self.fired
     }
 
-    /// Number of pending (non-cancelled) events.
+    /// Number of pending (non-cancelled) events. Exact: cancels of
+    /// already-fired or unknown ids do not distort the count.
     pub fn pending(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending
     }
 
     /// Schedule `f` at absolute time `at`. Scheduling in the past is a logic
@@ -121,12 +146,29 @@ impl<W> Engine<W> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry {
-            at,
+        let f: EventFn<W> = Box::new(f);
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.arena[i as usize].state = SlotState::Pending(f);
+                i
+            }
+            None => {
+                self.arena.push(ArenaSlot {
+                    generation: 0,
+                    state: SlotState::Pending(f),
+                });
+                (self.arena.len() - 1) as u32
+            }
+        };
+        self.wheel.insert(TimerEntry {
+            at: at.as_nanos(),
             seq,
-            f: Box::new(f),
+            idx,
         });
-        EventId(seq)
+        self.pending += 1;
+        // The wheel also holds cancelled-but-not-yet-surfaced entries.
+        debug_assert!(self.pending <= self.wheel.len());
+        EventId::new(self.arena[idx as usize].generation, idx)
     }
 
     /// Schedule `f` after a delay from now.
@@ -140,27 +182,49 @@ impl<W> Engine<W> {
         self.schedule_at(self.now, f)
     }
 
-    /// Cancel a pending event. Cancelling an already-fired or unknown id is
-    /// a no-op (timers race with their own expiry; that is normal).
+    /// Cancel a pending event. Cancelling an already-fired, unknown or
+    /// already-cancelled id is a true no-op (timers race with their own
+    /// expiry; that is normal): the generation check rejects stale ids
+    /// outright, so no bookkeeping leaks.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        if let Some(slot) = self.arena.get_mut(id.index()) {
+            if slot.generation == id.generation() && matches!(slot.state, SlotState::Pending(_)) {
+                slot.state = SlotState::Cancelled;
+                self.pending -= 1;
+            }
+        }
+    }
+
+    /// Retire an arena slot whose wheel entry has surfaced: bump the
+    /// generation (invalidating outstanding ids) and recycle the index.
+    fn release(&mut self, idx: u32) -> SlotState<W> {
+        let slot = &mut self.arena[idx as usize];
+        let state = std::mem::replace(&mut slot.state, SlotState::Free);
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(idx);
+        state
     }
 
     /// Fire the next event, if any. Returns `false` when the calendar is
     /// exhausted.
     pub fn step(&mut self, world: &mut W) -> bool {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+        while let Some(entry) = self.wheel.pop_next() {
+            match self.release(entry.idx) {
+                SlotState::Pending(f) => {
+                    let at = SimTime::from_nanos(entry.at);
+                    debug_assert!(at >= self.now);
+                    self.now = at;
+                    self.fired += 1;
+                    self.pending -= 1;
+                    if let Some(hook) = self.hook.as_mut() {
+                        hook(at, entry.seq);
+                    }
+                    f(world, self);
+                    return true;
+                }
+                // Cancelled (already uncounted) or stale: keep draining.
+                SlotState::Cancelled | SlotState::Free => continue,
             }
-            debug_assert!(entry.at >= self.now);
-            self.now = entry.at;
-            self.fired += 1;
-            if let Some(hook) = self.hook.as_mut() {
-                hook(entry.at, entry.seq);
-            }
-            (entry.f)(world, self);
-            return true;
         }
         false
     }
@@ -196,16 +260,15 @@ impl<W> Engine<W> {
 
     /// Time of the next pending event.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
+        loop {
+            let entry = self.wheel.peek_next()?;
+            if matches!(self.arena[entry.idx as usize].state, SlotState::Pending(_)) {
+                return Some(SimTime::from_nanos(entry.at));
             }
-            return Some(entry.at);
+            // Cancelled or stale: retire it eagerly so peek is O(live).
+            let _ = self.wheel.pop_next();
+            let _ = self.release(entry.idx);
         }
-        None
     }
 }
 
@@ -273,6 +336,50 @@ mod tests {
         assert_eq!(eng.pending(), 0);
     }
 
+    /// Regression test for the cancel leak: cancelling a fired, unknown
+    /// or already-cancelled id must leave `pending()` exact (the heap
+    /// executive recorded a tombstone per stale cancel, so `pending()` —
+    /// computed as `heap.len() - cancelled.len()` — undercounted and
+    /// could underflow once the tombstones outnumbered live entries).
+    #[test]
+    fn cancel_of_nonpending_id_is_a_true_noop() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let fired = eng.schedule_at(at(1), |w: &mut World, _| w.log.push((1, "fired")));
+        assert!(eng.step(&mut w));
+        assert_eq!(eng.pending(), 0);
+        // Fired id, cancelled repeatedly: nothing changes.
+        eng.cancel(fired);
+        eng.cancel(fired);
+        assert_eq!(eng.pending(), 0);
+        // A live event cancelled twice decrements exactly once…
+        let live = eng.schedule_at(at(10), |w: &mut World, _| w.log.push((10, "never")));
+        assert_eq!(eng.pending(), 1);
+        eng.cancel(live);
+        eng.cancel(live);
+        assert_eq!(eng.pending(), 0);
+        // …and the calendar still drains without underflow or ghosts.
+        eng.schedule_at(at(20), |w: &mut World, _| w.log.push((20, "live")));
+        assert_eq!(eng.pending(), 1);
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(1, "fired"), (20, "live")]);
+        assert_eq!(eng.pending(), 0);
+    }
+
+    /// A stale id must not cancel a later event that recycled its slot.
+    #[test]
+    fn stale_id_cannot_cancel_slot_reuser() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let first = eng.schedule_at(at(1), |w: &mut World, _| w.log.push((1, "first")));
+        assert!(eng.step(&mut w));
+        // The next schedule reuses the arena slot `first` occupied.
+        eng.schedule_at(at(5), |w: &mut World, _| w.log.push((5, "reuser")));
+        eng.cancel(first);
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(1, "first"), (5, "reuser")]);
+    }
+
     #[test]
     fn run_until_stops_and_advances_clock() {
         let mut eng: Engine<World> = Engine::new();
@@ -292,6 +399,35 @@ mod tests {
         let mut w = World::default();
         eng.run_until(&mut w, at(1_000));
         assert_eq!(eng.now(), at(1_000));
+    }
+
+    /// `run_until` peeks ahead; a subsequent schedule *between* `now` and
+    /// the peeked event must still fire first (the wheel files it into
+    /// the ready queue even though its tick is behind the wheel cursor).
+    #[test]
+    fn schedule_between_now_and_peeked_event_fires_first() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.schedule_at(at(10_000_000), |w: &mut World, _| w.log.push((10_000_000, "far")));
+        eng.run_until(&mut w, at(1_000));
+        assert_eq!(eng.now(), at(1_000));
+        eng.schedule_at(at(2_000), |w: &mut World, _| w.log.push((2_000, "near")));
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(2_000, "near"), (10_000_000, "far")]);
+    }
+
+    /// Events beyond the wheel horizon (> ~68 s) take the overflow path
+    /// and still interleave exactly with near-horizon events.
+    #[test]
+    fn far_future_events_cross_the_overflow_horizon() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let far = 100_000_000_000; // 100 s
+        eng.schedule_at(at(far), move |w: &mut World, _| w.log.push((far, "far")));
+        eng.schedule_at(at(5), |w: &mut World, _| w.log.push((5, "near")));
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(5, "near"), (far, "far")]);
+        assert_eq!(eng.events_fired(), 2);
     }
 
     #[test]
@@ -323,7 +459,7 @@ mod tests {
         eng.cancel(cancelled);
         eng.run(&mut w);
         // Cancelled events never reach the hook; survivors report the
-        // sequence numbers schedule_at returned, in firing order.
+        // sequence numbers schedule_at assigned, in firing order.
         assert_eq!(*seen.borrow(), vec![(10, 1), (10, 2)]);
         assert_eq!(w.log, vec![(10, "a"), (10, "b")]);
     }
@@ -357,5 +493,22 @@ mod tests {
         let fired = eng.run_steps(&mut w, 5);
         assert_eq!(fired, 5);
         assert_eq!(w.log.len(), 5);
+    }
+
+    /// The arena must recycle slots: a long self-rescheduling run keeps a
+    /// bounded arena no matter how many events fire.
+    #[test]
+    fn arena_recycles_slots_under_churn() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        fn tick(_w: &mut World, e: &mut Engine<World>) {
+            e.schedule_in(SimDuration::from_nanos(100), tick);
+        }
+        for _ in 0..4 {
+            eng.schedule_at(at(0), tick);
+        }
+        eng.run_steps(&mut w, 10_000);
+        assert_eq!(eng.pending(), 4);
+        assert!(eng.arena.len() <= 8, "arena grew to {} slots", eng.arena.len());
     }
 }

@@ -8,11 +8,14 @@
 //! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution virtual clock.
 //!   All paper quantities (µs scheduling overheads, ms disk accesses, Mb/s
 //!   links) are exactly representable.
-//! * [`Engine`] — a classic event-scheduling executive: a priority queue of
-//!   `(time, seq, closure)` entries, FIFO-stable among simultaneous events,
-//!   with cancellable timers. The engine is generic over the *world* type so
-//!   hardware models compose as plain Rust structs with no `Rc<RefCell<…>>`
-//!   plumbing.
+//! * [`Engine`] — the event-scheduling executive: a hierarchical timing
+//!   wheel of `(time, seq)` entries over a slab arena that recycles event
+//!   storage, FIFO-stable among simultaneous events, with O(1) cancellable
+//!   timers and an overflow heap for far-future events. The engine is
+//!   generic over the *world* type so hardware models compose as plain
+//!   Rust structs with no `Rc<RefCell<…>>` plumbing. The original
+//!   binary-heap executive survives as [`reference::HeapEngine`], the
+//!   differential oracle and benchmark baseline for the wheel.
 //! * [`Resource`] — a FIFO-granted exclusive resource (PCI bus arbitration,
 //!   disk head, CPU) with built-in busy-time and queue-length accounting.
 //! * [`rng`] — a self-contained PCG32 RNG plus the distributions the
@@ -32,12 +35,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod reference;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+mod wheel;
 
 pub use engine::{Engine, EventFn, EventId, FireHook};
+pub use reference::{HeapEngine, HeapEventFn, HeapEventId};
 pub use resource::Resource;
 pub use rng::Pcg32;
 pub use stats::{Counter, Histogram, Summary, Trace, UtilizationSampler};

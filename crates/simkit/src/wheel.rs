@@ -1,0 +1,387 @@
+//! The hierarchical timing wheel behind [`Engine`](crate::Engine).
+//!
+//! # Layout
+//!
+//! Simulated time is bucketed into *ticks* of `2^GRAIN_BITS` ns
+//! (4.096 µs). Three levels of 256 slots cover ticks `[cur, cur + 2^24)`
+//! — about 68.7 simulated seconds of horizon — and everything beyond
+//! spills into an overflow `BinaryHeap`:
+//!
+//! * level 0: one slot per tick (the next ≤256 ticks);
+//! * level 1: one slot per 256 ticks;
+//! * level 2: one slot per 65 536 ticks.
+//!
+//! An entry's level is chosen by the **highest bit in which its tick
+//! differs from `cur`** (not by the delta): slot indices are absolute
+//! bit-fields of the tick, so an entry never needs relocation when `cur`
+//! moves within a window, and window-crossing deltas (e.g. `cur =
+//! 0x..FF`, `tick = cur + 1`) land exactly where a later cascade expects
+//! them. Each level keeps a 256-bit occupancy bitmap, so finding the next
+//! non-empty slot is four word scans, not a 256-probe walk.
+//!
+//! # Ordering
+//!
+//! The engine's contract is exact `(time, seq)` FIFO-stable firing. The
+//! wheel maintains a sorted `ready` queue holding every entry due at or
+//! before `cur`; `advance` refills it by draining the next level-0 slot
+//! (sorted through a reusable scratch buffer), cascading a higher-level
+//! slot down when level 0 is empty, or pulling the overflow head group —
+//! always bounding each jump of `cur` by the overflow head's tick so a
+//! far-future entry can never be leapt over. Entries scheduled at or
+//! before `cur` (possible after `run_until` peeked ahead of a quiet
+//! calendar) are sort-inserted straight into `ready`, which is correct
+//! because every entry still in the wheel has a strictly later tick.
+//!
+//! Cancellation is the engine's job (its arena marks slots cancelled and
+//! skips them as they surface); the wheel only stores `(at, seq, idx)`
+//! copies and never touches entry payloads, so slot vectors, the scratch
+//! buffer and the cascade buffer all recycle their capacity —
+//! steady-state operation allocates nothing.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// log2 of the tick granularity in nanoseconds.
+const GRAIN_BITS: u32 = 12;
+/// log2 of the slots per level.
+const LEVEL_BITS: u32 = 8;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Hierarchy depth; ticks differing from `cur` above `LEVELS *
+/// LEVEL_BITS` bits go to the overflow heap.
+const LEVELS: usize = 3;
+/// Words per 256-bit occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+
+/// One timer: absolute nanosecond deadline, global schedule sequence,
+/// and the engine arena index holding the payload. Derived `Ord` is the
+/// firing order (`at`-major, `seq`-minor; `idx` never ties).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) struct TimerEntry {
+    pub at: u64,
+    pub seq: u64,
+    pub idx: u32,
+}
+
+#[inline]
+fn tick_of(at: u64) -> u64 {
+    at >> GRAIN_BITS
+}
+
+/// Lowest occupied slot index `>= from`, if any.
+#[inline]
+fn next_occupied(bitmap: &[u64; WORDS], from: usize) -> Option<usize> {
+    if from >= SLOTS {
+        return None;
+    }
+    let mut word = from / 64;
+    let mut bits = bitmap[word] & (!0u64 << (from % 64));
+    loop {
+        if bits != 0 {
+            return Some(word * 64 + bits.trailing_zeros() as usize);
+        }
+        word += 1;
+        if word == WORDS {
+            return None;
+        }
+        bits = bitmap[word];
+    }
+}
+
+pub(crate) struct TimerWheel {
+    /// `LEVELS * SLOTS` buckets, flattened (`level * SLOTS + slot`).
+    slots: Vec<Vec<TimerEntry>>,
+    occupied: [[u64; WORDS]; LEVELS],
+    /// Current tick: every entry still in a wheel slot has a strictly
+    /// greater tick; every `ready` entry has tick `<= cur`.
+    cur: u64,
+    /// Entries due now, in exact firing order.
+    ready: VecDeque<TimerEntry>,
+    /// Entries beyond the wheel horizon, earliest-first.
+    overflow: BinaryHeap<Reverse<TimerEntry>>,
+    /// Reusable sort buffer for slot drains.
+    scratch: Vec<TimerEntry>,
+    /// Reusable batch buffer for cascades.
+    cascade_buf: Vec<TimerEntry>,
+    len: usize,
+}
+
+impl TimerWheel {
+    pub fn new() -> TimerWheel {
+        TimerWheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [[0; WORDS]; LEVELS],
+            cur: 0,
+            ready: VecDeque::new(),
+            overflow: BinaryHeap::new(),
+            scratch: Vec::new(),
+            cascade_buf: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Entries stored (including ones the engine has since cancelled).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn insert(&mut self, e: TimerEntry) {
+        self.place(e);
+        self.len += 1;
+    }
+
+    /// Next entry in firing order without removing it.
+    pub fn peek_next(&mut self) -> Option<TimerEntry> {
+        self.advance();
+        self.ready.front().copied()
+    }
+
+    /// Remove and return the next entry in firing order.
+    pub fn pop_next(&mut self) -> Option<TimerEntry> {
+        self.advance();
+        let e = self.ready.pop_front()?;
+        self.len -= 1;
+        Some(e)
+    }
+
+    /// File `e` into `ready`, a wheel slot, or the overflow heap.
+    fn place(&mut self, e: TimerEntry) {
+        let tick = tick_of(e.at);
+        if tick <= self.cur {
+            let i = self.ready.partition_point(|x| (x.at, x.seq) < (e.at, e.seq));
+            self.ready.insert(i, e);
+            return;
+        }
+        let level = ((63 - (tick ^ self.cur).leading_zeros()) / LEVEL_BITS) as usize;
+        if level >= LEVELS {
+            self.overflow.push(Reverse(e));
+            return;
+        }
+        let slot = ((tick >> (level as u32 * LEVEL_BITS)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + slot].push(e);
+        self.occupied[level][slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    /// Refill `ready` with the next due tick's entries (no-op while
+    /// non-empty or when the wheel is exhausted).
+    fn advance(&mut self) {
+        loop {
+            // Overflow entries whose tick `cur` has reached merge into
+            // `ready` in exact order (heap pops earliest-first; ties with
+            // slot-drained entries are resolved by the sorted insert).
+            while let Some(&Reverse(e)) = self.overflow.peek() {
+                if tick_of(e.at) > self.cur {
+                    break;
+                }
+                self.overflow.pop();
+                let i = self.ready.partition_point(|x| (x.at, x.seq) < (e.at, e.seq));
+                self.ready.insert(i, e);
+            }
+            if !self.ready.is_empty() {
+                return;
+            }
+            let overflow_tick = self.overflow.peek().map(|&Reverse(e)| tick_of(e.at));
+            // Lower levels always hold strictly earlier ticks than higher
+            // ones, so the first occupied slot found level-by-level is the
+            // next wheel tick (level 0) or its enclosing window (higher).
+            let mut progressed = false;
+            for level in 0..LEVELS {
+                let shift = level as u32 * LEVEL_BITS;
+                let pos = ((self.cur >> shift) & (SLOTS as u64 - 1)) as usize;
+                let Some(slot) = next_occupied(&self.occupied[level], pos + 1) else {
+                    continue;
+                };
+                let base = (self.cur >> (shift + LEVEL_BITS)) << (shift + LEVEL_BITS);
+                let next_cur = base | ((slot as u64) << shift);
+                if overflow_tick.is_some_and(|t| t < next_cur) {
+                    // The overflow head fires before this slot; the jump
+                    // below must not advance `cur` past it.
+                    break;
+                }
+                // Sparse-calendar fast path: this slot is the earliest
+                // occupied one across all levels, so a lone entry is the
+                // wheel's next timer — jump straight to its tick and skip
+                // the cascade/drain machinery (and, at higher levels, the
+                // intermediate re-placements). Simulations that keep only
+                // a handful of timers in flight take this path almost
+                // every event. Guarded strictly against the overflow head
+                // so an equal-tick overflow entry still merges first.
+                let bucket = &mut self.slots[level * SLOTS + slot];
+                if bucket.len() == 1 {
+                    let e = bucket[0];
+                    let etick = tick_of(e.at);
+                    if overflow_tick.is_none_or(|t| t > etick) {
+                        bucket.clear();
+                        self.occupied[level][slot / 64] &= !(1u64 << (slot % 64));
+                        self.cur = etick;
+                        self.ready.push_back(e);
+                        return;
+                    }
+                }
+                self.cur = next_cur;
+                if level == 0 {
+                    self.drain_slot(slot);
+                } else {
+                    self.cascade(level, slot);
+                }
+                progressed = true;
+                break;
+            }
+            if progressed {
+                continue;
+            }
+            match overflow_tick {
+                // Wheel empty (or beaten by the overflow head): jump to
+                // the head group; the merge above pulls it next pass.
+                Some(t) => self.cur = self.cur.max(t),
+                None => return,
+            }
+        }
+    }
+
+    /// Drain one level-0 slot (the tick `cur` now points at) into
+    /// `ready`, sorted.
+    fn drain_slot(&mut self, slot: usize) {
+        std::mem::swap(&mut self.scratch, &mut self.slots[slot]);
+        self.occupied[0][slot / 64] &= !(1u64 << (slot % 64));
+        self.scratch.sort_unstable();
+        self.ready.extend(self.scratch.drain(..));
+    }
+
+    /// Redistribute one higher-level slot after `cur` jumped to its
+    /// window base: every entry lands at a strictly lower level (or in
+    /// `ready` when its tick equals the new `cur`).
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let mut batch = std::mem::take(&mut self.cascade_buf);
+        std::mem::swap(&mut batch, &mut self.slots[level * SLOTS + slot]);
+        self.occupied[level][slot / 64] &= !(1u64 << (slot % 64));
+        for e in batch.drain(..) {
+            self.place(e);
+        }
+        self.cascade_buf = batch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(at: u64, seq: u64) -> TimerEntry {
+        TimerEntry {
+            at,
+            seq,
+            idx: seq as u32,
+        }
+    }
+
+    fn drain(w: &mut TimerWheel) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(x) = w.pop_next() {
+            out.push((x.at, x.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn fires_in_at_then_seq_order() {
+        let mut w = TimerWheel::new();
+        for (i, at) in [50_000u64, 3, 3, 900_000, 50_000].iter().enumerate() {
+            w.insert(e(*at, i as u64));
+        }
+        assert_eq!(
+            drain(&mut w),
+            vec![(3, 1), (3, 2), (50_000, 0), (50_000, 4), (900_000, 3)]
+        );
+    }
+
+    #[test]
+    fn window_boundary_crossing() {
+        // cur lands at the very end of a level-1 window; the +1-tick
+        // neighbour differs in a high bit and must still fire next.
+        let mut w = TimerWheel::new();
+        let end_of_window = (0x00FF_FFFFu64 << GRAIN_BITS) + 5;
+        let just_after = (0x0100_0000u64 << GRAIN_BITS) + 1;
+        w.insert(e(end_of_window, 0));
+        w.insert(e(just_after, 1));
+        assert_eq!(drain(&mut w), vec![(end_of_window, 0), (just_after, 1)]);
+    }
+
+    #[test]
+    fn overflow_interleaves_with_wheel_entries() {
+        let mut w = TimerWheel::new();
+        let far = 200u64 << 36; // deep overflow territory
+        w.insert(e(far + 7, 0));
+        w.insert(e(10, 1));
+        assert_eq!(w.pop_next(), Some(e(10, 1)));
+        // After the near entry fires, later inserts near the overflow
+        // head must still order correctly against it.
+        w.insert(e(far + 3, 2));
+        assert_eq!(drain(&mut w), vec![(far + 3, 2), (far + 7, 0)]);
+    }
+
+    #[test]
+    fn overflow_ties_merge_with_slot_entries() {
+        let mut w = TimerWheel::new();
+        let far = 3u64 << 36;
+        w.insert(e(far + 10, 0)); // overflow at insert time
+        w.insert(e(5, 1));
+        assert_eq!(w.pop_next(), Some(e(5, 1)));
+        // Same tick as the overflow head, scheduled later (wheel side).
+        w.insert(e(far + 2, 2));
+        w.insert(e(far + 20, 3));
+        assert_eq!(drain(&mut w), vec![(far + 2, 2), (far + 10, 0), (far + 20, 3)]);
+    }
+
+    #[test]
+    fn insert_at_or_before_cur_goes_to_ready() {
+        let mut w = TimerWheel::new();
+        w.insert(e(1 << 20, 0));
+        assert_eq!(w.peek_next(), Some(e(1 << 20, 0))); // advances cur
+                                                        // Earlier than the peeked entry (legal after run_until moved the
+                                                        // clock without firing): must come out first.
+        w.insert(e(100, 1));
+        assert_eq!(drain(&mut w), vec![(100, 1), (1 << 20, 0)]);
+    }
+
+    #[test]
+    fn len_tracks_inserts_and_pops() {
+        let mut w = TimerWheel::new();
+        assert_eq!(w.len(), 0);
+        w.insert(e(1, 0));
+        w.insert(e(1 << 30, 1));
+        w.insert(e(1 << 40, 2));
+        assert_eq!(w.len(), 3);
+        let _ = w.pop_next();
+        assert_eq!(w.len(), 2);
+        let _ = drain(&mut w);
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.pop_next(), None);
+    }
+
+    #[test]
+    fn dense_same_tick_burst_is_fifo() {
+        let mut w = TimerWheel::new();
+        for s in 0..100u64 {
+            w.insert(e(4096 * 3 + 1, s));
+        }
+        let fired = drain(&mut w);
+        assert_eq!(fired.len(), 100);
+        assert!(fired.windows(2).all(|p| p[0].1 < p[1].1));
+    }
+
+    #[test]
+    fn matches_sorted_reference_on_scattered_times() {
+        // Cheap deterministic scatter across all levels + overflow.
+        let mut w = TimerWheel::new();
+        let mut want = Vec::new();
+        let mut x = 0x9e37_79b9u64;
+        for seq in 0..500u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let at = x % (1u64 << 38); // spans wheel horizon and overflow
+            w.insert(e(at, seq));
+            want.push((at, seq));
+        }
+        want.sort_unstable();
+        assert_eq!(drain(&mut w), want);
+    }
+}

@@ -1,0 +1,166 @@
+//! Differential test: the timing-wheel [`Engine`] against the retired
+//! binary-heap executive [`HeapEngine`] (kept in `simkit::reference` as
+//! the oracle for exactly this test).
+//!
+//! Both executives are driven with an identical random operation script —
+//! schedules across the wheel's levels and past its overflow horizon,
+//! same-instant bursts, nested scheduling from inside events, cancels of
+//! pending and already-fired events, `run_until` boundary advances — and
+//! must log byte-identical `(fire_time, tag)` sequences. The `(time, seq)`
+//! FIFO-stable firing order is the contract every saved repro baseline
+//! rests on.
+
+use nistream::simkit::{Engine, HeapEngine, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// The wheel horizon is 2^36 ns (~68.7 s); `Far` schedules land beyond it.
+const HORIZON_NS: u64 = 1 << 36;
+
+/// One step of the operation script, applied identically to both engines.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Schedule at `t`; if `nested` is set, the event schedules a
+    /// follow-up `nested` ns after it fires.
+    At { t: u64, nested: Option<u64> },
+    /// `n` events at the same instant (FIFO order must hold among them).
+    Burst { t: u64, n: u8 },
+    /// Cancel the `k % ids.len()`-th id handed out so far (which may be
+    /// pending, already fired, or already cancelled — all must behave
+    /// identically, and the two latter identically to a no-op).
+    Cancel { k: usize },
+    /// Schedule past the wheel horizon (overflow-heap path).
+    Far { t: u64 },
+    /// Advance both engines to `t` (exercises `run_until` boundaries and
+    /// makes later `Cancel`s hit fired events).
+    RunUntil { t: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..50_000_000, 0u64..4_000_000)
+            .prop_map(|(t, d)| Op::At { t, nested: (d > 0).then_some(d) }),
+        2 => (0u64..50_000_000, 2u8..6).prop_map(|(t, n)| Op::Burst { t, n }),
+        2 => (0usize..64).prop_map(|k| Op::Cancel { k }),
+        1 => (HORIZON_NS..HORIZON_NS + 60_000_000_000).prop_map(|t| Op::Far { t }),
+        1 => (0u64..60_000_000).prop_map(|t| Op::RunUntil { t }),
+    ]
+}
+
+/// Fired-event log: `(fire_time_ns, tag)`. Tags are assigned in op order,
+/// identically for both engines; nested follow-ups get `tag + 1_000_000`.
+type Log = Vec<(u64, u32)>;
+
+macro_rules! driver {
+    ($name:ident, $engine:ty) => {
+        fn $name(ops: &[Op]) -> Log {
+            type E = $engine;
+            let mut e: E = <E>::new();
+            let mut w: Log = Vec::new();
+            let mut ids = Vec::new();
+            let mut tag: u32 = 0;
+            for op in ops {
+                match *op {
+                    Op::At { t, nested } => {
+                        let my = tag;
+                        tag += 1;
+                        // Scheduling in the past is a contract violation
+                        // (debug_assert in both engines); clamp to `now`
+                        // when a prior RunUntil has advanced past `t`.
+                        let at = SimTime::from_nanos(t).max(e.now());
+                        ids.push(
+                            e.schedule_at(at, move |w: &mut Log, e: &mut E| {
+                                w.push((e.now().as_nanos(), my));
+                                if let Some(d) = nested {
+                                    e.schedule_in(SimDuration::from_nanos(d), move |w: &mut Log, e: &mut E| {
+                                        w.push((e.now().as_nanos(), my + 1_000_000));
+                                    });
+                                }
+                            }),
+                        );
+                    }
+                    Op::Burst { t, n } => {
+                        let at = SimTime::from_nanos(t).max(e.now());
+                        for _ in 0..n {
+                            let my = tag;
+                            tag += 1;
+                            ids.push(
+                                e.schedule_at(at, move |w: &mut Log, e: &mut E| {
+                                    w.push((e.now().as_nanos(), my));
+                                }),
+                            );
+                        }
+                    }
+                    Op::Cancel { k } => {
+                        if !ids.is_empty() {
+                            e.cancel(ids[k % ids.len()]);
+                        }
+                    }
+                    Op::Far { t } => {
+                        let my = tag;
+                        tag += 1;
+                        ids.push(
+                            e.schedule_at(SimTime::from_nanos(t), move |w: &mut Log, e: &mut E| {
+                                w.push((e.now().as_nanos(), my));
+                            }),
+                        );
+                    }
+                    Op::RunUntil { t } => e.run_until(&mut w, SimTime::from_nanos(t)),
+                }
+            }
+            e.run(&mut w);
+            w
+        }
+    };
+}
+
+driver!(drive_wheel, Engine<Log>);
+driver!(drive_heap, HeapEngine<Log>);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn wheel_fires_identically_to_the_heap_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        let wheel = drive_wheel(&ops);
+        let heap = drive_heap(&ops);
+        prop_assert_eq!(&wheel, &heap, "fired sequences diverged for ops {:?}", ops);
+        // Shared sanity: the common log is (time, tag)-ordered per the
+        // FIFO-stability contract.
+        for pair in wheel.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+        }
+    }
+
+    #[test]
+    fn wheel_and_heap_agree_on_pending_counts_under_cancel(
+        times in proptest::collection::vec(0u64..1_000_000, 1..60),
+        cancels in proptest::collection::vec(0usize..60, 0..30)
+    ) {
+        let mut wheel: Engine<Log> = Engine::new();
+        let mut heap: HeapEngine<Log> = HeapEngine::new();
+        let mut wheel_ids = Vec::new();
+        let mut heap_ids = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            let tag = i as u32;
+            wheel_ids.push(wheel.schedule_at(SimTime::from_nanos(t), move |w: &mut Log, e: &mut Engine<Log>| {
+                w.push((e.now().as_nanos(), tag));
+            }));
+            heap_ids.push(heap.schedule_at(SimTime::from_nanos(t), move |w: &mut Log, e: &mut HeapEngine<Log>| {
+                w.push((e.now().as_nanos(), tag));
+            }));
+        }
+        for &k in &cancels {
+            wheel.cancel(wheel_ids[k % wheel_ids.len()]);
+            heap.cancel(heap_ids[k % heap_ids.len()]);
+            prop_assert_eq!(wheel.pending(), heap.pending(), "pending diverged after cancel");
+        }
+        let (mut lw, mut lh) = (Vec::new(), Vec::new());
+        wheel.run(&mut lw);
+        heap.run(&mut lh);
+        prop_assert_eq!(lw, lh);
+        prop_assert_eq!(wheel.pending(), 0);
+        prop_assert_eq!(heap.pending(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Baseline gate for the parallel sweep runner: one figure reproduction
+//! (Figure 6's three-load-level host sweep, traced) executed through
+//! `par_sweep_with` at 1 thread (the sequential reference path) and at 4
+//! threads must publish byte-identical series renderings *and* a
+//! byte-identical `nistream-trace/v1` JSON document. This is the
+//! determinism contract `bench::sweep` documents: thread count is a
+//! performance knob only.
+
+use nistream_bench::{host_run_traced, par_sweep_with, render_series, Cell, HOST_LEVELS, RUN_SECS};
+use serversim::hostload::HostLoadResult;
+use std::fmt::Write as _;
+
+/// Run the Figure 6 sweep on `threads` threads and render everything the
+/// binary publishes: the per-level summary + series, and the trace JSON.
+fn run_figure6(threads: usize) -> (String, String) {
+    let cells: Vec<Cell<'static, HostLoadResult>> = HOST_LEVELS
+        .iter()
+        .map(|&level| -> Cell<'static, HostLoadResult> { Box::new(move || host_run_traced(level, RUN_SECS)) })
+        .collect();
+    let results = par_sweep_with(threads, cells);
+    assert_eq!(results.len(), HOST_LEVELS.len());
+
+    let mut published = String::new();
+    let mut captures = Vec::new();
+    for (level, r) in HOST_LEVELS.iter().zip(&results) {
+        let _ = writeln!(
+            published,
+            "--- {} ---\n  average utilization: {:>5.1} %   peak: {:>5.1} %",
+            level.label(),
+            r.avg_util,
+            r.peak_util
+        );
+        published.push_str(&render_series("total CPU util", &r.cpu_util, "%", 20));
+        captures.push((level.label(), &r.trace));
+    }
+    let json = nistream::core::report::trace_to_json(&captures);
+    (published, json)
+}
+
+#[test]
+fn one_and_four_thread_sweeps_publish_identical_bytes() {
+    let (seq_out, seq_json) = run_figure6(1);
+    let (par_out, par_json) = run_figure6(4);
+    assert!(!seq_out.is_empty() && !seq_json.is_empty());
+    assert_eq!(seq_out, par_out, "rendered series diverged across thread counts");
+    assert_eq!(seq_json, par_json, "trace documents diverged across thread counts");
+}
