@@ -1,0 +1,49 @@
+//! Fixture: q16-overflow violations and exemptions.
+//! Never compiled — scanned by `nistream-analysis` tests only.
+
+impl Q16 {
+    pub fn bad_mul(self, rhs: Q16) -> Q16 {
+        Q16((self.0 * rhs.0) >> 16)
+    }
+
+    // Not a violation: widened through i128 before the multiply.
+    pub fn good_mul(self, rhs: Q16) -> Q16 {
+        Q16((((self.0 as i128) * (rhs.0 as i128)) >> 16) as i64)
+    }
+}
+
+pub fn bad_shift(x: u32) -> u32 {
+    x << 32
+}
+
+// Not a violation: in-range shift.
+pub fn fine_shift(x: u64) -> u64 {
+    x << 16
+}
+
+pub fn bad_ratio(r: Frac) -> u32 {
+    r.num() / r.den()
+}
+
+pub fn bad_narrow(r: Frac) -> u16 {
+    r.num() as u16
+}
+
+// Not a violation: the exact cross-multiply idiom.
+pub fn fine_compare(x: u64, r: Frac) -> bool {
+    x * r.num() as u64 <= r.den() as u64
+}
+
+pub fn annotated_ok(r: Frac) -> u16 {
+    // analysis: allow(q16-overflow) reason="bounded by construction: num ≤ 1024"
+    r.num() as u16
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_multiplies_are_fine_in_tests() {
+        let q = Q16::from_int(3);
+        assert_eq!((q.0 * q.0) >> 32, 9);
+    }
+}

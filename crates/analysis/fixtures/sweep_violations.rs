@@ -1,0 +1,36 @@
+//! Fixture: sweep-determinism violations and exemptions.
+//! Never compiled — scanned by `nistream-analysis` tests only.
+
+pub fn bad_arrival_order(rx: Receiver, n: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let v = rx.recv().unwrap();
+        out.push(v);
+    }
+    out
+}
+
+pub fn bad_thread_identity() -> u64 {
+    let id = thread::current().id();
+    hash(id)
+}
+
+pub fn bad_shared_state(hits: &AtomicU64) -> u64 {
+    hits.fetch_add(1, Ordering::Relaxed)
+}
+
+// Not a violation: the index-addressed publish pattern — the message's
+// own cell index decides placement, not arrival order.
+pub fn fine_gather(rx: Receiver, n: usize) -> Vec<Option<u64>> {
+    let mut out = init_slots(n);
+    for _ in 0..n {
+        let (i, value) = rx.recv().unwrap();
+        out[i] = Some(value);
+    }
+    out
+}
+
+pub fn annotated_ok(rx: Receiver, log: &mut Vec<u64>) {
+    // analysis: allow(sweep-determinism) reason="progress log, not a published result"
+    log.push(rx.recv().unwrap());
+}

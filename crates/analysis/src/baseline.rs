@@ -1,0 +1,164 @@
+//! The findings baseline: CI fails only on *new* findings.
+//!
+//! A baseline entry is the fingerprint `(lint, file, message)` — no line
+//! numbers, so unrelated edits that shift code do not invalidate it.
+//! Matching is multiset-style: a baseline entry absorbs at most one live
+//! finding, so a *second* identical violation in the same file is still
+//! new.
+//!
+//! The expected steady state of this repository is an **empty** baseline
+//! (`check` exits clean); the mechanism exists so that a future PR which
+//! knowingly introduces debt can land it without disabling the gate, and
+//! so the gate distinguishes inherited debt from regressions.
+
+use crate::diag::{escape, Finding};
+use crate::json::{self, Value};
+
+/// One suppressed fingerprint.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// Lint family.
+    pub lint: String,
+    /// Repo-relative file, forward slashes.
+    pub file: String,
+    /// Exact finding message.
+    pub message: String,
+}
+
+impl Entry {
+    fn of(f: &Finding) -> Entry {
+        Entry {
+            lint: f.lint.clone(),
+            file: f.file.display().to_string(),
+            message: f.message.clone(),
+        }
+    }
+}
+
+/// Serialize findings into baseline form (sorted, deduplicated only by
+/// full identity — multiset semantics keep repeated fingerprints).
+pub fn write(findings: &[Finding]) -> String {
+    let mut entries: Vec<Entry> = findings.iter().map(Entry::of).collect();
+    entries.sort();
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"lint\": \"{}\", \"file\": \"{}\", \"message\": \"{}\"}}",
+            escape(&e.lint),
+            escape(&e.file),
+            escape(&e.message)
+        ));
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Parse a baseline document.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let doc = json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    match doc.get("version") {
+        Some(Value::Num(n)) if n == "1" => {}
+        _ => return Err("baseline version must be 1".into()),
+    }
+    let items = doc
+        .get("findings")
+        .and_then(|v| v.as_arr())
+        .ok_or("baseline has no `findings` array")?;
+    let mut out = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let field = |k: &str| {
+            item.get(k)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or(format!("baseline finding #{i} lacks string field `{k}`"))
+        };
+        out.push(Entry {
+            lint: field("lint")?,
+            file: field("file")?,
+            message: field("message")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Split findings into `(new, suppressed)` against the baseline.
+/// Multiset matching: each baseline entry absorbs at most one finding.
+pub fn partition(findings: Vec<Finding>, baseline: &[Entry]) -> (Vec<Finding>, Vec<Finding>) {
+    let mut budget: std::collections::BTreeMap<Entry, usize> = std::collections::BTreeMap::new();
+    for e in baseline {
+        *budget.entry(e.clone()).or_insert(0) += 1;
+    }
+    let mut fresh = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in findings {
+        let key = Entry::of(&f);
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                suppressed.push(f);
+            }
+            _ => fresh.push(f),
+        }
+    }
+    (fresh, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn finding(lint: &str, file: &str, msg: &str) -> Finding {
+        Finding {
+            lint: lint.into(),
+            file: PathBuf::from(file),
+            line: 1,
+            col: 1,
+            message: msg.into(),
+            note: None,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let fs = vec![
+            finding("ni-no-alloc", "a.rs", "x"),
+            finding("q16-overflow", "b.rs", "y \"quoted\""),
+        ];
+        let parsed = parse(&write(&fs)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].message, "y \"quoted\"");
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        assert_eq!(parse(&write(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn partition_is_multiset() {
+        let baseline = parse(&write(&[finding("l", "f.rs", "m")])).unwrap();
+        // Two identical live findings, one baseline entry: one suppressed,
+        // one new.
+        let live = vec![finding("l", "f.rs", "m"), finding("l", "f.rs", "m")];
+        let (fresh, suppressed) = partition(live, &baseline);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(suppressed.len(), 1);
+    }
+
+    #[test]
+    fn line_moves_do_not_invalidate_the_baseline() {
+        let baseline = parse(&write(&[finding("l", "f.rs", "m")])).unwrap();
+        let mut moved = finding("l", "f.rs", "m");
+        moved.line = 999;
+        let (fresh, suppressed) = partition(vec![moved], &baseline);
+        assert!(fresh.is_empty());
+        assert_eq!(suppressed.len(), 1);
+    }
+}

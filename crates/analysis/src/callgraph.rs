@@ -1,0 +1,221 @@
+//! Crate-local call graph for hot-path reachability.
+//!
+//! `ni-no-alloc` needs to know which functions run on the steady-state
+//! service path. Roots are the functions marked `// analysis: hot`
+//! (`dwcs::svc`'s service pass, `trace::TraceRing::push`); edges are
+//! call/method-call *names* — a deliberate over-approximation, since the
+//! analyzer has no trait resolution. Two pruning rules keep the
+//! over-approximation honest:
+//!
+//! * callees named like init-time constructors (`new`, `with_capacity`,
+//!   `default`) are not traversed — allocation at construction time is
+//!   the allowlist the issue calls for;
+//! * functions whose definition is covered by an
+//!   `// analysis: allow(ni-no-alloc)` annotation are neither traversed
+//!   nor scanned.
+//!
+//! Test-region functions never enter the table, so `#[cfg(test)]` probe
+//! platforms cannot poison reachability.
+
+use crate::ast::{for_each_expr_in_block, Expr, File, FnItem, Item};
+use crate::scope::Scopes;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Constructor names whose bodies are init-time by convention and
+/// therefore excluded from the hot walk.
+pub const INIT_CTORS: [&str; 3] = ["new", "with_capacity", "default"];
+
+/// One function in the graph.
+pub struct FnNode<'a> {
+    /// Index of the file (caller-defined order) the function lives in.
+    pub file: usize,
+    /// The function item.
+    pub item: &'a FnItem,
+    /// Surrounding `impl`/`trait` type name, if any.
+    pub self_ty: Option<&'a str>,
+    /// Marked `// analysis: hot`.
+    pub hot: bool,
+    /// Covered by an `allow(ni-no-alloc)` annotation.
+    pub allowed: bool,
+}
+
+/// Name-keyed call graph over one lint's file set.
+pub struct CallGraph<'a> {
+    /// All non-test functions.
+    pub nodes: Vec<FnNode<'a>>,
+    by_name: BTreeMap<&'a str, Vec<usize>>,
+}
+
+/// Reachability result: for each node, the name of the hot root that
+/// reaches it (if any).
+pub struct HotSet {
+    roots: Vec<Option<String>>,
+}
+
+impl HotSet {
+    /// The hot root that reaches node `idx`, if any.
+    pub fn root_of(&self, idx: usize) -> Option<&str> {
+        self.roots.get(idx).and_then(|r| r.as_deref())
+    }
+}
+
+impl<'a> CallGraph<'a> {
+    /// Build the graph over `(file AST, its scopes)` pairs, in file-set
+    /// order. `lint` is the lint whose allow annotations prune the walk.
+    pub fn build(files: &[(&'a File, &'a Scopes)], lint: &str) -> Self {
+        let mut nodes = Vec::new();
+        for (file_idx, (file, scopes)) in files.iter().enumerate() {
+            collect_fns(&file.items, None, &mut |f, self_ty| {
+                if scopes.in_test.get(f.name_tok).copied().unwrap_or(false) {
+                    return; // test-only code never joins the graph
+                }
+                let hot = scopes.hot_marks.iter().any(|&m| f.span.start <= m && m <= f.name_tok);
+                let allowed = scopes.is_exempt(lint, f.name_tok);
+                nodes.push(FnNode {
+                    file: file_idx,
+                    item: f,
+                    self_ty,
+                    hot,
+                    allowed,
+                });
+            });
+        }
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.entry(n.item.name.as_str()).or_default().push(i);
+        }
+        CallGraph { nodes, by_name }
+    }
+
+    /// Callee names mentioned in node `idx`'s body.
+    fn callees(&self, idx: usize) -> BTreeSet<&'a str> {
+        let mut out = BTreeSet::new();
+        let Some(body) = &self.nodes[idx].item.body else {
+            return out;
+        };
+        for_each_expr_in_block(body, &mut |e| match e {
+            Expr::Call { callee, .. } => {
+                if let Expr::Path { segs } = callee.as_ref() {
+                    if let Some(last) = segs.last() {
+                        out.insert(last.text.as_str());
+                    }
+                }
+            }
+            Expr::MethodCall { method, .. } => {
+                out.insert(method.as_str());
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// BFS from every hot root, skipping init constructors and allowed
+    /// functions. Returns, per node, which root reaches it.
+    pub fn hot_reachable(&self) -> HotSet {
+        let mut roots: Vec<Option<String>> = vec![None; self.nodes.len()];
+        let mut queue = VecDeque::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.hot && !n.allowed {
+                let label = match n.self_ty {
+                    Some(ty) => format!("{ty}::{}", n.item.name),
+                    None => n.item.name.clone(),
+                };
+                roots[i] = Some(label);
+                queue.push_back(i);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            let root = roots[i].clone();
+            for callee in self.callees(i) {
+                if INIT_CTORS.contains(&callee) {
+                    continue;
+                }
+                for &j in self.by_name.get(callee).into_iter().flatten() {
+                    if roots[j].is_none() && !self.nodes[j].allowed {
+                        roots[j] = root.clone();
+                        queue.push_back(j);
+                    }
+                }
+            }
+        }
+        HotSet { roots }
+    }
+}
+
+/// Visit every function in `items` (including those nested in impls,
+/// traits and mods) with its surrounding type name.
+fn collect_fns<'a>(items: &'a [Item], self_ty: Option<&'a str>, f: &mut impl FnMut(&'a FnItem, Option<&'a str>)) {
+    for item in items {
+        match item {
+            Item::Fn(func) => f(func, self_ty),
+            Item::Impl(ib) => collect_fns(&ib.items, Some(ib.self_ty.as_str()), f),
+            Item::Trait(tb) => collect_fns(&tb.items, Some(tb.name.as_str()), f),
+            Item::Mod(mb) => collect_fns(&mb.items, None, f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parser, scope};
+
+    fn graph_of(src: &str) -> (File, Scopes) {
+        let toks = lexer::lex(src);
+        let scopes = scope::analyze(&toks);
+        let file = parser::parse(&toks);
+        (file, scopes)
+    }
+
+    fn reaches(files: &[(File, Scopes)], name: &str) -> Option<String> {
+        let pairs: Vec<(&File, &Scopes)> = files.iter().map(|(f, s)| (f, s)).collect();
+        let g = CallGraph::build(&pairs, "ni-no-alloc");
+        let hot = g.hot_reachable();
+        g.nodes
+            .iter()
+            .enumerate()
+            .find(|(_, n)| n.item.name == name)
+            .and_then(|(i, _)| hot.root_of(i).map(str::to_string))
+    }
+
+    #[test]
+    fn hot_roots_reach_transitive_callees_by_name() {
+        let files = [graph_of(
+            "// analysis: hot\npub fn service_once() { step(); }\nfn step() { emit(); }\nfn emit() {}\nfn cold() {}",
+        )];
+        assert_eq!(reaches(&files, "service_once").as_deref(), Some("service_once"));
+        assert_eq!(reaches(&files, "emit").as_deref(), Some("service_once"));
+        assert_eq!(reaches(&files, "cold"), None);
+    }
+
+    #[test]
+    fn init_constructors_stop_the_walk() {
+        let files = [graph_of(
+            "// analysis: hot\nfn run() { let x = Thing::new(); x.go(); }\nimpl Thing { fn new() { grow(); } fn go() {} }\nfn grow() {}",
+        )];
+        assert_eq!(reaches(&files, "go").as_deref(), Some("run"));
+        assert_eq!(reaches(&files, "new"), None, "constructors are init-time");
+        assert_eq!(reaches(&files, "grow"), None);
+    }
+
+    #[test]
+    fn allowed_and_test_fns_are_pruned() {
+        let files = [graph_of(
+            "// analysis: hot\nfn run() { waived(); }\n\
+             // analysis: allow(ni-no-alloc) reason=\"admission-time growth\"\nfn waived() { deeper(); }\n\
+             fn deeper() {}\n\
+             #[cfg(test)]\nmod tests { fn run() {} }",
+        )];
+        assert_eq!(reaches(&files, "waived"), None);
+        assert_eq!(reaches(&files, "deeper"), None, "the walk stops at allowed fns");
+    }
+
+    #[test]
+    fn method_roots_are_labelled_with_their_type() {
+        let files = [graph_of(
+            "impl TraceRing { // analysis: hot\n fn push(&mut self) { self.advance(); } fn advance(&mut self) {} }",
+        )];
+        assert_eq!(reaches(&files, "advance").as_deref(), Some("TraceRing::push"));
+    }
+}

@@ -1,0 +1,920 @@
+//! Intra-procedural dataflow over the tolerant AST.
+//!
+//! One generic engine walks a function body in execution order,
+//! maintaining an environment of per-variable abstract values, and defers
+//! the meaning of values to a [`Domain`]:
+//!
+//! * the **type domain** ([`abs_transfer`] / [`TypeDomain`]) computes
+//!   [`AbsTy`] — enough Rust typing to know that `self.buf` is a
+//!   `VecDeque`, that `q.raw()` is the bare `i64` behind a `Q16`, and
+//!   that `f.num()` carries `Frac`-numerator provenance. `q16-overflow`
+//!   and `ni-no-alloc` build on it;
+//! * the **taint domain** (in `lints.rs`) tracks which values derive
+//!   from channel-receive arrival order for `sweep-determinism`.
+//!
+//! The engine is deliberately simple: flow-sensitive straight-line
+//! execution, branch-join at `if`/`match`, loop bodies walked twice (one
+//! join iteration reaches the fixpoint for these flat lattices). Domains
+//! emit findings from `transfer`; because loop bodies are walked twice,
+//! callers de-duplicate identical findings afterwards.
+
+use crate::ast::*;
+use crate::lexer::Tok;
+use std::collections::BTreeMap;
+
+/// Variable environment: name → abstract value.
+pub type Env<V> = BTreeMap<String, V>;
+
+/// Provenance of an integer value, for `Frac` truncation checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Prov {
+    /// No tracked provenance.
+    None,
+    /// Came from `Frac::num()` (possibly through casts).
+    FracNum,
+    /// Came from `Frac::den()` (possibly through casts).
+    FracDen,
+}
+
+/// The abstract types the lints reason about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbsTy {
+    /// `fixedpt::Q16` (Q16.16 fixed point backed by `i64`).
+    Q16,
+    /// `fixedpt::Frac` (exact `u32/u32` rational).
+    Frac,
+    /// The raw `i64` bits of a `Q16` (`.raw()` or `.0`): multiplying two
+    /// of these without widening overflows the fractional headroom.
+    RawQ16,
+    /// A machine integer.
+    Int {
+        /// Bit width (usize/isize count as 64).
+        bits: u16,
+        /// Signedness.
+        signed: bool,
+        /// `Frac` component provenance.
+        prov: Prov,
+    },
+    /// A growable std collection (`Vec`, `VecDeque`, `String`, `BTreeMap`,
+    /// `BTreeSet`, `BinaryHeap`, `HashMap`, `HashSet`).
+    Coll {
+        /// Collection head name.
+        head: String,
+        /// Element type.
+        elem: Box<AbsTy>,
+    },
+    /// A named struct (fields resolvable through the struct table).
+    Named(String),
+    /// Anything else.
+    Unknown,
+}
+
+impl AbsTy {
+    /// Bit width of the value, when meaningful for shift checks.
+    pub fn width(&self) -> Option<u16> {
+        match self {
+            AbsTy::RawQ16 => Some(64),
+            AbsTy::Int { bits, .. } => Some(*bits),
+            _ => None,
+        }
+    }
+
+    /// `Frac` component provenance, if any.
+    pub fn prov(&self) -> Prov {
+        match self {
+            AbsTy::Int { prov, .. } => *prov,
+            _ => Prov::None,
+        }
+    }
+
+    fn strip_prov(self) -> AbsTy {
+        match self {
+            AbsTy::Int { bits, signed, .. } => AbsTy::Int {
+                bits,
+                signed,
+                prov: Prov::None,
+            },
+            t => t,
+        }
+    }
+}
+
+/// Struct table: struct name → (field name, abstract field type).
+pub type StructTable = BTreeMap<String, Vec<(String, AbsTy)>>;
+
+/// Shared context for type evaluation.
+pub struct TyCx<'a> {
+    /// Known struct definitions (from every parsed file, test regions
+    /// excluded).
+    pub structs: &'a StructTable,
+    /// The file's full token stream (for literal suffixes).
+    pub toks: &'a [Tok],
+}
+
+/// Collection heads whose insertion methods can grow the heap.
+pub const GROWABLE: [&str; 8] = [
+    "Vec",
+    "VecDeque",
+    "String",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "HashMap",
+    "HashSet",
+];
+
+/// Wrappers that are transparent for our purposes (the interesting type
+/// is the first generic argument).
+const TRANSPARENT: [&str; 6] = ["Option", "Box", "Rc", "Arc", "RefCell", "Cell"];
+
+fn int_ty(name: &str) -> Option<(u16, bool)> {
+    Some(match name {
+        "i8" => (8, true),
+        "i16" => (16, true),
+        "i32" => (32, true),
+        "i64" => (64, true),
+        "i128" => (128, true),
+        "isize" => (64, true),
+        "u8" => (8, false),
+        "u16" => (16, false),
+        "u32" => (32, false),
+        "u64" => (64, false),
+        "u128" => (128, false),
+        "usize" => (64, false),
+        _ => return None,
+    })
+}
+
+/// Abstract type for a bare type name (used for `self` receivers).
+pub fn abs_from_name(name: &str) -> AbsTy {
+    match name {
+        "Q16" => AbsTy::Q16,
+        "Frac" => AbsTy::Frac,
+        _ => {
+            if let Some((bits, signed)) = int_ty(name) {
+                AbsTy::Int {
+                    bits,
+                    signed,
+                    prov: Prov::None,
+                }
+            } else {
+                AbsTy::Named(name.to_string())
+            }
+        }
+    }
+}
+
+/// Abstract type of a syntactic type reference.
+pub fn abs_from_typeref(t: &TypeRef) -> AbsTy {
+    abs_from_head(t, 0)
+}
+
+fn abs_from_head(t: &TypeRef, depth: u8) -> AbsTy {
+    if depth > 4 {
+        return AbsTy::Unknown;
+    }
+    let Some(head) = t.head() else {
+        return AbsTy::Unknown;
+    };
+    if TRANSPARENT.contains(&head) {
+        return match t.first_arg() {
+            Some(inner) => abs_from_head(&inner, depth + 1),
+            None => AbsTy::Unknown,
+        };
+    }
+    if GROWABLE.contains(&head) {
+        let elem = t
+            .first_arg()
+            .map(|a| abs_from_head(&a, depth + 1))
+            .unwrap_or(AbsTy::Unknown);
+        return AbsTy::Coll {
+            head: head.to_string(),
+            elem: Box::new(elem),
+        };
+    }
+    abs_from_name(head)
+}
+
+/// Join for the flat [`AbsTy`] lattice.
+pub fn abs_join(a: &AbsTy, b: &AbsTy) -> AbsTy {
+    if a == b {
+        return a.clone();
+    }
+    match (a, b) {
+        (AbsTy::Unknown, x) | (x, AbsTy::Unknown) => x.clone(),
+        (
+            AbsTy::Int { bits, signed, .. },
+            AbsTy::Int {
+                bits: b2, signed: s2, ..
+            },
+        ) if bits == b2 && signed == s2 => AbsTy::Int {
+            bits: *bits,
+            signed: *signed,
+            prov: Prov::None,
+        },
+        (AbsTy::Coll { head, elem }, AbsTy::Coll { head: h2, elem: e2 }) if head == h2 => AbsTy::Coll {
+            head: head.clone(),
+            elem: Box::new(abs_join(elem, e2)),
+        },
+        _ => AbsTy::Unknown,
+    }
+}
+
+/// The shared type-transfer function: abstract type of `e` given its
+/// children's types (engine child order). Control-flow nodes never reach
+/// here — the engine joins them itself.
+pub fn abs_transfer(e: &Expr, children: &[AbsTy], cx: &TyCx) -> AbsTy {
+    match e {
+        Expr::Lit {
+            kind: LitKind::Int(_),
+            tok,
+        } => {
+            // The suffix decides the width; unsuffixed literals default
+            // to i32, like rustc's fallback.
+            let text = cx.toks.get(*tok).map(|t| t.text.as_str()).unwrap_or("");
+            for (suffix, bits, signed) in [
+                ("i128", 128u16, true),
+                ("u128", 128, false),
+                ("i64", 64, true),
+                ("u64", 64, false),
+                ("usize", 64, false),
+                ("isize", 64, true),
+                ("i32", 32, true),
+                ("u32", 32, false),
+                ("i16", 16, true),
+                ("u16", 16, false),
+                ("i8", 8, true),
+                ("u8", 8, false),
+            ] {
+                if text.ends_with(suffix) {
+                    return AbsTy::Int {
+                        bits,
+                        signed,
+                        prov: Prov::None,
+                    };
+                }
+            }
+            AbsTy::Int {
+                bits: 32,
+                signed: true,
+                prov: Prov::None,
+            }
+        }
+        Expr::Lit { .. } => AbsTy::Unknown,
+        Expr::Path { segs } => match segs.len() {
+            0 | 1 => AbsTy::Unknown, // single-segment env hits are resolved by the engine
+            _ => {
+                // `Q16::ZERO`, `Frac::ONE`, … — associated consts.
+                match segs[segs.len() - 2].text.as_str() {
+                    "Q16" => AbsTy::Q16,
+                    "Frac" => AbsTy::Frac,
+                    _ => AbsTy::Unknown,
+                }
+            }
+        },
+        Expr::Unary { .. } | Expr::Ref { .. } | Expr::Try { .. } => children.first().cloned().unwrap_or(AbsTy::Unknown),
+        Expr::Binary { op, .. } => match op {
+            BinOp::Cmp | BinOp::And | BinOp::Or => AbsTy::Unknown,
+            _ => {
+                // Arithmetic keeps the operand type but drops Frac
+                // provenance: `x * f.num() / f.den()` is the exact
+                // cross-multiply idiom, not a lossy truncation.
+                let l = children.first().cloned().unwrap_or(AbsTy::Unknown);
+                let r = children.get(1).cloned().unwrap_or(AbsTy::Unknown);
+                if l != AbsTy::Unknown {
+                    l.strip_prov()
+                } else {
+                    r.strip_prov()
+                }
+            }
+        },
+        Expr::Assign { .. } => AbsTy::Unknown,
+        Expr::Cast { ty, .. } => {
+            let src = children.first().cloned().unwrap_or(AbsTy::Unknown);
+            match abs_from_typeref(ty) {
+                AbsTy::Int { bits, signed, .. } => AbsTy::Int {
+                    bits,
+                    signed,
+                    prov: src.prov(), // casts preserve Frac provenance
+                },
+                t => t,
+            }
+        }
+        Expr::Call { callee, .. } => {
+            if let Expr::Path { segs } = callee.as_ref() {
+                let last = segs.last().map(|s| s.text.as_str()).unwrap_or("");
+                let qual = if segs.len() >= 2 {
+                    Some(segs[segs.len() - 2].text.as_str())
+                } else {
+                    None
+                };
+                match (qual, last) {
+                    (Some("Q16"), _) | (None, "Q16") => return AbsTy::Q16,
+                    (Some("Frac"), _) | (None, "Frac") => return AbsTy::Frac,
+                    // `Some(x)` / `Ok(x)` are transparent wrappers.
+                    (None, "Some") | (None, "Ok") => {
+                        return children.get(1).cloned().unwrap_or(AbsTy::Unknown);
+                    }
+                    (Some(q), "from") => {
+                        if let Some((bits, signed)) = int_ty(q) {
+                            return AbsTy::Int {
+                                bits,
+                                signed,
+                                prov: Prov::None,
+                            };
+                        }
+                    }
+                    _ => {}
+                }
+                // Tuple-struct constructor of a known struct.
+                if cx.structs.contains_key(last) {
+                    return AbsTy::Named(last.to_string());
+                }
+            }
+            AbsTy::Unknown
+        }
+        Expr::MethodCall { method, .. } => {
+            let recv = children.first().cloned().unwrap_or(AbsTy::Unknown);
+            match (&recv, method.as_str()) {
+                (AbsTy::Q16, "raw") => AbsTy::RawQ16,
+                (AbsTy::Q16, "trunc" | "round" | "ceil") => AbsTy::Int {
+                    bits: 64,
+                    signed: true,
+                    prov: Prov::None,
+                },
+                (
+                    AbsTy::Q16,
+                    "min" | "max" | "clamp" | "abs" | "shl" | "shr" | "ewma_toward" | "saturating_add"
+                    | "saturating_sub",
+                ) => AbsTy::Q16,
+                (AbsTy::Frac, "num") => AbsTy::Int {
+                    bits: 32,
+                    signed: false,
+                    prov: Prov::FracNum,
+                },
+                (AbsTy::Frac, "den") => AbsTy::Int {
+                    bits: 32,
+                    signed: false,
+                    prov: Prov::FracDen,
+                },
+                (AbsTy::Frac, "add" | "mul" | "half" | "shr" | "reduced" | "saturating_sub" | "min" | "max") => {
+                    AbsTy::Frac
+                }
+                (
+                    AbsTy::Coll { elem, .. },
+                    "pop" | "pop_front" | "pop_back" | "remove" | "front" | "back" | "get" | "first" | "last" | "take",
+                ) => elem.as_ref().clone(),
+                (AbsTy::Coll { .. }, "iter" | "iter_mut" | "drain" | "into_iter") => recv,
+                (AbsTy::Coll { .. }, "len" | "capacity") => AbsTy::Int {
+                    bits: 64,
+                    signed: false,
+                    prov: Prov::None,
+                },
+                (_, "clone" | "to_owned") => recv,
+                (
+                    AbsTy::Int { .. } | AbsTy::RawQ16,
+                    "min" | "max" | "clamp" | "abs" | "pow" | "wrapping_add" | "wrapping_sub" | "wrapping_mul"
+                    | "saturating_add" | "saturating_sub" | "saturating_mul" | "rotate_left" | "rotate_right",
+                ) => recv,
+                _ => AbsTy::Unknown,
+            }
+        }
+        Expr::Field { name, .. } => {
+            let b = children.first().cloned().unwrap_or(AbsTy::Unknown);
+            match &b {
+                // `.0` of a Q16 is its raw i64 — same hazard as `.raw()`.
+                AbsTy::Q16 if name == "0" => AbsTy::RawQ16,
+                AbsTy::Named(s) => cx
+                    .structs
+                    .get(s)
+                    .and_then(|fields| fields.iter().find(|(f, _)| f == name))
+                    .map(|(_, t)| t.clone())
+                    .unwrap_or(AbsTy::Unknown),
+                _ => AbsTy::Unknown,
+            }
+        }
+        Expr::Index { .. } => match children.first() {
+            Some(AbsTy::Coll { elem, .. }) => elem.as_ref().clone(),
+            _ => AbsTy::Unknown,
+        },
+        Expr::StructLit { path, .. } => {
+            let name = path.last().map(|s| s.text.clone()).unwrap_or_default();
+            AbsTy::Named(name)
+        }
+        _ => AbsTy::Unknown,
+    }
+}
+
+/// A dataflow domain: the value lattice plus the transfer function.
+/// Lint domains carry finding sinks and emit from `transfer`.
+pub trait Domain {
+    /// Abstract value.
+    type V: Clone;
+    /// The no-information value.
+    fn bottom(&self) -> Self::V;
+    /// Lattice join.
+    fn join(&self, a: &Self::V, b: &Self::V) -> Self::V;
+    /// Initial value of a parameter (`self_ty` is the surrounding `impl`
+    /// type for receivers).
+    fn param_value(&mut self, p: &Param, self_ty: Option<&str>) -> Self::V;
+    /// Value of expression `e` given its children's values, in the
+    /// engine's child order (callee/receiver/base/operands first, then
+    /// arguments). Control-flow nodes are joined by the engine and never
+    /// reach `transfer`.
+    fn transfer(&mut self, e: &Expr, children: &[Self::V], env: &Env<Self::V>) -> Self::V;
+    /// Value bound to each name of a multi-name pattern destructuring `v`.
+    fn bind_split(&self, v: &Self::V) -> Self::V {
+        v.clone()
+    }
+    /// Value of one element when iterating `v` in a `for` loop.
+    fn iter_elem(&self, v: &Self::V) -> Self::V {
+        self.bind_split(v)
+    }
+    /// `base[index] = value` — the index-addressed publish pattern. The
+    /// engine does not re-taint `base`; domains may check or bless it.
+    fn assign_index(&mut self, _target: &Expr, _value: &Self::V) {}
+    /// New value of `x` after `x.f = value`. The default joins the stored
+    /// value into the base (a taint domain wants `x` tainted); type-like
+    /// domains override to keep `old` — a field store never changes the
+    /// base's type, and joining would dissolve `Named(_)` into `Unknown`
+    /// the first time a counter field is bumped.
+    fn assign_field(&mut self, old: &Self::V, value: &Self::V) -> Self::V {
+        self.join(old, value)
+    }
+    /// Refine a `let x: T = …` binding with its declared type.
+    fn let_decl(&mut self, _ty: &TypeRef, inferred: Self::V) -> Self::V {
+        inferred
+    }
+}
+
+/// Run a domain over one function.
+pub fn flow_fn<D: Domain>(func: &FnItem, self_ty: Option<&str>, dom: &mut D) {
+    let mut env: Env<D::V> = Env::new();
+    for p in &func.params {
+        let v = dom.param_value(p, self_ty);
+        if p.is_self {
+            env.insert("self".to_string(), v);
+        } else if p.pat.names.len() == 1 {
+            env.insert(p.pat.names[0].0.clone(), v);
+        } else {
+            for (name, _) in &p.pat.names {
+                env.insert(name.clone(), dom.bind_split(&v));
+            }
+        }
+    }
+    if let Some(body) = &func.body {
+        flow_block(body, &mut env, dom, self_ty);
+    }
+}
+
+fn flow_block<D: Domain>(b: &Block, env: &mut Env<D::V>, dom: &mut D, self_ty: Option<&str>) -> D::V {
+    let mut last = dom.bottom();
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let { pat, ty, init, els, .. } => {
+                let mut v = match init {
+                    Some(e) => eval(e, env, dom, self_ty),
+                    None => dom.bottom(),
+                };
+                if let Some(t) = ty {
+                    v = dom.let_decl(t, v);
+                }
+                if pat.names.len() == 1 {
+                    env.insert(pat.names[0].0.clone(), v);
+                } else {
+                    for (name, _) in &pat.names {
+                        env.insert(name.clone(), dom.bind_split(&v));
+                    }
+                }
+                if let Some(e) = els {
+                    flow_block(e, &mut env.clone(), dom, self_ty);
+                }
+                last = dom.bottom();
+            }
+            Stmt::Expr(e) => {
+                last = eval(e, env, dom, self_ty);
+            }
+            Stmt::Item(item) => {
+                if let Item::Fn(f2) = item.as_ref() {
+                    flow_fn(f2, self_ty, dom);
+                }
+                last = dom.bottom();
+            }
+            Stmt::Opaque(_) => {
+                last = dom.bottom();
+            }
+        }
+    }
+    last
+}
+
+fn join_env<D: Domain>(mut a: Env<D::V>, b: Env<D::V>, dom: &D) -> Env<D::V> {
+    for (k, v) in b {
+        match a.get(&k) {
+            Some(av) => {
+                let j = dom.join(av, &v);
+                a.insert(k, j);
+            }
+            None => {
+                a.insert(k, v);
+            }
+        }
+    }
+    a
+}
+
+fn merge_into<D: Domain>(env: &mut Env<D::V>, other: Env<D::V>, dom: &D) {
+    let joined = join_env::<D>(std::mem::take(env), other, dom);
+    *env = joined;
+}
+
+fn eval<D: Domain>(e: &Expr, env: &mut Env<D::V>, dom: &mut D, self_ty: Option<&str>) -> D::V {
+    match e {
+        Expr::Path { segs } if segs.len() == 1 => match env.get(&segs[0].text) {
+            Some(v) => v.clone(),
+            None => dom.transfer(e, &[], env),
+        },
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::MacroCall { .. } | Expr::Opaque(_) => dom.transfer(e, &[], env),
+        Expr::Unary { expr, .. } | Expr::Ref { expr, .. } | Expr::Try { expr, .. } | Expr::Cast { expr, .. } => {
+            let v = eval(expr, env, dom, self_ty);
+            dom.transfer(e, &[v], env)
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            let l = eval(lhs, env, dom, self_ty);
+            let r = eval(rhs, env, dom, self_ty);
+            dom.transfer(e, &[l, r], env)
+        }
+        Expr::Assign { target, value, .. } => {
+            let v = eval(value, env, dom, self_ty);
+            match target.as_ref() {
+                Expr::Path { segs } if segs.len() == 1 => {
+                    let name = segs[0].text.clone();
+                    let nv = match env.get(&name) {
+                        Some(old) => dom.join(old, &v),
+                        None => v,
+                    };
+                    env.insert(name, nv);
+                }
+                Expr::Index { base, index, .. } => {
+                    eval(index, env, dom, self_ty);
+                    eval(base, env, dom, self_ty);
+                    dom.assign_index(target, &v);
+                }
+                Expr::Field { base, .. } => {
+                    eval(base, env, dom, self_ty);
+                    // `x.f = v` updates `x` itself through the domain.
+                    if let Expr::Path { segs } = base.as_ref() {
+                        if segs.len() == 1 {
+                            let name = segs[0].text.clone();
+                            if let Some(old) = env.get(&name).cloned() {
+                                let nv = dom.assign_field(&old, &v);
+                                env.insert(name, nv);
+                            }
+                        }
+                    }
+                }
+                other => {
+                    eval(other, env, dom, self_ty);
+                }
+            }
+            dom.bottom()
+        }
+        Expr::Call { callee, args, .. } => {
+            let mut vs = vec![eval(callee, env, dom, self_ty)];
+            for a in args {
+                vs.push(eval(a, env, dom, self_ty));
+            }
+            dom.transfer(e, &vs, env)
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            let mut vs = vec![eval(recv, env, dom, self_ty)];
+            for a in args {
+                vs.push(eval(a, env, dom, self_ty));
+            }
+            dom.transfer(e, &vs, env)
+        }
+        Expr::Field { base, .. } => {
+            let v = eval(base, env, dom, self_ty);
+            dom.transfer(e, &[v], env)
+        }
+        Expr::Index { base, index, .. } => {
+            let b = eval(base, env, dom, self_ty);
+            let i = eval(index, env, dom, self_ty);
+            dom.transfer(e, &[b, i], env)
+        }
+        Expr::StructLit { fields, .. } => {
+            let vs: Vec<D::V> = fields.iter().map(|(_, fe)| eval(fe, env, dom, self_ty)).collect();
+            dom.transfer(e, &vs, env)
+        }
+        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+            let vs: Vec<D::V> = elems.iter().map(|el| eval(el, env, dom, self_ty)).collect();
+            dom.transfer(e, &vs, env)
+        }
+        Expr::Range { lo, hi, .. } => {
+            let mut vs = Vec::new();
+            if let Some(l) = lo {
+                vs.push(eval(l, env, dom, self_ty));
+            }
+            if let Some(h) = hi {
+                vs.push(eval(h, env, dom, self_ty));
+            }
+            dom.transfer(e, &vs, env)
+        }
+        Expr::BlockExpr(b) => flow_block(b, env, dom, self_ty),
+        Expr::If {
+            pat, cond, then, alt, ..
+        } => {
+            let cv = eval(cond, env, dom, self_ty);
+            let mut env_then = env.clone();
+            if let Some(p) = pat {
+                for (name, _) in &p.names {
+                    env_then.insert(name.clone(), dom.bind_split(&cv));
+                }
+            }
+            let v1 = flow_block(then, &mut env_then, dom, self_ty);
+            let mut env_alt = env.clone();
+            let v2 = match alt {
+                Some(a) => eval(a, &mut env_alt, dom, self_ty),
+                None => dom.bottom(),
+            };
+            *env = join_env::<D>(env_then, env_alt, dom);
+            dom.join(&v1, &v2)
+        }
+        Expr::While { pat, cond, body, .. } => {
+            for _ in 0..2 {
+                let cv = eval(cond, env, dom, self_ty);
+                let mut env_b = env.clone();
+                if let Some(p) = pat {
+                    for (name, _) in &p.names {
+                        env_b.insert(name.clone(), dom.bind_split(&cv));
+                    }
+                }
+                flow_block(body, &mut env_b, dom, self_ty);
+                merge_into::<D>(env, env_b, dom);
+            }
+            dom.bottom()
+        }
+        Expr::Loop { body, .. } => {
+            for _ in 0..2 {
+                let mut env_b = env.clone();
+                flow_block(body, &mut env_b, dom, self_ty);
+                merge_into::<D>(env, env_b, dom);
+            }
+            dom.bottom()
+        }
+        Expr::For { pat, iter, body, .. } => {
+            let it = eval(iter, env, dom, self_ty);
+            for _ in 0..2 {
+                let mut env_b = env.clone();
+                for (name, _) in &pat.names {
+                    env_b.insert(name.clone(), dom.iter_elem(&it));
+                }
+                flow_block(body, &mut env_b, dom, self_ty);
+                merge_into::<D>(env, env_b, dom);
+            }
+            dom.bottom()
+        }
+        Expr::Match { scrutinee, arms, .. } => {
+            let sv = eval(scrutinee, env, dom, self_ty);
+            let mut out_env: Option<Env<D::V>> = None;
+            let mut val = dom.bottom();
+            for arm in arms {
+                let mut env_a = env.clone();
+                for (name, _) in &arm.pat.names {
+                    env_a.insert(name.clone(), dom.bind_split(&sv));
+                }
+                if let Some(g) = &arm.guard {
+                    eval(g, &mut env_a, dom, self_ty);
+                }
+                let v = eval(&arm.body, &mut env_a, dom, self_ty);
+                val = dom.join(&val, &v);
+                out_env = Some(match out_env {
+                    Some(prev) => join_env::<D>(prev, env_a, dom),
+                    None => env_a,
+                });
+            }
+            if let Some(oe) = out_env {
+                *env = oe;
+            }
+            val
+        }
+        Expr::Closure { params, body, .. } => {
+            let mut env_c = env.clone();
+            for p in params {
+                for (name, _) in &p.names {
+                    env_c.insert(name.clone(), dom.bottom());
+                }
+            }
+            let v = eval(body, &mut env_c, dom, self_ty);
+            dom.transfer(e, &[v], env)
+        }
+        Expr::Return { value, .. } | Expr::Jump { value, .. } => {
+            if let Some(v) = value {
+                eval(v, env, dom, self_ty);
+            }
+            dom.bottom()
+        }
+    }
+}
+
+/// The pure type domain: computes [`AbsTy`] with no findings. Lint
+/// domains embed the same logic via [`abs_transfer`] and add checks.
+pub struct TypeDomain<'a> {
+    /// Type evaluation context.
+    pub cx: TyCx<'a>,
+}
+
+impl Domain for TypeDomain<'_> {
+    type V = AbsTy;
+
+    fn bottom(&self) -> AbsTy {
+        AbsTy::Unknown
+    }
+
+    fn join(&self, a: &AbsTy, b: &AbsTy) -> AbsTy {
+        abs_join(a, b)
+    }
+
+    fn param_value(&mut self, p: &Param, self_ty: Option<&str>) -> AbsTy {
+        if p.is_self {
+            self_ty.map(abs_from_name).unwrap_or(AbsTy::Unknown)
+        } else {
+            p.ty.as_ref().map(abs_from_typeref).unwrap_or(AbsTy::Unknown)
+        }
+    }
+
+    fn assign_field(&mut self, old: &AbsTy, _value: &AbsTy) -> AbsTy {
+        // Storing into `x.f` leaves `x`'s type alone.
+        old.clone()
+    }
+
+    fn transfer(&mut self, e: &Expr, children: &[AbsTy], _env: &Env<AbsTy>) -> AbsTy {
+        abs_transfer(e, children, &self.cx)
+    }
+
+    fn bind_split(&self, _v: &AbsTy) -> AbsTy {
+        AbsTy::Unknown // destructuring loses the element types
+    }
+
+    fn iter_elem(&self, v: &AbsTy) -> AbsTy {
+        match v {
+            AbsTy::Coll { elem, .. } => elem.as_ref().clone(),
+            _ => AbsTy::Unknown,
+        }
+    }
+
+    fn let_decl(&mut self, ty: &TypeRef, inferred: AbsTy) -> AbsTy {
+        match abs_from_typeref(ty) {
+            AbsTy::Unknown => inferred,
+            t => t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::for_each_fn;
+    use crate::{lexer, parser};
+
+    /// Collect the types inferred for every method-call receiver in
+    /// `src`, keyed by method name.
+    fn recv_types(src: &str, structs: &StructTable) -> BTreeMap<String, AbsTy> {
+        struct Probe<'a, 'b> {
+            inner: TypeDomain<'a>,
+            seen: &'b mut BTreeMap<String, AbsTy>,
+        }
+        impl Domain for Probe<'_, '_> {
+            type V = AbsTy;
+            fn bottom(&self) -> AbsTy {
+                self.inner.bottom()
+            }
+            fn join(&self, a: &AbsTy, b: &AbsTy) -> AbsTy {
+                self.inner.join(a, b)
+            }
+            fn param_value(&mut self, p: &Param, self_ty: Option<&str>) -> AbsTy {
+                self.inner.param_value(p, self_ty)
+            }
+            fn transfer(&mut self, e: &Expr, children: &[AbsTy], env: &Env<AbsTy>) -> AbsTy {
+                if let Expr::MethodCall { method, .. } = e {
+                    self.seen.insert(method.clone(), children[0].clone());
+                }
+                self.inner.transfer(e, children, env)
+            }
+            fn bind_split(&self, v: &AbsTy) -> AbsTy {
+                self.inner.bind_split(v)
+            }
+            fn iter_elem(&self, v: &AbsTy) -> AbsTy {
+                self.inner.iter_elem(v)
+            }
+            fn let_decl(&mut self, ty: &TypeRef, inferred: AbsTy) -> AbsTy {
+                self.inner.let_decl(ty, inferred)
+            }
+            fn assign_field(&mut self, old: &AbsTy, value: &AbsTy) -> AbsTy {
+                self.inner.assign_field(old, value)
+            }
+        }
+        let toks = lexer::lex(src);
+        let file = parser::parse(&toks);
+        let mut seen = BTreeMap::new();
+        let mut probe = Probe {
+            inner: TypeDomain {
+                cx: TyCx { structs, toks: &toks },
+            },
+            seen: &mut seen,
+        };
+        for_each_fn(&file, &mut |f, self_ty| flow_fn(f, self_ty, &mut probe));
+        seen
+    }
+
+    #[test]
+    fn field_types_resolve_through_the_struct_table() {
+        let mut structs = StructTable::new();
+        structs.insert(
+            "Ring".to_string(),
+            vec![(
+                "buf".to_string(),
+                AbsTy::Coll {
+                    head: "VecDeque".to_string(),
+                    elem: Box::new(AbsTy::Unknown),
+                },
+            )],
+        );
+        let seen = recv_types(
+            "impl Ring { fn push(&mut self, ev: u32) { self.buf.push_back(ev); } }",
+            &structs,
+        );
+        assert!(matches!(seen.get("push_back"), Some(AbsTy::Coll { head, .. }) if head == "VecDeque"));
+    }
+
+    /// Regression: bumping a counter field (`self.pushed += 1`) must not
+    /// dissolve the receiver's type — `self.buf` still resolves after it.
+    #[test]
+    fn field_store_keeps_the_base_type() {
+        let mut structs = StructTable::new();
+        structs.insert(
+            "Ring".to_string(),
+            vec![(
+                "buf".to_string(),
+                AbsTy::Coll {
+                    head: "VecDeque".to_string(),
+                    elem: Box::new(AbsTy::Unknown),
+                },
+            )],
+        );
+        let seen = recv_types(
+            "impl Ring { fn push(&mut self, ev: u32) { self.pushed += 1; self.buf.push_back(ev); } }",
+            &structs,
+        );
+        assert!(matches!(seen.get("push_back"), Some(AbsTy::Coll { head, .. }) if head == "VecDeque"));
+    }
+
+    #[test]
+    fn q16_raw_and_frac_components_are_tracked() {
+        let structs = StructTable::new();
+        let seen = recv_types(
+            "fn f(q: Q16, r: Frac) -> i64 { let a = q.raw(); let n = r.num(); let lhs = a.wrapping_mul(1); lhs }",
+            &structs,
+        );
+        assert_eq!(seen.get("raw"), Some(&AbsTy::Q16));
+        assert_eq!(seen.get("num"), Some(&AbsTy::Frac));
+        assert_eq!(seen.get("wrapping_mul"), Some(&AbsTy::RawQ16));
+    }
+
+    #[test]
+    fn branches_join_and_loops_converge() {
+        let structs = StructTable::new();
+        let seen = recv_types(
+            "fn f(q: Q16, flag: bool) { let mut x = q; if flag { x = q; } else { x = q; } x.raw(); \
+             let mut v: Vec<u32> = Vec::new(); while flag { v.push(1); } v.len(); }",
+            &structs,
+        );
+        assert_eq!(seen.get("raw"), Some(&AbsTy::Q16));
+        assert!(matches!(seen.get("push"), Some(AbsTy::Coll { head, .. }) if head == "Vec"));
+        assert!(matches!(seen.get("len"), Some(AbsTy::Coll { head, .. }) if head == "Vec"));
+    }
+
+    #[test]
+    fn declared_let_types_beat_unknown_inits() {
+        let structs = StructTable::new();
+        let seen = recv_types(
+            "fn f() { let out: Vec<Option<u64>> = mystery(); out.push(None); }",
+            &structs,
+        );
+        assert!(matches!(seen.get("push"), Some(AbsTy::Coll { head, .. }) if head == "Vec"));
+    }
+
+    #[test]
+    fn casts_carry_frac_provenance_and_widths() {
+        let structs = StructTable::new();
+        let seen = recv_types("fn f(r: Frac) { let n = r.num() as u64; n.min(1); }", &structs);
+        assert_eq!(
+            seen.get("min"),
+            Some(&AbsTy::Int {
+                bits: 64,
+                signed: false,
+                prov: Prov::FracNum
+            })
+        );
+    }
+}

@@ -58,7 +58,8 @@ pub fn to_json(findings: &[Finding]) -> String {
     out
 }
 
-fn escape(s: &str) -> String {
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -579,6 +579,54 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_with_multi_hash_fences() {
+        // The embedded `"#` must not close a `##`-fenced raw string.
+        let toks = kinds(r###"let s = r##"a"#b"##;"###);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1, "{toks:?}");
+        assert_eq!(strs[0].1, r###"r##"a"#b"##"###);
+        // Zero-hash raw string: closes at the first quote, no escapes.
+        let toks = kinds(r#"r"c:\dir" x"#);
+        assert_eq!(toks[0], (TokKind::Str, r#"r"c:\dir""#.into()));
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+        // An f64 inside the fence never leaks as an identifier.
+        let toks = lex(r###"r##"uses f64 and 1.5"##"###);
+        assert_eq!(toks.len(), 1);
+        assert!(!toks.iter().any(|t| t.is_ident("f64")));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let toks = kinds("/* a /* b /* c 1.5 */ b */ a */ after");
+        assert_eq!(toks.len(), 2, "{toks:?}");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "after".into()));
+        // `/*/` opens a nesting level rather than closing the comment.
+        let toks = kinds("/* x /*/ y */ z */ tail");
+        assert_eq!(toks.last().unwrap(), &(TokKind::Ident, "tail".into()), "{toks:?}");
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn lifetime_vs_char_in_every_position() {
+        // `'a` (lifetime) and `'a'` (char) differ only in lookahead.
+        let toks = kinds("fn f<'a>(x: &'a u8) { match c { 'a' => 1, '0'..='9' => 2, '\\'' => 3, _ => 4 }; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert!(lifetimes.iter().all(|(_, t)| t == "'a"));
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(chars.len(), 4, "{chars:?}"); // 'a', '0', '9', '\''
+        assert_eq!(chars[3].1, "'\\''");
+        // Loop labels are lifetimes, and `'_` can be either.
+        let toks = kinds("'outer: loop { break 'outer; } fn g(x: &'_ u8) { let u = '_'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 3, "{toks:?}"); // 'outer ×2, '_
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].1, "'_'");
+    }
+
+    #[test]
     fn raw_idents_and_byte_chars() {
         let toks = lex("let r#type = b'x'; br#\"raw \"bytes\"\"#");
         assert!(toks.iter().any(|t| t.is_ident("type")));

@@ -14,11 +14,23 @@
 //!   collections in the simulation crates.
 //! * [`lints::UNSAFE_HYGIENE`] — `unsafe` only in allowlisted files and
 //!   only with a `// SAFETY:` comment.
+//! * [`lints::NI_NO_ALLOC`] — no heap allocation reachable from functions
+//!   marked `// analysis: hot` (call-graph reachability, init-time
+//!   constructors excluded).
+//! * [`lints::Q16_OVERFLOW`] — `Q16`/`Frac` arithmetic must widen raw
+//!   multiplies through `i128`, keep shifts inside the value's width, and
+//!   never truncate `Frac` components back to bare integers.
+//! * [`lints::SWEEP_DETERMINISM`] — published sweep results must not
+//!   depend on thread identity or channel arrival order.
 //!
-//! Run from the workspace root:
+//! The pipeline parses each file once — lex ([`lexer`]) → exemptions
+//! ([`scope`]) → tolerant AST ([`parser`]/[`ast`]) — then runs token
+//! scans, AST walks and dataflow passes ([`dataflow`], [`callgraph`])
+//! per configured lint. Run from the workspace root:
 //!
 //! ```text
-//! cargo run -p nistream-analysis -- check [--format=json]
+//! cargo run -p nistream-analysis -- check [--format=json|sarif] [--baseline=FILE]
+//! cargo run -p nistream-analysis -- update-baseline
 //! ```
 //!
 //! Exemptions: `#[cfg(test)]` items and `mod tests` blocks are skipped
@@ -27,16 +39,36 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
+pub mod baseline;
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
+pub mod json;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
+pub mod sarif;
 pub mod scope;
 
 pub use config::Config;
 pub use diag::{to_json, Finding};
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+
+/// Everything the lints need to know about one parsed source file.
+pub struct FileAnalysis {
+    /// Repo-relative path (diagnostic form).
+    pub rel: PathBuf,
+    /// Full token stream, comments included.
+    pub toks: Vec<lexer::Tok>,
+    /// Exemption state (test regions, allow annotations, hot marks).
+    pub scopes: scope::Scopes,
+    /// Tolerant AST.
+    pub ast: ast::File,
+}
 
 /// Recursively collect `.rs` files under `path` (which may itself be a
 /// file). Hidden directories and `target/` are skipped.
@@ -100,7 +132,8 @@ pub fn check(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
         }
     }
 
-    // Union of every lint's file set; each file is read and lexed once.
+    // Union of every lint's file set; each file is read, lexed and
+    // parsed exactly once.
     let mut per_lint: Vec<(String, Vec<PathBuf>)> = Vec::new();
     let mut all_files: Vec<PathBuf> = Vec::new();
     for lint in &cfg.lints {
@@ -112,10 +145,13 @@ pub fn check(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
     all_files.dedup();
 
     let mut findings = Vec::new();
+    let mut analyses: Vec<FileAnalysis> = Vec::with_capacity(all_files.len());
+    let mut index: BTreeMap<&Path, usize> = BTreeMap::new();
     for file in &all_files {
         let src = std::fs::read_to_string(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
         let toks = lexer::lex(&src);
         let scopes = scope::analyze(&toks);
+        let ast = parser::parse(&toks);
         let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
 
         // Malformed allow annotations are findings wherever they appear.
@@ -134,19 +170,51 @@ pub fn check(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
             });
         }
 
-        for (name, files) in &per_lint {
-            if !files.contains(file) {
-                continue;
+        index.insert(file.as_path(), analyses.len());
+        analyses.push(FileAnalysis { rel, toks, scopes, ast });
+    }
+
+    // Struct table over every parsed file (test-region structs excluded;
+    // first definition of a name wins).
+    let mut structs = dataflow::StructTable::new();
+    for fa in &analyses {
+        ast::for_each_struct(&fa.ast, &mut |s| {
+            if fa.scopes.in_test.get(s.span.start).copied().unwrap_or(false) {
+                return;
             }
+            structs.entry(s.name.clone()).or_insert_with(|| {
+                s.fields
+                    .iter()
+                    .map(|(n, t)| (n.clone(), dataflow::abs_from_typeref(t)))
+                    .collect()
+            });
+        });
+    }
+
+    for (name, files) in &per_lint {
+        if name == lints::NI_NO_ALLOC {
+            // Whole-set pass: reachability crosses file boundaries.
+            let set: Vec<&FileAnalysis> = files.iter().map(|f| &analyses[index[f.as_path()]]).collect();
+            lints::ni_no_alloc(&set, &structs, &mut findings);
+            continue;
+        }
+        for file in files {
+            let fa = &analyses[index[file.as_path()]];
             match name.as_str() {
-                lints::NI_NO_FLOAT => lints::ni_no_float(&rel, &toks, &scopes, &mut findings),
-                lints::NI_NO_PANIC => lints::ni_no_panic(&rel, &toks, &scopes, &mut findings),
-                lints::SIM_DETERMINISM => lints::sim_determinism(&rel, &toks, &scopes, &mut findings),
+                lints::NI_NO_FLOAT => lints::ni_no_float(&fa.rel, &fa.toks, &fa.scopes, &mut findings),
+                lints::NI_NO_PANIC => lints::ni_no_panic(&fa.rel, &fa.toks, &fa.scopes, &fa.ast, &mut findings),
+                lints::SIM_DETERMINISM => lints::sim_determinism(&fa.rel, &fa.toks, &fa.scopes, &fa.ast, &mut findings),
                 lints::UNSAFE_HYGIENE => {
                     let allowed = cfg
                         .lint(lints::UNSAFE_HYGIENE)
-                        .is_some_and(|l| l.allow_files.contains(&rel));
-                    lints::unsafe_hygiene(&rel, &toks, &scopes, allowed, &mut findings)
+                        .is_some_and(|l| l.allow_files.contains(&fa.rel));
+                    lints::unsafe_hygiene(&fa.rel, &fa.toks, &fa.scopes, allowed, &mut findings)
+                }
+                lints::Q16_OVERFLOW => {
+                    lints::q16_overflow(&fa.rel, &fa.toks, &fa.scopes, &fa.ast, &structs, &mut findings)
+                }
+                lints::SWEEP_DETERMINISM => {
+                    lints::sweep_determinism(&fa.rel, &fa.toks, &fa.scopes, &fa.ast, &mut findings)
                 }
                 _ => unreachable!("validated above"),
             }
@@ -154,6 +222,9 @@ pub fn check(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
     }
 
     findings.sort_by(|a, b| (&a.file, a.line, a.col, &a.lint).cmp(&(&b.file, b.line, b.col, &b.lint)));
+    // Loop bodies are walked twice by the dataflow engine; identical
+    // findings from the second walk collapse here.
+    findings.dedup();
     Ok(findings)
 }
 
@@ -171,7 +242,7 @@ mod tests {
 
     /// The checked-in fixtures under `fixtures/` each violate exactly one
     /// lint family; running the checker over them exercises the whole
-    /// pipeline (config → walk → lex → scope → lint → sort).
+    /// pipeline (config → walk → lex → scope → parse → lint → sort).
     #[test]
     fn fixtures_trip_each_family() {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
@@ -186,6 +257,12 @@ mod tests {
             [lint.unsafe-hygiene]
             paths = ["unsafe_violations.rs"]
             allow_files = []
+            [lint.ni-no-alloc]
+            paths = ["alloc_violations.rs"]
+            [lint.q16-overflow]
+            paths = ["q16_violations.rs"]
+            [lint.sweep-determinism]
+            paths = ["sweep_violations.rs"]
             "#,
         )
         .unwrap();

@@ -1,13 +1,31 @@
-//! The four lint families, as scans over one file's token stream.
+//! The seven lint families.
 //!
-//! Each pass receives the tokens plus the [`Scopes`] exemption state and
-//! reports [`Finding`]s for non-exempt tokens only. The mapping of lints to
-//! paths lives in `analysis.toml`; these functions do not know which crates
+//! Two kinds of pass coexist:
+//!
+//! * **Token scans** (`ni-no-float`, `unsafe-hygiene`, and the collection
+//!   mentions of `sim-determinism`) — the property is lexical, so the
+//!   token stream is the right abstraction and the diagnostics are
+//!   byte-compatible with the original lexer-only analyzer.
+//! * **AST / dataflow passes** (`ni-no-panic`, `Instant::now` detection,
+//!   `ni-no-alloc`, `q16-overflow`, `sweep-determinism`) — shape- and
+//!   type-dependent rules that walk [`crate::ast`] and run
+//!   [`crate::dataflow`] domains. Tokens the parser could not model
+//!   (macro bodies, attributes, recovered statements) are re-scanned with
+//!   the original token heuristics over the AST's `lexical` spans, so no
+//!   code escapes coverage.
+//!
+//! Each pass receives the exemption state ([`Scopes`]) and reports
+//! [`Finding`]s for non-exempt tokens only. The mapping of lints to paths
+//! lives in `analysis.toml`; these functions do not know which crates
 //! they run over.
 
+use crate::ast::{self, for_each_expr_in_block, for_each_fn, BinOp, Expr, LitKind, Param, TypeRef};
+use crate::callgraph::CallGraph;
+use crate::dataflow::{abs_from_typeref, flow_fn, AbsTy, Domain, Env, Prov, StructTable, TyCx, TypeDomain};
 use crate::diag::Finding;
 use crate::lexer::{Tok, TokKind};
 use crate::scope::Scopes;
+use crate::FileAnalysis;
 use std::path::Path;
 
 /// `ni-no-float`: the paper's i960RD has no FPU — NI-resident code must not
@@ -25,9 +43,30 @@ pub const SIM_DETERMINISM: &str = "sim-determinism";
 /// `unsafe-hygiene`: `unsafe` only in allowlisted files, and every use must
 /// carry a `// SAFETY:` comment.
 pub const UNSAFE_HYGIENE: &str = "unsafe-hygiene";
+/// `ni-no-alloc`: no heap allocation reachable from functions marked
+/// `// analysis: hot` — the steady-state service pass on a 4 MB card must
+/// never touch an allocator. Init-time constructors (`new`,
+/// `with_capacity`, `default`) are allowlisted call-graph boundaries.
+pub const NI_NO_ALLOC: &str = "ni-no-alloc";
+/// `q16-overflow`: dataflow over `fixedpt::{Q16, Frac}` — raw Q16×Q16
+/// multiplies must widen through i128, shifts must stay inside the value's
+/// width, and `Frac` components must not be truncated back to integers.
+pub const Q16_OVERFLOW: &str = "q16-overflow";
+/// `sweep-determinism`: in the parallel sweep runner and its callers,
+/// published results must not depend on thread identity or channel-recv
+/// arrival order; index-addressed publication is the blessed pattern.
+pub const SWEEP_DETERMINISM: &str = "sweep-determinism";
 
 /// All lint names, for config validation.
-pub const ALL_LINTS: [&str; 4] = [NI_NO_FLOAT, NI_NO_PANIC, SIM_DETERMINISM, UNSAFE_HYGIENE];
+pub const ALL_LINTS: [&str; 7] = [
+    NI_NO_FLOAT,
+    NI_NO_PANIC,
+    SIM_DETERMINISM,
+    UNSAFE_HYGIENE,
+    NI_NO_ALLOC,
+    Q16_OVERFLOW,
+    SWEEP_DETERMINISM,
+];
 
 fn finding(lint: &str, file: &Path, tok: &Tok, message: String, note: &str) -> Finding {
     Finding {
@@ -40,7 +79,33 @@ fn finding(lint: &str, file: &Path, tok: &Tok, message: String, note: &str) -> F
     }
 }
 
-/// Run `ni-no-float` over one file.
+/// Mask of tokens the parser left unmodelled (macro bodies, attributes,
+/// where clauses, recovered statements): the token-heuristic fallbacks
+/// run over exactly these.
+fn lexical_mask(toks_len: usize, ast: &ast::File) -> Vec<bool> {
+    let mut mask = vec![false; toks_len];
+    if toks_len == 0 {
+        return mask;
+    }
+    for sp in &ast.lexical {
+        for m in mask.iter_mut().take(sp.end.min(toks_len - 1) + 1).skip(sp.start) {
+            *m = true;
+        }
+    }
+    mask
+}
+
+/// Visit every expression in every function body of the file.
+fn each_body_expr<'a>(ast: &'a ast::File, f: &mut impl FnMut(&'a Expr)) {
+    for_each_fn(ast, &mut |func, _| {
+        if let Some(b) = &func.body {
+            for_each_expr_in_block(b, f);
+        }
+    });
+}
+
+/// Run `ni-no-float` over one file. Purely lexical: a float literal or an
+/// `f32`/`f64` mention is a violation wherever it appears.
 pub fn ni_no_float(file: &Path, toks: &[Tok], scopes: &Scopes, out: &mut Vec<Finding>) {
     const NOTE: &str = "NI-resident code runs on an FPU-less i960-class core; \
                         use fixedpt::Q16 or fixedpt::Frac (see DESIGN.md, Static invariants)";
@@ -68,22 +133,53 @@ pub fn ni_no_float(file: &Path, toks: &[Tok], scopes: &Scopes, out: &mut Vec<Fin
     }
 }
 
-/// Run `ni-no-panic` over one file.
-pub fn ni_no_panic(file: &Path, toks: &[Tok], scopes: &Scopes, out: &mut Vec<Finding>) {
+/// Run `ni-no-panic` over one file: panicking macros and
+/// `.unwrap()`/`.expect(…)` calls, found as AST shapes in modelled code
+/// and by the original token heuristic inside unmodelled spans.
+pub fn ni_no_panic(file: &Path, toks: &[Tok], scopes: &Scopes, ast: &ast::File, out: &mut Vec<Finding>) {
     const NOTE: &str = "NI firmware must degrade rather than die: return a typed error, \
                         or justify the invariant with `// analysis: allow(ni-no-panic) reason=\"…\"`";
+    each_body_expr(ast, &mut |e| match e {
+        Expr::MacroCall { name, tok, .. }
+            if matches!(name.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                && !scopes.is_exempt(NI_NO_PANIC, *tok) =>
+        {
+            out.push(finding(
+                NI_NO_PANIC,
+                file,
+                &toks[*tok],
+                format!("`{name}!` in non-test NI code"),
+                NOTE,
+            ));
+        }
+        Expr::MethodCall { method, tok, .. }
+            if matches!(method.as_str(), "unwrap" | "expect") && !scopes.is_exempt(NI_NO_PANIC, *tok) =>
+        {
+            out.push(finding(
+                NI_NO_PANIC,
+                file,
+                &toks[*tok],
+                format!("`.{method}(…)` in non-test NI code"),
+                NOTE,
+            ));
+        }
+        _ => {}
+    });
+
+    // Fallback over unmodelled spans (macro arguments, attributes,
+    // recovered statements).
+    let mask = lexical_mask(toks.len(), ast);
     let code: Vec<usize> = (0..toks.len())
         .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
         .collect();
     for (ci, &i) in code.iter().enumerate() {
         let t = &toks[i];
-        if t.kind != TokKind::Ident || scopes.is_exempt(NI_NO_PANIC, i) {
+        if !mask[i] || t.kind != TokKind::Ident || scopes.is_exempt(NI_NO_PANIC, i) {
             continue;
         }
         let next = code.get(ci + 1).map(|&j| &toks[j]);
         let prev = ci.checked_sub(1).map(|p| &toks[code[p]]);
         match t.text.as_str() {
-            // Panicking macros.
             "panic" | "unreachable" | "todo" | "unimplemented" if next.is_some_and(|n| n.is_punct('!')) => {
                 out.push(finding(
                     NI_NO_PANIC,
@@ -93,7 +189,6 @@ pub fn ni_no_panic(file: &Path, toks: &[Tok], scopes: &Scopes, out: &mut Vec<Fin
                     NOTE,
                 ));
             }
-            // `.unwrap()` / `.expect(…)` method calls.
             "unwrap" | "expect" if prev.is_some_and(|p| p.is_punct('.')) && next.is_some_and(|n| n.is_punct('(')) => {
                 out.push(finding(
                     NI_NO_PANIC,
@@ -108,43 +203,62 @@ pub fn ni_no_panic(file: &Path, toks: &[Tok], scopes: &Scopes, out: &mut Vec<Fin
     }
 }
 
-/// Run `sim-determinism` over one file.
-pub fn sim_determinism(file: &Path, toks: &[Tok], scopes: &Scopes, out: &mut Vec<Finding>) {
+/// Run `sim-determinism` over one file. Collection/wall-clock *mentions*
+/// stay token scans; `Instant::now` is recognised as an AST path (plus
+/// the token heuristic inside unmodelled spans) so that mentioning the
+/// `Instant` type stays legal.
+pub fn sim_determinism(file: &Path, toks: &[Tok], scopes: &Scopes, ast: &ast::File, out: &mut Vec<Finding>) {
     const NOTE: &str = "simulation crates must be replayable from a seed: use the simulated \
                         clock for time and BTreeMap/BTreeSet (stable iteration) for collections";
-    let code: Vec<usize> = (0..toks.len())
-        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
-        .collect();
-    for (ci, &i) in code.iter().enumerate() {
-        let t = &toks[i];
+    for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident || scopes.is_exempt(SIM_DETERMINISM, i) {
             continue;
         }
-        match t.text.as_str() {
-            "HashMap" | "HashSet" | "SystemTime" => out.push(finding(
+        if matches!(t.text.as_str(), "HashMap" | "HashSet" | "SystemTime") {
+            out.push(finding(
                 SIM_DETERMINISM,
                 file,
                 t,
                 format!("`{}` in deterministic-simulation code", t.text),
                 NOTE,
-            )),
-            "Instant" => {
-                // Only `Instant::now(…)` is wall-clock; mentioning the type
-                // (e.g. in a host-facing signature) is fine.
-                let is_now = code.get(ci + 1).is_some_and(|&j| toks[j].is_punct(':'))
-                    && code.get(ci + 2).is_some_and(|&j| toks[j].is_punct(':'))
-                    && code.get(ci + 3).is_some_and(|&j| toks[j].is_ident("now"));
-                if is_now {
+            ));
+        }
+    }
+    each_body_expr(ast, &mut |e| {
+        if let Expr::Path { segs } = e {
+            for w in segs.windows(2) {
+                if w[0].text == "Instant" && w[1].text == "now" && !scopes.is_exempt(SIM_DETERMINISM, w[0].tok) {
                     out.push(finding(
                         SIM_DETERMINISM,
                         file,
-                        t,
+                        &toks[w[0].tok],
                         "`Instant::now` (wall clock) in deterministic-simulation code".to_string(),
                         NOTE,
                     ));
                 }
             }
-            _ => {}
+        }
+    });
+    let mask = lexical_mask(toks.len(), ast);
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    for (ci, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if !mask[i] || !t.is_ident("Instant") || scopes.is_exempt(SIM_DETERMINISM, i) {
+            continue;
+        }
+        let is_now = code.get(ci + 1).is_some_and(|&j| toks[j].is_punct(':'))
+            && code.get(ci + 2).is_some_and(|&j| toks[j].is_punct(':'))
+            && code.get(ci + 3).is_some_and(|&j| toks[j].is_ident("now"));
+        if is_now {
+            out.push(finding(
+                SIM_DETERMINISM,
+                file,
+                t,
+                "`Instant::now` (wall clock) in deterministic-simulation code".to_string(),
+                NOTE,
+            ));
         }
     }
 }
@@ -191,6 +305,391 @@ pub fn unsafe_hygiene(file: &Path, toks: &[Tok], scopes: &Scopes, allowed: bool,
     }
 }
 
+// ---------------------------------------------------------------------
+// q16-overflow
+// ---------------------------------------------------------------------
+
+struct Q16Dom<'a, 'o> {
+    ty: TypeDomain<'a>,
+    scopes: &'a Scopes,
+    file: &'a Path,
+    out: &'o mut Vec<Finding>,
+}
+
+impl Q16Dom<'_, '_> {
+    fn emit(&mut self, tok: usize, message: String) {
+        const NOTE: &str = "Q16 is an i64 with 16 fractional bits: widen raw values through i128 \
+                            before multiplying, and keep `Frac` arithmetic exact \
+                            (see DESIGN.md, Static invariants)";
+        if self.scopes.is_exempt(Q16_OVERFLOW, tok) {
+            return;
+        }
+        if let Some(t) = self.ty.cx.toks.get(tok) {
+            self.out.push(finding(Q16_OVERFLOW, self.file, t, message, NOTE));
+        }
+    }
+}
+
+impl Domain for Q16Dom<'_, '_> {
+    type V = AbsTy;
+
+    fn bottom(&self) -> AbsTy {
+        self.ty.bottom()
+    }
+    fn join(&self, a: &AbsTy, b: &AbsTy) -> AbsTy {
+        self.ty.join(a, b)
+    }
+    fn param_value(&mut self, p: &Param, self_ty: Option<&str>) -> AbsTy {
+        self.ty.param_value(p, self_ty)
+    }
+    fn bind_split(&self, v: &AbsTy) -> AbsTy {
+        self.ty.bind_split(v)
+    }
+    fn iter_elem(&self, v: &AbsTy) -> AbsTy {
+        self.ty.iter_elem(v)
+    }
+    fn let_decl(&mut self, ty: &TypeRef, inferred: AbsTy) -> AbsTy {
+        self.ty.let_decl(ty, inferred)
+    }
+    fn assign_field(&mut self, old: &AbsTy, value: &AbsTy) -> AbsTy {
+        self.ty.assign_field(old, value)
+    }
+
+    fn transfer(&mut self, e: &Expr, children: &[AbsTy], env: &Env<AbsTy>) -> AbsTy {
+        let first = children.first().cloned().unwrap_or(AbsTy::Unknown);
+        match e {
+            Expr::Binary {
+                op: BinOp::Mul, tok, ..
+            } if first == AbsTy::RawQ16 && children.get(1) == Some(&AbsTy::RawQ16) => {
+                self.emit(*tok, "Q16×Q16 raw multiply without i128 widening".to_string());
+            }
+            Expr::Binary {
+                op: BinOp::Shl | BinOp::Shr,
+                rhs,
+                tok,
+                ..
+            } => {
+                if let Expr::Lit {
+                    kind: LitKind::Int(Some(k)),
+                    ..
+                } = rhs.as_ref()
+                {
+                    if let Some(w) = first.width() {
+                        if *k >= u128::from(w) {
+                            self.emit(
+                                *tok,
+                                format!("shift by {k} exceeds the {w}-bit width of the shifted value"),
+                            );
+                        }
+                    }
+                }
+            }
+            Expr::Binary {
+                op: BinOp::Div, tok, ..
+            } if first.prov() == Prov::FracNum && children.get(1).map(AbsTy::prov) == Some(Prov::FracDen) => {
+                self.emit(
+                    *tok,
+                    "`Frac::num()` / `Frac::den()` floor-division truncates the exact rational".to_string(),
+                );
+            }
+            Expr::Cast { ty, tok, .. } if first.prov() != Prov::None => {
+                if let AbsTy::Int { bits, signed, .. } = abs_from_typeref(ty) {
+                    // num()/den() are u32: anything under 32 bits, or i32,
+                    // cannot hold the full component.
+                    if bits < 32 || (bits == 32 && signed) {
+                        self.emit(
+                            *tok,
+                            format!("lossy cast of a `Frac` component to `{}`", ty.head().unwrap_or("?")),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.ty.transfer(e, children, env)
+    }
+}
+
+/// Run `q16-overflow` over one file.
+pub fn q16_overflow(
+    file: &Path,
+    toks: &[Tok],
+    scopes: &Scopes,
+    ast: &ast::File,
+    structs: &StructTable,
+    out: &mut Vec<Finding>,
+) {
+    let mut dom = Q16Dom {
+        ty: TypeDomain {
+            cx: TyCx { structs, toks },
+        },
+        scopes,
+        file,
+        out,
+    };
+    for_each_fn(ast, &mut |f, self_ty| flow_fn(f, self_ty, &mut dom));
+}
+
+// ---------------------------------------------------------------------
+// ni-no-alloc
+// ---------------------------------------------------------------------
+
+struct AllocDom<'a, 'o> {
+    ty: TypeDomain<'a>,
+    scopes: &'a Scopes,
+    file: &'a Path,
+    root: &'a str,
+    out: &'o mut Vec<Finding>,
+}
+
+impl AllocDom<'_, '_> {
+    fn emit(&mut self, tok: usize, message: String) {
+        if self.scopes.is_exempt(NI_NO_ALLOC, tok) {
+            return;
+        }
+        let note = format!(
+            "reachable from `// analysis: hot` root `{}`: the steady-state pass on the 4 MB card must \
+             not allocate — move the allocation to init time or annotate \
+             `// analysis: allow(ni-no-alloc) reason=\"…\"`",
+            self.root
+        );
+        if let Some(t) = self.ty.cx.toks.get(tok) {
+            self.out.push(Finding {
+                lint: NI_NO_ALLOC.to_string(),
+                file: self.file.to_path_buf(),
+                line: t.line,
+                col: t.col,
+                message,
+                note: Some(note),
+            });
+        }
+    }
+}
+
+impl Domain for AllocDom<'_, '_> {
+    type V = AbsTy;
+
+    fn bottom(&self) -> AbsTy {
+        self.ty.bottom()
+    }
+    fn join(&self, a: &AbsTy, b: &AbsTy) -> AbsTy {
+        self.ty.join(a, b)
+    }
+    fn param_value(&mut self, p: &Param, self_ty: Option<&str>) -> AbsTy {
+        self.ty.param_value(p, self_ty)
+    }
+    fn bind_split(&self, v: &AbsTy) -> AbsTy {
+        self.ty.bind_split(v)
+    }
+    fn iter_elem(&self, v: &AbsTy) -> AbsTy {
+        self.ty.iter_elem(v)
+    }
+    fn let_decl(&mut self, ty: &TypeRef, inferred: AbsTy) -> AbsTy {
+        self.ty.let_decl(ty, inferred)
+    }
+    fn assign_field(&mut self, old: &AbsTy, value: &AbsTy) -> AbsTy {
+        self.ty.assign_field(old, value)
+    }
+
+    fn transfer(&mut self, e: &Expr, children: &[AbsTy], env: &Env<AbsTy>) -> AbsTy {
+        match e {
+            Expr::MacroCall { name, tok, .. } if matches!(name.as_str(), "vec" | "format") => {
+                self.emit(*tok, format!("`{name}!` allocates in NI hot code"));
+            }
+            Expr::Call { callee, .. } => {
+                if let Expr::Path { segs } = callee.as_ref() {
+                    if segs.len() >= 2 {
+                        let qual = segs[segs.len() - 2].text.as_str();
+                        let last = &segs[segs.len() - 1];
+                        let allocates = matches!(
+                            (qual, last.text.as_str()),
+                            ("Box" | "Rc" | "Arc", "new") | ("String", "from")
+                        ) || (crate::dataflow::GROWABLE.contains(&qual)
+                            && last.text == "with_capacity");
+                        if allocates {
+                            self.emit(last.tok, format!("`{qual}::{}` allocates in NI hot code", last.text));
+                        }
+                    }
+                }
+            }
+            Expr::MethodCall { method, tok, .. } => {
+                let recv = children.first();
+                match method.as_str() {
+                    "to_string" | "to_owned" | "to_vec" | "into_owned" | "collect" => {
+                        self.emit(*tok, format!("`.{method}(…)` allocates in NI hot code"));
+                    }
+                    "clone" if !matches!(recv, Some(AbsTy::Q16 | AbsTy::Frac | AbsTy::RawQ16 | AbsTy::Int { .. })) => {
+                        self.emit(*tok, "`.clone()` in NI hot code may allocate".to_string());
+                    }
+                    "push" | "push_back" | "push_front" | "insert" | "extend" | "append" | "reserve"
+                    | "reserve_exact" | "resize" | "resize_with" => {
+                        if let Some(AbsTy::Coll { head, .. }) = recv {
+                            self.emit(*tok, format!("`.{method}(…)` may grow a `{head}` in NI hot code"));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        self.ty.transfer(e, children, env)
+    }
+}
+
+/// Run `ni-no-alloc` over its whole file set at once: build the
+/// name-keyed call graph, walk reachability from every `// analysis: hot`
+/// root, and scan each reachable function with the allocation domain.
+pub fn ni_no_alloc(files: &[&FileAnalysis], structs: &StructTable, out: &mut Vec<Finding>) {
+    let pairs: Vec<(&ast::File, &Scopes)> = files.iter().map(|fa| (&fa.ast, &fa.scopes)).collect();
+    let graph = CallGraph::build(&pairs, NI_NO_ALLOC);
+    let hot = graph.hot_reachable();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let Some(root) = hot.root_of(i) else { continue };
+        let fa = files[node.file];
+        let root = root.to_string();
+        let mut dom = AllocDom {
+            ty: TypeDomain {
+                cx: TyCx {
+                    structs,
+                    toks: &fa.toks,
+                },
+            },
+            scopes: &fa.scopes,
+            file: &fa.rel,
+            root: &root,
+            out,
+        };
+        flow_fn(node.item, node.self_ty, &mut dom);
+    }
+}
+
+// ---------------------------------------------------------------------
+// sweep-determinism
+// ---------------------------------------------------------------------
+
+/// Channel-receive methods: their results are ordered by arrival.
+const ARRIVAL_SOURCES: [&str; 4] = ["recv", "try_recv", "recv_timeout", "recv_deadline"];
+/// Publishing sinks: appending arrival-ordered values bakes the order in.
+const PUBLISH_SINKS: [&str; 6] = ["push", "push_back", "push_front", "insert", "extend", "append"];
+
+struct TaintDom<'a, 'o> {
+    toks: &'a [Tok],
+    scopes: &'a Scopes,
+    file: &'a Path,
+    out: &'o mut Vec<Finding>,
+}
+
+const SWEEP_NOTE: &str = "sweep output must be byte-identical at every thread count: publish \
+                          results by cell index, never by arrival order or thread identity";
+
+impl TaintDom<'_, '_> {
+    fn emit(&mut self, tok: usize, message: String) {
+        if self.scopes.is_exempt(SWEEP_DETERMINISM, tok) {
+            return;
+        }
+        if let Some(t) = self.toks.get(tok) {
+            self.out
+                .push(finding(SWEEP_DETERMINISM, self.file, t, message, SWEEP_NOTE));
+        }
+    }
+}
+
+impl Domain for TaintDom<'_, '_> {
+    /// `true` — the value derives from channel arrival order.
+    type V = bool;
+
+    fn bottom(&self) -> bool {
+        false
+    }
+    fn join(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    fn param_value(&mut self, _p: &Param, _self_ty: Option<&str>) -> bool {
+        false
+    }
+
+    fn transfer(&mut self, e: &Expr, children: &[bool], _env: &Env<bool>) -> bool {
+        if let Expr::MethodCall { method, tok, .. } = e {
+            if ARRIVAL_SOURCES.contains(&method.as_str()) {
+                return true;
+            }
+            if PUBLISH_SINKS.contains(&method.as_str()) && children.iter().skip(1).any(|t| *t) {
+                self.emit(
+                    *tok,
+                    format!("channel arrival order flows into published results via `.{method}(…)`"),
+                );
+                return false;
+            }
+        }
+        // Everything else propagates taint from any operand.
+        children.iter().any(|t| *t)
+    }
+
+    // `out[i] = value` is the blessed pattern: the slot index, not the
+    // arrival order, decides placement. No check, no re-taint.
+    fn assign_index(&mut self, _target: &Expr, _value: &bool) {}
+}
+
+/// Run `sweep-determinism` over one file: direct thread-identity /
+/// shared-state mentions as token scans, plus the arrival-order taint
+/// pass over every function.
+pub fn sweep_determinism(file: &Path, toks: &[Tok], scopes: &Scopes, ast: &ast::File, out: &mut Vec<Finding>) {
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| !matches!(toks[i].kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    for (ci, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || scopes.is_exempt(SWEEP_DETERMINISM, i) {
+            continue;
+        }
+        match t.text.as_str() {
+            "ThreadId" => out.push(finding(
+                SWEEP_DETERMINISM,
+                file,
+                t,
+                "`ThreadId` in sweep code".to_string(),
+                SWEEP_NOTE,
+            )),
+            "Mutex" | "RwLock" => out.push(finding(
+                SWEEP_DETERMINISM,
+                file,
+                t,
+                format!("`{}` (shared mutable state) in sweep code", t.text),
+                SWEEP_NOTE,
+            )),
+            name if name.starts_with("Atomic") && name.len() > 6 => out.push(finding(
+                SWEEP_DETERMINISM,
+                file,
+                t,
+                format!("`{name}` (shared mutable state) in sweep code"),
+                SWEEP_NOTE,
+            )),
+            "thread" => {
+                let is_current = code.get(ci + 1).is_some_and(|&j| toks[j].is_punct(':'))
+                    && code.get(ci + 2).is_some_and(|&j| toks[j].is_punct(':'))
+                    && code.get(ci + 3).is_some_and(|&j| toks[j].is_ident("current"));
+                if is_current {
+                    out.push(finding(
+                        SWEEP_DETERMINISM,
+                        file,
+                        t,
+                        "`thread::current` (thread identity) in sweep code".to_string(),
+                        SWEEP_NOTE,
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut dom = TaintDom {
+        toks,
+        scopes,
+        file,
+        out,
+    };
+    for_each_fn(ast, &mut |f, self_ty| flow_fn(f, self_ty, &mut dom));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,15 +700,30 @@ mod tests {
     fn run(lint: &str, src: &str) -> Vec<Finding> {
         let toks = lex(src);
         let scopes = analyze(&toks);
+        let ast = crate::parser::parse(&toks);
         let file = PathBuf::from("x.rs");
+        let structs = StructTable::new();
         let mut out = Vec::new();
         match lint {
             NI_NO_FLOAT => ni_no_float(&file, &toks, &scopes, &mut out),
-            NI_NO_PANIC => ni_no_panic(&file, &toks, &scopes, &mut out),
-            SIM_DETERMINISM => sim_determinism(&file, &toks, &scopes, &mut out),
+            NI_NO_PANIC => ni_no_panic(&file, &toks, &scopes, &ast, &mut out),
+            SIM_DETERMINISM => sim_determinism(&file, &toks, &scopes, &ast, &mut out),
             UNSAFE_HYGIENE => unsafe_hygiene(&file, &toks, &scopes, false, &mut out),
+            Q16_OVERFLOW => q16_overflow(&file, &toks, &scopes, &ast, &structs, &mut out),
+            SWEEP_DETERMINISM => sweep_determinism(&file, &toks, &scopes, &ast, &mut out),
+            NI_NO_ALLOC => {
+                let fa = FileAnalysis {
+                    rel: file.clone(),
+                    toks,
+                    scopes,
+                    ast,
+                };
+                ni_no_alloc(&[&fa], &structs, &mut out);
+            }
             _ => unreachable!(),
         }
+        out.sort_by(|a, b| (a.line, a.col, &a.lint).cmp(&(b.line, b.col, &b.lint)));
+        out.dedup();
         out
     }
 
@@ -225,19 +739,25 @@ mod tests {
         let hits = run(NI_NO_PANIC, "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"b\"); }");
         assert_eq!(hits.len(), 3, "{hits:?}");
         // Idents alone (a fn named unwrap, a field expect) do not fire.
-        assert!(run(NI_NO_PANIC, "fn unwrap() {} let expect = 3; let p = panic; ").is_empty());
+        assert!(run(NI_NO_PANIC, "fn unwrap() {} fn g() { let expect = 3; let p = expect; }").is_empty());
+    }
+
+    #[test]
+    fn panic_lint_reaches_into_macro_arguments() {
+        let hits = run(NI_NO_PANIC, "fn f() { log!(\"x\", v.unwrap()); }");
+        assert_eq!(hits.len(), 1, "{hits:?}");
     }
 
     #[test]
     fn determinism_lint_allows_instant_type_but_not_now() {
         let hits = run(
             SIM_DETERMINISM,
-            "use std::collections::HashMap; let t = Instant::now();",
+            "fn f() { use std::collections::HashMap; let t = Instant::now(); }",
         );
         assert_eq!(hits.len(), 2, "{hits:?}");
         assert!(run(
             SIM_DETERMINISM,
-            "fn sig(epoch: Instant) {} use std::collections::BTreeMap;"
+            "fn sig(epoch: Instant) { use std::collections::BTreeMap; }"
         )
         .is_empty());
     }
@@ -251,6 +771,77 @@ mod tests {
         assert_eq!(hits.len(), 2, "allowlist + SAFETY: {hits:?}");
         // With a SAFETY comment, only the allowlist finding remains.
         let hits = run(UNSAFE_HYGIENE, "// SAFETY: caller checked bounds\nunsafe { go() }");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn q16_lint_wants_widening_and_bounded_shifts() {
+        let hits = run(
+            Q16_OVERFLOW,
+            "impl Q16 { fn bad(self, rhs: Q16) -> i64 { self.0 * rhs.0 } }",
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("i128"));
+        // Widened through casts: clean.
+        assert!(run(
+            Q16_OVERFLOW,
+            "impl Q16 { fn good(self, rhs: Q16) -> i64 { ((self.0 as i128) * (rhs.0 as i128)) as i64 } }",
+        )
+        .is_empty());
+        let hits = run(Q16_OVERFLOW, "fn f(x: u32) -> u32 { x << 32 }");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        let hits = run(Q16_OVERFLOW, "fn f(r: Frac) -> u32 { r.num() / r.den() }");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        // The exact cross-multiply idiom is clean.
+        assert!(run(
+            Q16_OVERFLOW,
+            "fn f(x: u64, r: Frac) -> u64 { x * r.num() as u64 / r.den() as u64 }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn alloc_lint_is_reachability_scoped_and_type_aware() {
+        // Not hot: nothing fires.
+        assert!(run(NI_NO_ALLOC, "fn cold(v: &mut Vec<u32>) { v.push(1); }").is_empty());
+        // Hot + collection growth fires; scalar method names on
+        // non-collections do not.
+        let hits = run(
+            NI_NO_ALLOC,
+            "// analysis: hot\nfn service(v: &mut Vec<u32>, s: Scheduler) { v.push(1); s.push(2); }",
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("Vec"));
+        // Reachability through helpers, stopped by constructors.
+        let hits = run(
+            NI_NO_ALLOC,
+            "// analysis: hot\nfn service() { helper(); }\n\
+             fn helper() { let b = Box::new(1); }\n\
+             fn new() { let v = vec![1]; }",
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("Box::new"));
+    }
+
+    #[test]
+    fn sweep_lint_blesses_index_publication_only() {
+        // The slot-vector pattern: clean.
+        assert!(run(
+            SWEEP_DETERMINISM,
+            "fn gather(rx: Receiver, n: usize) { let mut out = init(n); for _ in 0..n { \
+             let (i, value) = rx.recv().expect(\"worker\"); out[i] = Some(value); } }",
+        )
+        .is_empty());
+        // Pushing in arrival order: flagged.
+        let hits = run(
+            SWEEP_DETERMINISM,
+            "fn gather(rx: Receiver, n: usize) { let mut out = init(n); for _ in 0..n { \
+             let v = rx.recv().expect(\"worker\"); out.push(v); } }",
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("arrival order"));
+        // Thread identity mentions.
+        let hits = run(SWEEP_DETERMINISM, "fn f() -> u64 { hash(thread::current().id()) }");
         assert_eq!(hits.len(), 1, "{hits:?}");
     }
 }

@@ -1,35 +1,51 @@
-//! CLI: `cargo run -p nistream-analysis -- check [--format=json] [--root=DIR]`.
+//! CLI: `cargo run -p nistream-analysis -- check [--format=json|sarif]
+//! [--baseline=FILE] [--root=DIR]`, plus `update-baseline`.
 //!
-//! Exit status: 0 when the tree is clean, 1 when any finding is reported,
-//! 2 on usage/configuration errors.
+//! Exit status: 0 when the tree is clean (or every finding is absorbed by
+//! the baseline), 1 when any *new* finding is reported, 2 on
+//! usage/configuration errors.
 
 #![forbid(unsafe_code)]
 
+use nistream_analysis::{baseline, sarif};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: nistream-analysis check [--format=json|text] [--root=DIR]\n\
+        "usage: nistream-analysis check [--format=text|json|sarif] [--baseline=FILE] [--root=DIR]\n\
+         \x20      nistream-analysis update-baseline [--root=DIR]\n\
          \n\
-         Runs the lint families configured in <root>/analysis.toml over the\n\
-         repository. The default root is the workspace the binary was built\n\
-         from, so `cargo run -p nistream-analysis -- check` works anywhere\n\
-         inside the repo."
+         `check` runs the lint families configured in <root>/analysis.toml\n\
+         over the repository. With --baseline, findings already recorded in\n\
+         the baseline file are reported as unchanged and do not fail the\n\
+         run. `update-baseline` rewrites <root>/analysis-baseline.json from\n\
+         the current findings. The default root is the workspace the binary\n\
+         was built from, so `cargo run -p nistream-analysis -- check` works\n\
+         anywhere inside the repo."
     );
     ExitCode::from(2)
 }
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let Some(cmd) = args.next() else {
+    let mut args = std::env::args().skip(1).collect::<Vec<_>>();
+    if args.is_empty() {
         return usage();
-    };
-    if cmd != "check" {
+    }
+    let cmd = args.remove(0);
+    if cmd != "check" && cmd != "update-baseline" {
         return usage();
     }
 
-    let mut format_json = false;
+    let mut format = Format::Text;
+    let mut baseline_path: Option<PathBuf> = None;
     // Default root: the workspace directory, two levels above this crate's
     // manifest (crates/analysis) — robust to being run from any cwd.
     let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -37,15 +53,34 @@ fn main() -> ExitCode {
         .and_then(|p| p.parent())
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
-    for arg in args {
-        if arg == "--format=json" {
-            format_json = true;
-        } else if arg == "--format=text" {
-            format_json = false;
-        } else if let Some(dir) = arg.strip_prefix("--root=") {
-            root = PathBuf::from(dir);
-        } else {
-            return usage();
+
+    // Accept both `--flag=value` and `--flag value`.
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let (flag, value) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None if arg.starts_with("--") => (arg.clone(), None),
+            None => return usage(),
+        };
+        let mut value = match value {
+            Some(v) => Some(v),
+            None => match flag.as_str() {
+                "--format" | "--baseline" | "--root" => it.next(),
+                _ => None,
+            },
+        };
+        match (flag.as_str(), value.take()) {
+            ("--format", Some(v)) => {
+                format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    _ => return usage(),
+                }
+            }
+            ("--baseline", Some(v)) => baseline_path = Some(PathBuf::from(v)),
+            ("--root", Some(v)) => root = PathBuf::from(v),
+            _ => return usage(),
         }
     }
 
@@ -57,19 +92,87 @@ fn main() -> ExitCode {
         }
     };
 
-    if format_json {
-        println!("{}", nistream_analysis::to_json(&findings));
-    } else {
-        for f in &findings {
-            println!("{f}\n");
+    if cmd == "update-baseline" {
+        let path = root.join("analysis-baseline.json");
+        let text = baseline::write(&findings);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("nistream-analysis: writing {}: {e}", path.display());
+            return ExitCode::from(2);
         }
-        if findings.is_empty() {
-            println!("nistream-analysis: clean (0 findings)");
-        } else {
-            println!("nistream-analysis: {} finding(s)", findings.len());
+        println!(
+            "nistream-analysis: wrote {} ({} finding(s))",
+            path.display(),
+            findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Partition against the baseline, when one was given.
+    let (fresh, states) = match &baseline_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("nistream-analysis: reading {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let entries = match baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("nistream-analysis: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            // Multiset matching, like `baseline::partition`, but keeping
+            // the per-finding state in report order for SARIF.
+            let mut budget: std::collections::BTreeMap<(String, String, String), usize> =
+                std::collections::BTreeMap::new();
+            for e in &entries {
+                *budget
+                    .entry((e.lint.clone(), e.file.clone(), e.message.clone()))
+                    .or_insert(0) += 1;
+            }
+            let mut fresh = Vec::new();
+            let mut states = Vec::new();
+            for f in &findings {
+                let key = (f.lint.clone(), f.file.display().to_string(), f.message.clone());
+                match budget.get_mut(&key) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        states.push("unchanged");
+                    }
+                    _ => {
+                        fresh.push(f.clone());
+                        states.push("new");
+                    }
+                }
+            }
+            (fresh, Some(states))
+        }
+        None => (findings.clone(), None),
+    };
+
+    match format {
+        Format::Json => println!("{}", nistream_analysis::to_json(&findings)),
+        Format::Sarif => print!("{}", sarif::to_sarif(&findings, states.as_deref())),
+        Format::Text => {
+            for f in &fresh {
+                println!("{f}\n");
+            }
+            let suppressed = findings.len() - fresh.len();
+            match (fresh.is_empty(), suppressed) {
+                (true, 0) => println!("nistream-analysis: clean (0 findings)"),
+                (true, n) => println!("nistream-analysis: clean ({n} baselined finding(s) suppressed)"),
+                (false, 0) => println!("nistream-analysis: {} finding(s)", fresh.len()),
+                (false, n) => println!(
+                    "nistream-analysis: {} new finding(s), {n} baselined finding(s) suppressed",
+                    fresh.len()
+                ),
+            }
         }
     }
-    if findings.is_empty() {
+    if fresh.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

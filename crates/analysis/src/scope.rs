@@ -10,6 +10,10 @@
 //!   exempts the rest of its own line, or (when the comment stands alone on
 //!   a line) the following statement/item. The reason is mandatory; an
 //!   annotation without one is itself reported.
+//!
+//! A third annotation, `// analysis: hot`, grants nothing — it *marks* the
+//! next item as a steady-state entry point, seeding the `ni-no-alloc`
+//! call-graph walk.
 
 use crate::lexer::{Tok, TokKind};
 
@@ -21,6 +25,9 @@ pub struct Scopes {
     pub allows: Vec<(String, Vec<bool>)>,
     /// Malformed annotations: `(line, col, message)`.
     pub bad_annotations: Vec<(u32, u32, String)>,
+    /// First code token after each standalone `// analysis: hot` comment;
+    /// the item starting there is a `ni-no-alloc` root.
+    pub hot_marks: Vec<usize>,
 }
 
 impl Scopes {
@@ -181,15 +188,26 @@ fn test_regions(toks: &[Tok]) -> Vec<bool> {
     mask
 }
 
-/// Parse one `// analysis: allow(<lint>) reason="…"` comment. Returns
-/// `Ok(Some(lint))` for a well-formed annotation, `Ok(None)` for a comment
-/// that is not an annotation at all, and `Err(msg)` for a malformed one.
-fn parse_allow(text: &str) -> Result<Option<String>, String> {
+/// A recognised `// analysis: …` annotation.
+enum Annotation {
+    /// `allow(<lint>) reason="…"` — exemption for one lint.
+    Allow(String),
+    /// `hot` — marks the next item as a `ni-no-alloc` root.
+    Hot,
+}
+
+/// Parse one `// analysis: …` comment. Returns `Ok(Some(_))` for a
+/// well-formed annotation, `Ok(None)` for a comment that is not an
+/// annotation at all, and `Err(msg)` for a malformed one.
+fn parse_allow(text: &str) -> Result<Option<Annotation>, String> {
     let body = text.trim_start_matches('/').trim();
     let Some(rest) = body.strip_prefix("analysis:") else {
         return Ok(None);
     };
     let rest = rest.trim();
+    if rest == "hot" {
+        return Ok(Some(Annotation::Hot));
+    }
     let Some(rest) = rest.strip_prefix("allow(") else {
         return Err(format!("unrecognised analysis annotation: `{body}`"));
     };
@@ -207,7 +225,7 @@ fn parse_allow(text: &str) -> Result<Option<String>, String> {
     if reason.trim_end_matches('"').trim().is_empty() {
         return Err(format!("analysis: allow({lint}) has an empty reason"));
     }
-    Ok(Some(lint))
+    Ok(Some(Annotation::Allow(lint)))
 }
 
 /// Build the full exemption state for a token stream.
@@ -215,13 +233,24 @@ pub fn analyze(toks: &[Tok]) -> Scopes {
     let in_test = test_regions(toks);
     let mut allows: Vec<(String, Vec<bool>)> = Vec::new();
     let mut bad = Vec::new();
+    let mut hot_marks = Vec::new();
 
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::LineComment {
             continue;
         }
         let lint = match parse_allow(&t.text) {
-            Ok(Some(l)) => l,
+            Ok(Some(Annotation::Allow(l))) => l,
+            Ok(Some(Annotation::Hot)) => {
+                let mut k = i + 1;
+                while k < toks.len() && !is_code(toks, k) {
+                    k += 1;
+                }
+                if k < toks.len() {
+                    hot_marks.push(k);
+                }
+                continue;
+            }
             Ok(None) => continue,
             Err(msg) => {
                 bad.push((t.line, t.col, msg));
@@ -263,6 +292,7 @@ pub fn analyze(toks: &[Tok]) -> Scopes {
         in_test,
         allows,
         bad_annotations: bad,
+        hot_marks,
     }
 }
 
@@ -333,6 +363,16 @@ mod tests {
         assert!(s.bad_annotations[0].2.contains("reason"));
         let float_at = toks.iter().position(|t| t.text == "1.5").unwrap();
         assert!(!s.is_exempt("ni-no-float", float_at), "malformed allow grants nothing");
+    }
+
+    #[test]
+    fn hot_annotation_marks_the_next_item() {
+        let toks = lex("// analysis: hot\npub fn service_once() {}\nfn other() {}");
+        let s = analyze(&toks);
+        assert!(s.bad_annotations.is_empty(), "{:?}", s.bad_annotations);
+        let pub_at = toks.iter().position(|t| t.is_ident("pub")).unwrap();
+        assert_eq!(s.hot_marks, vec![pub_at]);
+        assert!(!s.is_exempt("ni-no-alloc", pub_at), "hot is a mark, not an exemption");
     }
 
     #[test]

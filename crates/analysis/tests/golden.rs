@@ -1,0 +1,295 @@
+//! Golden test: the fixture corpus produces *exactly* these findings.
+//!
+//! `fixtures_trip_each_family` (in the crate) asserts every family fires
+//! at least once; this test pins the complete finding set — lint, file,
+//! position and message — so that any behavioural drift in the lexer,
+//! parser, dataflow engine or lint passes shows up as a diff here.
+
+use nistream_analysis::{lints, Config};
+use std::path::Path;
+
+fn fixture_config() -> Config {
+    Config::parse(
+        r#"
+        [lint.ni-no-float]
+        paths = ["float_violations.rs"]
+        [lint.ni-no-panic]
+        paths = ["panic_violations.rs"]
+        [lint.sim-determinism]
+        paths = ["determinism_violations.rs"]
+        [lint.unsafe-hygiene]
+        paths = ["unsafe_violations.rs"]
+        allow_files = []
+        [lint.ni-no-alloc]
+        paths = ["alloc_violations.rs"]
+        [lint.q16-overflow]
+        paths = ["q16_violations.rs"]
+        [lint.sweep-determinism]
+        paths = ["sweep_violations.rs"]
+        "#,
+    )
+    .unwrap()
+}
+
+/// `(lint, file, line, col, message)` for every expected finding, in
+/// report order (file, line, col, lint).
+const EXPECTED: &[(&str, &str, u32, u32, &str)] = &[
+    (
+        "ni-no-alloc",
+        "alloc_violations.rs",
+        10,
+        13,
+        "`.push(…)` may grow a `Vec` in NI hot code",
+    ),
+    (
+        "ni-no-alloc",
+        "alloc_violations.rs",
+        11,
+        18,
+        "`Box::new` allocates in NI hot code",
+    ),
+    (
+        "ni-no-alloc",
+        "alloc_violations.rs",
+        12,
+        17,
+        "`format!` allocates in NI hot code",
+    ),
+    (
+        "ni-no-alloc",
+        "alloc_violations.rs",
+        18,
+        14,
+        "`.push_back(…)` may grow a `VecDeque` in NI hot code",
+    ),
+    (
+        "ni-no-alloc",
+        "alloc_violations.rs",
+        58,
+        18,
+        "`.push_back(…)` may grow a `VecDeque` in NI hot code",
+    ),
+    (
+        "sim-determinism",
+        "determinism_violations.rs",
+        4,
+        23,
+        "`HashMap` in deterministic-simulation code",
+    ),
+    (
+        "sim-determinism",
+        "determinism_violations.rs",
+        5,
+        23,
+        "`HashSet` in deterministic-simulation code",
+    ),
+    (
+        "sim-determinism",
+        "determinism_violations.rs",
+        6,
+        26,
+        "`SystemTime` in deterministic-simulation code",
+    ),
+    (
+        "sim-determinism",
+        "determinism_violations.rs",
+        9,
+        17,
+        "`SystemTime` in deterministic-simulation code",
+    ),
+    (
+        "sim-determinism",
+        "determinism_violations.rs",
+        10,
+        13,
+        "`Instant::now` (wall clock) in deterministic-simulation code",
+    ),
+    (
+        "sim-determinism",
+        "determinism_violations.rs",
+        15,
+        12,
+        "`HashMap` in deterministic-simulation code",
+    ),
+    (
+        "sim-determinism",
+        "determinism_violations.rs",
+        15,
+        32,
+        "`HashMap` in deterministic-simulation code",
+    ),
+    (
+        "sim-determinism",
+        "determinism_violations.rs",
+        16,
+        12,
+        "`HashSet` in deterministic-simulation code",
+    ),
+    (
+        "sim-determinism",
+        "determinism_violations.rs",
+        16,
+        27,
+        "`HashSet` in deterministic-simulation code",
+    ),
+    (
+        "ni-no-float",
+        "float_violations.rs",
+        4,
+        20,
+        "`f64` mentioned in NI-resident code",
+    ),
+    (
+        "ni-no-float",
+        "float_violations.rs",
+        4,
+        28,
+        "`f64` mentioned in NI-resident code",
+    ),
+    (
+        "ni-no-float",
+        "float_violations.rs",
+        9,
+        16,
+        "floating-point literal `1.5` in NI-resident code",
+    ),
+    (
+        "ni-no-float",
+        "float_violations.rs",
+        14,
+        11,
+        "`f32` mentioned in NI-resident code",
+    ),
+    (
+        "ni-no-panic",
+        "panic_violations.rs",
+        5,
+        7,
+        "`.unwrap(…)` in non-test NI code",
+    ),
+    (
+        "ni-no-panic",
+        "panic_violations.rs",
+        9,
+        7,
+        "`.expect(…)` in non-test NI code",
+    ),
+    (
+        "ni-no-panic",
+        "panic_violations.rs",
+        14,
+        14,
+        "`todo!` in non-test NI code",
+    ),
+    (
+        "ni-no-panic",
+        "panic_violations.rs",
+        15,
+        14,
+        "`unreachable!` in non-test NI code",
+    ),
+    (
+        "ni-no-panic",
+        "panic_violations.rs",
+        16,
+        14,
+        "`panic!` in non-test NI code",
+    ),
+    (
+        "q16-overflow",
+        "q16_violations.rs",
+        6,
+        21,
+        "Q16×Q16 raw multiply without i128 widening",
+    ),
+    (
+        "q16-overflow",
+        "q16_violations.rs",
+        16,
+        7,
+        "shift by 32 exceeds the 32-bit width of the shifted value",
+    ),
+    (
+        "q16-overflow",
+        "q16_violations.rs",
+        25,
+        13,
+        "`Frac::num()` / `Frac::den()` floor-division truncates the exact rational",
+    ),
+    (
+        "q16-overflow",
+        "q16_violations.rs",
+        29,
+        13,
+        "lossy cast of a `Frac` component to `u16`",
+    ),
+    (
+        "sweep-determinism",
+        "sweep_violations.rs",
+        8,
+        13,
+        "channel arrival order flows into published results via `.push(…)`",
+    ),
+    (
+        "sweep-determinism",
+        "sweep_violations.rs",
+        14,
+        14,
+        "`thread::current` (thread identity) in sweep code",
+    ),
+    (
+        "sweep-determinism",
+        "sweep_violations.rs",
+        18,
+        32,
+        "`AtomicU64` (shared mutable state) in sweep code",
+    ),
+    (
+        "unsafe-hygiene",
+        "unsafe_violations.rs",
+        5,
+        5,
+        "`unsafe` in a file not on the unsafe allowlist",
+    ),
+    (
+        "unsafe-hygiene",
+        "unsafe_violations.rs",
+        5,
+        5,
+        "`unsafe` without a `// SAFETY:` comment",
+    ),
+    (
+        "unsafe-hygiene",
+        "unsafe_violations.rs",
+        10,
+        5,
+        "`unsafe` in a file not on the unsafe allowlist",
+    ),
+];
+
+#[test]
+fn fixture_corpus_findings_are_pinned() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let findings = nistream_analysis::check(&root, &fixture_config()).unwrap();
+    let actual: Vec<(String, String, u32, u32, String)> = findings
+        .iter()
+        .map(|f| {
+            (
+                f.lint.clone(),
+                f.file.display().to_string(),
+                f.line,
+                f.col,
+                f.message.clone(),
+            )
+        })
+        .collect();
+    let expected: Vec<(String, String, u32, u32, String)> = EXPECTED
+        .iter()
+        .map(|(l, f, ln, c, m)| (l.to_string(), f.to_string(), *ln, *c, m.to_string()))
+        .collect();
+    assert_eq!(actual, expected, "fixture findings drifted — actual list:\n{actual:#?}");
+    // Sanity: all seven families are represented.
+    for lint in lints::ALL_LINTS {
+        assert!(actual.iter().any(|(l, ..)| l == lint), "no {lint} finding");
+    }
+}

@@ -78,7 +78,7 @@ impl StreamStats {
         // edge (the ratio is what matters, not the absolute counts).
         let mut num = self.sent_on_time;
         let mut den = done;
-        while den > (1 << 46) {
+        while den > (1u64 << 46) {
             num >>= 1;
             den >>= 1;
         }

@@ -100,6 +100,7 @@ impl DualHeap {
 
     fn ensure(&mut self, idx: usize) {
         if idx >= self.stamps.len() {
+            // analysis: allow(ni-no-alloc) reason="grows only when a new stream id is admitted, bounded by stream count"
             self.stamps.resize(idx + 1, None);
         }
     }
@@ -149,7 +150,9 @@ impl ScheduleRepr for DualHeap {
         // Two sift-ups: ~log n compares and touches each.
         self.work.compares += 2 * self.log_len();
         self.work.touches += 2 * (self.log_len() + 1);
+        // analysis: allow(ni-no-alloc) reason="heap capacity reserved at construction; lazy invalidation is the cost model this representation measures"
         self.deadline_heap.push(Reverse(ByPrecedence(e)));
+        // analysis: allow(ni-no-alloc) reason="heap capacity reserved at construction; lazy invalidation is the cost model this representation measures"
         self.tolerance_heap.push(Reverse(ByTolerance(e)));
     }
 

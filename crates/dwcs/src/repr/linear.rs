@@ -32,6 +32,7 @@ impl LinearScan {
 
     fn ensure(&mut self, idx: usize) {
         if idx >= self.slots.len() {
+            // analysis: allow(ni-no-alloc) reason="grows only when a new stream id is admitted, bounded by stream count"
             self.slots.resize(idx + 1, None);
         }
     }

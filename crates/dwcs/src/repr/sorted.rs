@@ -72,6 +72,7 @@ impl ScheduleRepr for SortedList {
         self.remove_sid(sid);
         let pos = self.position(&key);
         self.work.touches += (self.entries.len() - pos + 1) as u64;
+        // analysis: allow(ni-no-alloc) reason="capacity is recycled across passes; the vec lengthens only at admission"
         self.entries.insert(pos, (key, sid));
     }
 

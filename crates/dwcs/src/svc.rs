@@ -228,6 +228,7 @@ impl<R: ScheduleRepr, P: Platform> SchedService<R, P> {
     /// events in that order, stamped with the pass-start clock (the
     /// decoupled drain stamps each dispatch with its own pop time, which
     /// is what [`DispatchRecord::decided_at`] already records).
+    // analysis: hot
     pub fn service_once(&mut self) -> ServiceOutcome {
         let now = self.platform.now();
         let decision = self.sched.schedule_next(now);

@@ -31,7 +31,7 @@ impl Q16 {
     /// From a ratio `num/den` (`den != 0`), rounding toward zero.
     #[inline]
     pub const fn from_ratio(num: i64, den: i64) -> Q16 {
-        Q16((num << FRAC_BITS) / den)
+        Q16((((num as i128) << FRAC_BITS) / den as i128) as i64)
     }
 
     /// Raw fixed-point bits.
@@ -136,7 +136,7 @@ impl Mul for Q16 {
     type Output = Q16;
     #[inline]
     fn mul(self, rhs: Q16) -> Q16 {
-        Q16((self.0 * rhs.0) >> FRAC_BITS)
+        Q16((((self.0 as i128) * (rhs.0 as i128)) >> FRAC_BITS) as i64)
     }
 }
 
@@ -144,7 +144,7 @@ impl Div for Q16 {
     type Output = Q16;
     #[inline]
     fn div(self, rhs: Q16) -> Q16 {
-        Q16((self.0 << FRAC_BITS) / rhs.0)
+        Q16((((self.0 as i128) << FRAC_BITS) / rhs.0 as i128) as i64)
     }
 }
 

@@ -67,27 +67,23 @@ macro_rules! driver {
                         // (debug_assert in both engines); clamp to `now`
                         // when a prior RunUntil has advanced past `t`.
                         let at = SimTime::from_nanos(t).max(e.now());
-                        ids.push(
-                            e.schedule_at(at, move |w: &mut Log, e: &mut E| {
-                                w.push((e.now().as_nanos(), my));
-                                if let Some(d) = nested {
-                                    e.schedule_in(SimDuration::from_nanos(d), move |w: &mut Log, e: &mut E| {
-                                        w.push((e.now().as_nanos(), my + 1_000_000));
-                                    });
-                                }
-                            }),
-                        );
+                        ids.push(e.schedule_at(at, move |w: &mut Log, e: &mut E| {
+                            w.push((e.now().as_nanos(), my));
+                            if let Some(d) = nested {
+                                e.schedule_in(SimDuration::from_nanos(d), move |w: &mut Log, e: &mut E| {
+                                    w.push((e.now().as_nanos(), my + 1_000_000));
+                                });
+                            }
+                        }));
                     }
                     Op::Burst { t, n } => {
                         let at = SimTime::from_nanos(t).max(e.now());
                         for _ in 0..n {
                             let my = tag;
                             tag += 1;
-                            ids.push(
-                                e.schedule_at(at, move |w: &mut Log, e: &mut E| {
-                                    w.push((e.now().as_nanos(), my));
-                                }),
-                            );
+                            ids.push(e.schedule_at(at, move |w: &mut Log, e: &mut E| {
+                                w.push((e.now().as_nanos(), my));
+                            }));
                         }
                     }
                     Op::Cancel { k } => {
