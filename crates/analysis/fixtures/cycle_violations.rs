@@ -1,0 +1,69 @@
+//! Fixture: ni-cycle-budget violations and exemptions.
+//! Never compiled — scanned by `nistream-analysis` tests only.
+
+pub struct Queue {
+    head: u64,
+    tail: u64,
+}
+
+// Clean: a counted range infers its own trip count.
+// analysis: hot
+pub fn hot_counted(acc: &mut u64) {
+    for i in 0..16 {
+        *acc += i;
+    }
+}
+
+// Clean: data-dependent loop with an asserted worst case.
+// analysis: hot
+pub fn hot_annotated(q: &mut Queue) {
+    // analysis: bound 64
+    while q.head != q.tail {
+        q.head += 1;
+    }
+}
+
+// Violation: no bound at all — the loop and the root both fire.
+// analysis: hot
+pub fn hot_unbounded(q: &mut Queue) {
+    while q.head != q.tail {
+        q.head += 1;
+    }
+}
+
+// Violation: honestly bounded, but the bound blows the cycle budget.
+// analysis: hot
+pub fn hot_over_budget(q: &mut Queue) {
+    // analysis: bound 200000
+    while q.head != q.tail {
+        q.head = q.head * 31 + 7;
+    }
+}
+
+// Violation: the annotation covers no loop or drain.
+fn dangling(x: u64) -> u64 {
+    // analysis: bound 8
+    x + 1
+}
+
+// analysis: hot
+pub fn hot_calls_dangling(x: u64) -> u64 {
+    dangling(x)
+}
+
+// Exempt: an allowed drain contributes a single iteration, no finding.
+// analysis: hot
+pub fn hot_allowed_drain(v: &mut Vec<u64>) -> usize {
+    // analysis: allow(ni-cycle-budget) reason="host-side maintenance path, not NI firmware"
+    v.iter().position(|&x| x == 0).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    // analysis: hot
+    fn probe(q: &mut Queue) {
+        while q.head != 0 {
+            q.head -= 1;
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Fixture: ni-stack-depth violations and exemptions.
+//! Never compiled — scanned by `nistream-analysis` tests only.
+//! The golden/config tests run this file with `max_call_depth = 4` so the
+//! deep-chain case stays small.
+
+// Violation: recursion has no static stack bound.
+fn spin(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        spin(n - 1)
+    }
+}
+
+// analysis: hot
+pub fn hot_recursive(n: u64) -> u64 {
+    spin(n)
+}
+
+// Violation: five frames from the root, over max_call_depth = 4.
+fn d4(x: u64) -> u64 {
+    x + 4
+}
+fn d3(x: u64) -> u64 {
+    d4(x) + 3
+}
+fn d2(x: u64) -> u64 {
+    d3(x) + 2
+}
+fn d1(x: u64) -> u64 {
+    d2(x) + 1
+}
+
+// analysis: hot
+pub fn hot_deep_chain(x: u64) -> u64 {
+    d1(x)
+}
+
+// Violation: a 4 KiB scratch buffer on the NI interrupt stack.
+// analysis: hot
+pub fn hot_large_local(seed: u8) -> u8 {
+    let scratch: [u8; 4096] = [seed; 4096];
+    scratch[seed as usize & 4095]
+}
+
+// Violation: the whole frame blows max_stack_bytes (plus the local check).
+// analysis: hot
+pub fn hot_huge_frame(seed: u64) -> u64 {
+    let big: [u64; 4000] = [seed; 4000];
+    big[seed as usize & 3999]
+}
+
+// Exempt: an allowed function is summarized as one opaque frame, so the
+// recursion inside it is out of scope.
+// analysis: allow(ni-stack-depth) reason="host-side helper; depth bounded by admission control"
+fn host_recurse(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        host_recurse(n - 1)
+    }
+}
+
+// analysis: hot
+pub fn hot_allowed_recursion(n: u64) -> u64 {
+    host_recurse(n)
+}
+
+#[cfg(test)]
+mod tests {
+    // analysis: hot
+    fn probe(n: u64) -> u64 {
+        probe(n)
+    }
+}

@@ -1,8 +1,9 @@
 //! `analysis.toml` — which lints run over which paths.
 //!
 //! A deliberately small TOML subset (this crate takes no dependencies):
-//! `[lint.<name>]` tables, `key = "string"` and `key = ["a", "b"]` entries,
-//! `#` comments. That is all the checked-in config uses.
+//! `[lint.<name>]` tables, `key = "string"`, `key = ["a", "b"]` and
+//! `key = 123` (bare integer, `_` separators allowed) entries, `#`
+//! comments. That is all the checked-in config uses.
 
 use std::path::PathBuf;
 
@@ -15,6 +16,17 @@ pub struct LintConfig {
     pub paths: Vec<PathBuf>,
     /// Files permitted to contain `unsafe` (unsafe-hygiene only).
     pub allow_files: Vec<PathBuf>,
+    /// Numeric knobs (`budget_cycles = 1_000_000`, …), in file order.
+    /// Which keys a lint accepts is validated against `lints::LINT_INFO`
+    /// when a check runs, not at parse time.
+    pub nums: Vec<(String, u64)>,
+}
+
+impl LintConfig {
+    /// Look up a numeric knob by key.
+    pub fn num(&self, key: &str) -> Option<u64> {
+        self.nums.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
 }
 
 /// Parsed `analysis.toml`.
@@ -76,11 +88,24 @@ impl Config {
                 .split_once('=')
                 .ok_or_else(|| format!("line {}: expected `key = value`", ln + 1))?;
             let idx = current.ok_or_else(|| format!("line {}: entry outside any [lint.*] section", ln + 1))?;
-            let values = parse_value(value.trim()).map_err(|e| format!("line {}: {e}", ln + 1))?;
             match key.trim() {
-                "paths" => cfg.lints[idx].paths = values.into_iter().map(PathBuf::from).collect(),
-                "allow_files" => cfg.lints[idx].allow_files = values.into_iter().map(PathBuf::from).collect(),
-                other => return Err(format!("line {}: unknown key `{other}`", ln + 1)),
+                "paths" => {
+                    let values = parse_value(value.trim()).map_err(|e| format!("line {}: {e}", ln + 1))?;
+                    cfg.lints[idx].paths = values.into_iter().map(PathBuf::from).collect();
+                }
+                "allow_files" => {
+                    let values = parse_value(value.trim()).map_err(|e| format!("line {}: {e}", ln + 1))?;
+                    cfg.lints[idx].allow_files = values.into_iter().map(PathBuf::from).collect();
+                }
+                other => match parse_int(value.trim()) {
+                    Some(v) => cfg.lints[idx].nums.push((other.to_string(), v)),
+                    None => {
+                        return Err(format!(
+                            "line {}: unknown key `{other}` (string keys: paths, allow_files; other keys take a bare integer)",
+                            ln + 1
+                        ))
+                    }
+                },
             }
         }
         Ok(cfg)
@@ -116,6 +141,15 @@ fn parse_value(v: &str) -> Result<Vec<String>, String> {
         return Ok(out);
     }
     Ok(vec![parse_string(v)?])
+}
+
+/// A bare integer value, with optional `_` group separators.
+fn parse_int(v: &str) -> Option<u64> {
+    let digits = v.replace('_', "");
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
 }
 
 fn parse_string(v: &str) -> Result<String, String> {
@@ -169,6 +203,22 @@ mod tests {
         .unwrap();
         assert_eq!(cfg.lints[0].paths, vec![PathBuf::from("a"), PathBuf::from("b")]);
         assert_eq!(cfg.lints[1].paths, vec![PathBuf::from("c")]);
+    }
+
+    #[test]
+    fn numeric_keys_parse_with_separators() {
+        let cfg = Config::parse("[lint.ni-cycle-budget]\npaths = [\"a\"]\nbudget_cycles = 1_000_000\n").unwrap();
+        let l = cfg.lint("ni-cycle-budget").unwrap();
+        assert_eq!(l.num("budget_cycles"), Some(1_000_000));
+        assert_eq!(l.num("missing"), None);
+        assert!(
+            Config::parse("[lint.x]\nbudget_cycles = \"many\"").is_err(),
+            "strings are not integers"
+        );
+        assert!(
+            Config::parse("[lint.x]\nwhatever = maybe").is_err(),
+            "bare words are not integers"
+        );
     }
 
     #[test]

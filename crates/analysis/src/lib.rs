@@ -22,6 +22,12 @@
 //!   never truncate `Frac` components back to bare integers.
 //! * [`lints::SWEEP_DETERMINISM`] — published sweep results must not
 //!   depend on thread identity or channel arrival order.
+//! * [`lints::NI_CYCLE_BUDGET`] — interprocedural worst-case cycle bound
+//!   for every `// analysis: hot` root ([`costmodel`]) must fit the
+//!   configured per-frame budget at 66 MHz; unbounded loops on the hot
+//!   path are findings.
+//! * [`lints::NI_STACK_DEPTH`] — hot paths must have bounded call depth,
+//!   no recursion, and no large stack locals.
 //!
 //! The pipeline parses each file once — lex ([`lexer`]) → exemptions
 //! ([`scope`]) → tolerant AST ([`parser`]/[`ast`]) — then runs token
@@ -43,6 +49,7 @@ pub mod ast;
 pub mod baseline;
 pub mod callgraph;
 pub mod config;
+pub mod costmodel;
 pub mod dataflow;
 pub mod diag;
 pub mod json;
@@ -130,6 +137,17 @@ pub fn check(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
                 lints::ALL_LINTS.join(", ")
             ));
         }
+        // Numeric knobs are only meaningful on lints that declare them.
+        let info = lints::LINT_INFO.iter().find(|i| i.name == lint.name);
+        for (key, _) in &lint.nums {
+            let known = info.is_some_and(|i| i.keys.iter().any(|(k, _)| k == key));
+            if !known {
+                return Err(format!(
+                    "[lint.{}] does not accept key `{key}` (see `list-lints` for each lint's keys)",
+                    lint.name
+                ));
+            }
+        }
     }
 
     // Union of every lint's file set; each file is read, lexed and
@@ -192,10 +210,15 @@ pub fn check(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
     }
 
     for (name, files) in &per_lint {
-        if name == lints::NI_NO_ALLOC {
-            // Whole-set pass: reachability crosses file boundaries.
+        if name == lints::NI_NO_ALLOC || name == lints::NI_CYCLE_BUDGET || name == lints::NI_STACK_DEPTH {
+            // Whole-set passes: reachability and cost summarization cross
+            // file boundaries.
             let set: Vec<&FileAnalysis> = files.iter().map(|f| &analyses[index[f.as_path()]]).collect();
-            lints::ni_no_alloc(&set, &structs, &mut findings);
+            match name.as_str() {
+                lints::NI_NO_ALLOC => lints::ni_no_alloc(&set, &structs, &mut findings),
+                lints::NI_CYCLE_BUDGET => lints::ni_cycle_budget(&set, &structs, cfg.lint(name), &mut findings),
+                _ => lints::ni_stack_depth(&set, &structs, cfg.lint(name), &mut findings),
+            }
             continue;
         }
         for file in files {
@@ -236,6 +259,44 @@ pub fn check_root(root: &Path) -> Result<Vec<Finding>, String> {
     check(root, &cfg)
 }
 
+/// Produce the worst-case cost report for every hot root in the
+/// `ni-cycle-budget` file set of `cfg` (the CLI `budget` subcommand).
+/// Returns the per-root reports plus the effective [`costmodel::CostModel`]
+/// so callers can show budget margins.
+pub fn budget_report(root: &Path, cfg: &Config) -> Result<(Vec<costmodel::RootReport>, costmodel::CostModel), String> {
+    let lint = cfg
+        .lint(lints::NI_CYCLE_BUDGET)
+        .ok_or_else(|| format!("analysis.toml has no [lint.{}] section", lints::NI_CYCLE_BUDGET))?;
+    let files = lint_files(root, lint)?;
+    let mut analyses: Vec<FileAnalysis> = Vec::with_capacity(files.len());
+    for file in &files {
+        let src = std::fs::read_to_string(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let toks = lexer::lex(&src);
+        let scopes = scope::analyze(&toks);
+        let ast = parser::parse(&toks);
+        let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
+        analyses.push(FileAnalysis { rel, toks, scopes, ast });
+    }
+    let mut structs = dataflow::StructTable::new();
+    for fa in &analyses {
+        ast::for_each_struct(&fa.ast, &mut |s| {
+            if fa.scopes.in_test.get(s.span.start).copied().unwrap_or(false) {
+                return;
+            }
+            structs.entry(s.name.clone()).or_insert_with(|| {
+                s.fields
+                    .iter()
+                    .map(|(n, t)| (n.clone(), dataflow::abs_from_typeref(t)))
+                    .collect()
+            });
+        });
+    }
+    let set: Vec<&FileAnalysis> = analyses.iter().collect();
+    let opts = costmodel::CostModel::from_config(Some(lint));
+    let report = costmodel::analyze(&set, &structs, &opts, lints::NI_CYCLE_BUDGET);
+    Ok((report.roots, opts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +324,11 @@ mod tests {
             paths = ["q16_violations.rs"]
             [lint.sweep-determinism]
             paths = ["sweep_violations.rs"]
+            [lint.ni-cycle-budget]
+            paths = ["cycle_violations.rs"]
+            [lint.ni-stack-depth]
+            paths = ["stack_violations.rs"]
+            max_call_depth = 4
             "#,
         )
         .unwrap();

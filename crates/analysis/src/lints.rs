@@ -1,4 +1,4 @@
-//! The seven lint families.
+//! The nine lint families.
 //!
 //! Two kinds of pass coexist:
 //!
@@ -56,9 +56,19 @@ pub const Q16_OVERFLOW: &str = "q16-overflow";
 /// published results must not depend on thread identity or channel-recv
 /// arrival order; index-addressed publication is the blessed pattern.
 pub const SWEEP_DETERMINISM: &str = "sweep-determinism";
+/// `ni-cycle-budget`: WCET-style cost analysis — every loop reachable
+/// from a `// analysis: hot` root must have a static trip-count bound
+/// (counted range or `// analysis: bound N`), and the root's worst-case
+/// cycles (the [`crate::costmodel`] interval, i960-calibrated) must fit
+/// the configured per-decision budget at 66 MHz.
+pub const NI_CYCLE_BUDGET: &str = "ni-cycle-budget";
+/// `ni-stack-depth`: hot roots must have bounded call depth, no
+/// recursion, no oversized stack locals — NI firmware runs on a small
+/// fixed interrupt stack.
+pub const NI_STACK_DEPTH: &str = "ni-stack-depth";
 
 /// All lint names, for config validation.
-pub const ALL_LINTS: [&str; 7] = [
+pub const ALL_LINTS: [&str; 9] = [
     NI_NO_FLOAT,
     NI_NO_PANIC,
     SIM_DETERMINISM,
@@ -66,6 +76,78 @@ pub const ALL_LINTS: [&str; 7] = [
     NI_NO_ALLOC,
     Q16_OVERFLOW,
     SWEEP_DETERMINISM,
+    NI_CYCLE_BUDGET,
+    NI_STACK_DEPTH,
+];
+
+/// CLI metadata for one lint family (`list-lints`, numeric-key
+/// validation).
+pub struct LintInfo {
+    /// Family name as spelled in `analysis.toml`.
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Extra config keys beyond `paths`: `(key, meaning)`.
+    pub keys: &'static [(&'static str, &'static str)],
+}
+
+/// One entry per family, in [`ALL_LINTS`] order.
+pub const LINT_INFO: [LintInfo; 9] = [
+    LintInfo {
+        name: NI_NO_FLOAT,
+        summary: "no f32/f64 types, casts or literals in NI-resident code (i960 has no FPU)",
+        keys: &[],
+    },
+    LintInfo {
+        name: NI_NO_PANIC,
+        summary: "no unwrap/expect/panic!-family outside tests — firmware degrades, never dies",
+        keys: &[],
+    },
+    LintInfo {
+        name: SIM_DETERMINISM,
+        summary: "no wall clock or hash-ordered collections in simulation crates",
+        keys: &[],
+    },
+    LintInfo {
+        name: UNSAFE_HYGIENE,
+        summary: "unsafe only in allowlisted files, always with a // SAFETY: comment",
+        keys: &[("allow_files", "files permitted to contain unsafe blocks")],
+    },
+    LintInfo {
+        name: NI_NO_ALLOC,
+        summary: "no heap allocation reachable from // analysis: hot roots",
+        keys: &[],
+    },
+    LintInfo {
+        name: Q16_OVERFLOW,
+        summary: "Q16/Frac arithmetic must widen multiplies and keep shifts in width",
+        keys: &[],
+    },
+    LintInfo {
+        name: SWEEP_DETERMINISM,
+        summary: "published sweep results independent of thread identity and arrival order",
+        keys: &[],
+    },
+    LintInfo {
+        name: NI_CYCLE_BUDGET,
+        summary: "worst-case cycles per hot root bounded and within the per-decision budget",
+        keys: &[(
+            "budget_cycles",
+            "worst-case cycles allowed per decision (default 1_000_000)",
+        )],
+    },
+    LintInfo {
+        name: NI_STACK_DEPTH,
+        summary: "hot roots: bounded call depth, no recursion, no large stack locals",
+        keys: &[
+            ("max_call_depth", "deepest call chain from a hot root (default 24)"),
+            (
+                "max_stack_bytes",
+                "worst-case stack bytes from a hot root (default 16_384)",
+            ),
+            ("max_local_bytes", "largest single stack local (default 1_024)"),
+        ],
+    },
 ];
 
 fn finding(lint: &str, file: &Path, tok: &Tok, message: String, note: &str) -> Finding {
@@ -564,6 +646,37 @@ pub fn ni_no_alloc(files: &[&FileAnalysis], structs: &StructTable, out: &mut Vec
 }
 
 // ---------------------------------------------------------------------
+// ni-cycle-budget / ni-stack-depth
+// ---------------------------------------------------------------------
+
+/// Run `ni-cycle-budget` over a whole file set: the interprocedural
+/// cost analysis ([`crate::costmodel`]) from every hot root, keeping the
+/// cycle-family findings.
+pub fn ni_cycle_budget(
+    files: &[&FileAnalysis],
+    structs: &StructTable,
+    cfg: Option<&crate::config::LintConfig>,
+    out: &mut Vec<Finding>,
+) {
+    let opts = crate::costmodel::CostModel::from_config(cfg);
+    let report = crate::costmodel::analyze(files, structs, &opts, NI_CYCLE_BUDGET);
+    out.extend(report.findings.into_iter().filter(|f| f.lint == NI_CYCLE_BUDGET));
+}
+
+/// Run `ni-stack-depth` over a whole file set: same analysis, pruned by
+/// this family's allows, keeping the stack-family findings.
+pub fn ni_stack_depth(
+    files: &[&FileAnalysis],
+    structs: &StructTable,
+    cfg: Option<&crate::config::LintConfig>,
+    out: &mut Vec<Finding>,
+) {
+    let opts = crate::costmodel::CostModel::from_config(cfg);
+    let report = crate::costmodel::analyze(files, structs, &opts, NI_STACK_DEPTH);
+    out.extend(report.findings.into_iter().filter(|f| f.lint == NI_STACK_DEPTH));
+}
+
+// ---------------------------------------------------------------------
 // sweep-determinism
 // ---------------------------------------------------------------------
 
@@ -711,14 +824,18 @@ mod tests {
             UNSAFE_HYGIENE => unsafe_hygiene(&file, &toks, &scopes, false, &mut out),
             Q16_OVERFLOW => q16_overflow(&file, &toks, &scopes, &ast, &structs, &mut out),
             SWEEP_DETERMINISM => sweep_determinism(&file, &toks, &scopes, &ast, &mut out),
-            NI_NO_ALLOC => {
+            NI_NO_ALLOC | NI_CYCLE_BUDGET | NI_STACK_DEPTH => {
                 let fa = FileAnalysis {
                     rel: file.clone(),
                     toks,
                     scopes,
                     ast,
                 };
-                ni_no_alloc(&[&fa], &structs, &mut out);
+                match lint {
+                    NI_NO_ALLOC => ni_no_alloc(&[&fa], &structs, &mut out),
+                    NI_CYCLE_BUDGET => ni_cycle_budget(&[&fa], &structs, None, &mut out),
+                    _ => ni_stack_depth(&[&fa], &structs, None, &mut out),
+                }
             }
             _ => unreachable!(),
         }

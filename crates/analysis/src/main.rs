@@ -1,13 +1,15 @@
 //! CLI: `cargo run -p nistream-analysis -- check [--format=json|sarif]
-//! [--baseline=FILE] [--root=DIR]`, plus `update-baseline`.
+//! [--baseline=FILE] [--root=DIR]`, plus `update-baseline`, `list-lints`
+//! and `budget`.
 //!
 //! Exit status: 0 when the tree is clean (or every finding is absorbed by
-//! the baseline), 1 when any *new* finding is reported, 2 on
+//! the baseline), 1 when any *new* finding is reported (for `budget`:
+//! when any hot root is unbounded or over budget), 2 on
 //! usage/configuration errors.
 
 #![forbid(unsafe_code)]
 
-use nistream_analysis::{baseline, sarif};
+use nistream_analysis::{baseline, costmodel, lints, sarif, Config};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,16 +17,127 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: nistream-analysis check [--format=text|json|sarif] [--baseline=FILE] [--root=DIR]\n\
          \x20      nistream-analysis update-baseline [--root=DIR]\n\
+         \x20      nistream-analysis list-lints [--root=DIR]\n\
+         \x20      nistream-analysis budget [--root=DIR]\n\
          \n\
          `check` runs the lint families configured in <root>/analysis.toml\n\
          over the repository. With --baseline, findings already recorded in\n\
          the baseline file are reported as unchanged and do not fail the\n\
          run. `update-baseline` rewrites <root>/analysis-baseline.json from\n\
-         the current findings. The default root is the workspace the binary\n\
-         was built from, so `cargo run -p nistream-analysis -- check` works\n\
-         anywhere inside the repo."
+         the current findings. `list-lints` prints every lint family, its\n\
+         config keys and whether analysis.toml enables it. `budget` prints\n\
+         the static worst-case cycle/stack report for every hot root in the\n\
+         ni-cycle-budget file set. The default root is the workspace the\n\
+         binary was built from, so `cargo run -p nistream-analysis -- check`\n\
+         works anywhere inside the repo."
     );
     ExitCode::from(2)
+}
+
+/// Load and parse `<root>/analysis.toml`, mapping IO/parse failures to the
+/// CLI's configuration-error exit path.
+fn load_config(root: &std::path::Path) -> Result<Config, ExitCode> {
+    let path = root.join("analysis.toml");
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        eprintln!("nistream-analysis: reading {}: {e}", path.display());
+        ExitCode::from(2)
+    })?;
+    Config::parse(&text).map_err(|e| {
+        eprintln!("nistream-analysis: {}: {e}", path.display());
+        ExitCode::from(2)
+    })
+}
+
+/// `list-lints`: one block per known family, cross-referenced against the
+/// configuration so CI logs show exactly what runs where.
+fn list_lints(root: &std::path::Path) -> ExitCode {
+    let cfg = match load_config(root) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    for info in &lints::LINT_INFO {
+        let enabled = cfg.lint(info.name);
+        let status = match enabled {
+            Some(l) => format!("enabled ({} path(s))", l.paths.len()),
+            None => "disabled (no analysis.toml section)".to_string(),
+        };
+        println!("{}  [{status}]", info.name);
+        println!("    {}", info.summary);
+        if !info.keys.is_empty() {
+            println!("    keys:");
+            for (key, doc) in info.keys {
+                let set = enabled
+                    .and_then(|l| l.num(key))
+                    .map(|v| format!(" = {v}"))
+                    .unwrap_or_default();
+                println!("      {key}{set} — {doc}");
+            }
+        }
+        if let Some(l) = enabled {
+            for p in &l.paths {
+                println!("    path: {}", p.display());
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+/// `budget`: per-hot-root worst-case cycles (with the 66 MHz wall-clock
+/// equivalent), call depth and stack bytes, checked against the model.
+fn budget(root: &std::path::Path) -> ExitCode {
+    let cfg = match load_config(root) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let (roots, model) = match nistream_analysis::budget_report(root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nistream-analysis: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "NI cycle budget: {} cycles/frame at {} Hz ({} us)",
+        model.budget_cycles,
+        costmodel::I960_HZ,
+        model.budget_cycles * 1_000_000 / costmodel::I960_HZ
+    );
+    let mut bad = false;
+    for r in &roots {
+        let hi = r.cycles.hi;
+        let verdict = if r.cycles.is_unbounded() {
+            bad = true;
+            "UNBOUNDED".to_string()
+        } else if hi > model.budget_cycles {
+            bad = true;
+            format!("OVER BUDGET by {} cycles", hi - model.budget_cycles)
+        } else {
+            format!("ok, {}% of budget", hi * 100 / model.budget_cycles)
+        };
+        println!("\n{} ({}:{})", r.root, r.file.display(), r.line);
+        if r.cycles.is_unbounded() {
+            println!("  worst-case cycles: [{}, unbounded]", r.cycles.lo);
+        } else {
+            println!(
+                "  worst-case cycles: [{}, {}]  ({} us at {} MHz)",
+                r.cycles.lo,
+                hi,
+                hi * 1_000_000 / costmodel::I960_HZ,
+                costmodel::I960_HZ / 1_000_000
+            );
+        }
+        println!("  call depth: {}   stack bytes: {}", r.call_depth, r.stack_bytes);
+        println!("  verdict: {verdict}");
+    }
+    if roots.is_empty() {
+        println!("\nno hot roots in the ni-cycle-budget file set");
+    }
+    if bad {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 #[derive(PartialEq)]
@@ -40,7 +153,7 @@ fn main() -> ExitCode {
         return usage();
     }
     let cmd = args.remove(0);
-    if cmd != "check" && cmd != "update-baseline" {
+    if !matches!(cmd.as_str(), "check" | "update-baseline" | "list-lints" | "budget") {
         return usage();
     }
 
@@ -82,6 +195,12 @@ fn main() -> ExitCode {
             ("--root", Some(v)) => root = PathBuf::from(v),
             _ => return usage(),
         }
+    }
+
+    match cmd.as_str() {
+        "list-lints" => return list_lints(&root),
+        "budget" => return budget(&root),
+        _ => {}
     }
 
     let findings = match nistream_analysis::check_root(&root) {

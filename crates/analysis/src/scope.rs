@@ -12,8 +12,14 @@
 //!   annotation without one is itself reported.
 //!
 //! A third annotation, `// analysis: hot`, grants nothing — it *marks* the
-//! next item as a steady-state entry point, seeding the `ni-no-alloc`
-//! call-graph walk.
+//! next item as a steady-state entry point, seeding the `ni-no-alloc` and
+//! cost-analysis call-graph walks.
+//!
+//! A fourth, `// analysis: bound N`, asserts a worst-case iteration count
+//! for the data-dependent loop (or iterator drain) it precedes — the input
+//! the `ni-cycle-budget` cost walk needs where counted-loop inference
+//! fails. Like `allow`, it covers the rest of its own line, or the
+//! following statement when the comment stands alone.
 
 use crate::lexer::{Tok, TokKind};
 
@@ -28,6 +34,11 @@ pub struct Scopes {
     /// First code token after each standalone `// analysis: hot` comment;
     /// the item starting there is a `ni-no-alloc` root.
     pub hot_marks: Vec<usize>,
+    /// `(token, count)` for each `// analysis: bound N` annotation: the
+    /// first code token of the line/statement it covers, and the asserted
+    /// worst-case iteration count. Consumed by the `ni-cycle-budget` cost
+    /// walk; a mark no loop claims is itself a finding.
+    pub bounds: Vec<(usize, u64)>,
 }
 
 impl Scopes {
@@ -194,6 +205,9 @@ enum Annotation {
     Allow(String),
     /// `hot` — marks the next item as a `ni-no-alloc` root.
     Hot,
+    /// `bound N` — asserts a worst-case iteration count for the loop or
+    /// iterator drain on the covered line/statement.
+    Bound(u64),
 }
 
 /// Parse one `// analysis: …` comment. Returns `Ok(Some(_))` for a
@@ -207,6 +221,16 @@ fn parse_allow(text: &str) -> Result<Option<Annotation>, String> {
     let rest = rest.trim();
     if rest == "hot" {
         return Ok(Some(Annotation::Hot));
+    }
+    if let Some(n) = rest.strip_prefix("bound") {
+        let n = n.trim();
+        if n.is_empty() {
+            return Err("analysis: bound requires an iteration count: `// analysis: bound N`".into());
+        }
+        return match n.replace('_', "").parse::<u64>() {
+            Ok(v) if v > 0 => Ok(Some(Annotation::Bound(v))),
+            _ => Err(format!("analysis: bound expects a positive integer, got `{n}`")),
+        };
     }
     let Some(rest) = rest.strip_prefix("allow(") else {
         return Err(format!("unrecognised analysis annotation: `{body}`"));
@@ -234,6 +258,7 @@ pub fn analyze(toks: &[Tok]) -> Scopes {
     let mut allows: Vec<(String, Vec<bool>)> = Vec::new();
     let mut bad = Vec::new();
     let mut hot_marks = Vec::new();
+    let mut bounds = Vec::new();
 
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::LineComment {
@@ -248,6 +273,18 @@ pub fn analyze(toks: &[Tok]) -> Scopes {
                 }
                 if k < toks.len() {
                     hot_marks.push(k);
+                }
+                continue;
+            }
+            Ok(Some(Annotation::Bound(n))) => {
+                // Trailing form anchors at the first code token of its own
+                // line; standalone form at the first code token after it.
+                let anchor = toks
+                    .iter()
+                    .position(|o| o.line == t.line && !matches!(o.kind, TokKind::LineComment | TokKind::BlockComment))
+                    .or_else(|| (i + 1..toks.len()).find(|&k| is_code(toks, k)));
+                if let Some(k) = anchor {
+                    bounds.push((k, n));
                 }
                 continue;
             }
@@ -293,6 +330,7 @@ pub fn analyze(toks: &[Tok]) -> Scopes {
         allows,
         bad_annotations: bad,
         hot_marks,
+        bounds,
     }
 }
 
@@ -373,6 +411,26 @@ mod tests {
         let pub_at = toks.iter().position(|t| t.is_ident("pub")).unwrap();
         assert_eq!(s.hot_marks, vec![pub_at]);
         assert!(!s.is_exempt("ni-no-alloc", pub_at), "hot is a mark, not an exemption");
+    }
+
+    #[test]
+    fn bound_annotation_standalone_and_trailing() {
+        let toks = lex("// analysis: bound 64\nwhile x { y(); }\nloop { z(); } // analysis: bound 1_000\n");
+        let s = analyze(&toks);
+        assert!(s.bad_annotations.is_empty(), "{:?}", s.bad_annotations);
+        let while_at = toks.iter().position(|t| t.is_ident("while")).unwrap();
+        let loop_at = toks.iter().position(|t| t.is_ident("loop")).unwrap();
+        assert_eq!(s.bounds, vec![(while_at, 64), (loop_at, 1000)]);
+    }
+
+    #[test]
+    fn bound_annotation_rejects_garbage() {
+        let toks = lex("// analysis: bound\nwhile x {}\n// analysis: bound lots\nloop {}");
+        let s = analyze(&toks);
+        assert_eq!(s.bad_annotations.len(), 2);
+        assert!(s.bounds.is_empty());
+        assert!(s.bad_annotations[0].2.contains("iteration count"));
+        assert!(s.bad_annotations[1].2.contains("positive integer"));
     }
 
     #[test]

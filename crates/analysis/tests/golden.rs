@@ -26,6 +26,11 @@ fn fixture_config() -> Config {
         paths = ["q16_violations.rs"]
         [lint.sweep-determinism]
         paths = ["sweep_violations.rs"]
+        [lint.ni-cycle-budget]
+        paths = ["cycle_violations.rs"]
+        [lint.ni-stack-depth]
+        paths = ["stack_violations.rs"]
+        max_call_depth = 4
         "#,
     )
     .unwrap()
@@ -68,6 +73,34 @@ const EXPECTED: &[(&str, &str, u32, u32, &str)] = &[
         58,
         18,
         "`.push_back(…)` may grow a `VecDeque` in NI hot code",
+    ),
+    (
+        "ni-cycle-budget",
+        "cycle_violations.rs",
+        28,
+        8,
+        "hot root `hot_unbounded` has no static cycle bound (see the unbounded-loop findings above)",
+    ),
+    (
+        "ni-cycle-budget",
+        "cycle_violations.rs",
+        29,
+        5,
+        "`while` loop on an NI hot path has no static trip-count bound",
+    ),
+    (
+        "ni-cycle-budget",
+        "cycle_violations.rs",
+        36,
+        8,
+        "hot root `hot_over_budget` may cost 15803929 cycles per decision — over the budget of 1000000 (15151 µs at 66 MHz)",
+    ),
+    (
+        "ni-cycle-budget",
+        "cycle_violations.rs",
+        46,
+        5,
+        "`// analysis: bound 8` does not cover a loop or iterator drain",
     ),
     (
         "sim-determinism",
@@ -222,6 +255,41 @@ const EXPECTED: &[(&str, &str, u32, u32, &str)] = &[
         29,
         13,
         "lossy cast of a `Frac` component to `u16`",
+    ),
+    (
+        "ni-stack-depth",
+        "stack_violations.rs",
+        11,
+        13,
+        "recursive call into `spin` on an NI hot path",
+    ),
+    (
+        "ni-stack-depth",
+        "stack_violations.rs",
+        35,
+        8,
+        "hot root `hot_deep_chain` may reach call depth 5 — over max_call_depth = 4",
+    ),
+    (
+        "ni-stack-depth",
+        "stack_violations.rs",
+        42,
+        5,
+        "stack local of ~4096 bytes — over max_local_bytes = 1024",
+    ),
+    (
+        "ni-stack-depth",
+        "stack_violations.rs",
+        48,
+        8,
+        "hot root `hot_huge_frame` may use 32040 stack bytes — over max_stack_bytes = 16384",
+    ),
+    (
+        "ni-stack-depth",
+        "stack_violations.rs",
+        49,
+        5,
+        "stack local of ~32000 bytes — over max_local_bytes = 1024",
     ),
     (
         "sweep-determinism",

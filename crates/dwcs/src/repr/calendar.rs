@@ -80,6 +80,7 @@ impl CalendarQueue {
 
     /// Grow the calendar when buckets get crowded, rehashing live entries.
     // analysis: allow(ni-no-alloc) reason="amortized doubling, triggered by admission growth rather than steady-state service"
+    // analysis: allow(ni-cycle-budget) reason="amortized rehash in a comparison repr measured host-side; NI placements use LinearScan"
     fn maybe_resize(&mut self) {
         if self.len <= self.buckets.len() * 4 {
             return;
@@ -100,6 +101,7 @@ impl CalendarQueue {
     /// Find the live minimum: sweep one calendar year from the horizon
     /// bucket; if that finds nothing in-year, direct-search everything.
     /// Returns (bucket, index-in-bucket).
+    // analysis: allow(ni-cycle-budget) reason="bucket count is load-dependent; comparison repr measured host-side, NI placements use LinearScan"
     fn find_min(&mut self) -> Option<(usize, usize)> {
         if self.len == 0 {
             return None;
@@ -140,6 +142,7 @@ impl CalendarQueue {
     /// Best live entry in bucket `b`; with `day_end`, only entries whose
     /// deadline is before that day boundary count (current-year test).
     /// Compacts stale entries opportunistically.
+    // analysis: allow(ni-cycle-budget) reason="bucket occupancy is load-dependent; comparison repr measured host-side, NI placements use LinearScan"
     fn scan_bucket(&mut self, b: usize, day_end: Option<Time>) -> Option<usize> {
         // Opportunistic compaction of stale entries.
         let stamps = &self.stamps;

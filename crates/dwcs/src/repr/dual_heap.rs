@@ -164,6 +164,7 @@ impl ScheduleRepr for DualHeap {
         }
     }
 
+    // analysis: allow(ni-cycle-budget) reason="stale-entry skip count is load-dependent; comparison repr measured host-side, NI placements use LinearScan"
     fn peek_min(&mut self) -> Option<(StreamId, HeadKey)> {
         while let Some(Reverse(ByPrecedence(e))) = self.deadline_heap.peek().copied() {
             self.work.touches += 1;

@@ -39,6 +39,10 @@ impl LinearScan {
 
     fn scan_min(&mut self) -> Option<usize> {
         let mut best: Option<(usize, HeadKey)> = None;
+        // One pass over the slot table. NI placements admit at most 16
+        // concurrent streams (the testbed serves a handful of MPEG flows),
+        // so the firmware's per-decision scan touches ≤ 16 slots.
+        // analysis: bound 16
         for (i, slot) in self.slots.iter().enumerate() {
             self.work.touches += 1;
             if let Some(key) = slot {

@@ -37,6 +37,9 @@ impl SortedList {
     fn position(&mut self, key: &HeadKey) -> usize {
         let mut lo = 0usize;
         let mut hi = self.entries.len();
+        // Binary search over the admitted streams (≤ 16 on the NI):
+        // ⌈log2 16⌉ + 1 probes.
+        // analysis: bound 5
         while lo < hi {
             let mid = (lo + hi) / 2;
             self.work.compares += 1;
@@ -52,6 +55,8 @@ impl SortedList {
     }
 
     fn remove_sid(&mut self, sid: StreamId) -> bool {
+        // Linear probe over one entry per admitted stream (≤ 16 on the NI).
+        // analysis: bound 16
         if let Some(pos) = self.entries.iter().position(|&(_, s)| s == sid) {
             self.work.touches += (self.entries.len() - pos) as u64;
             self.entries.remove(pos);

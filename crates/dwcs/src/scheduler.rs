@@ -368,6 +368,12 @@ impl<R: ScheduleRepr> DwcsScheduler<R> {
         // soft-float build pays dearly for).
         self.meter.record(LogicalOp::RatioDivide, 1);
 
+        // Every iteration either returns, skips one stale repr entry, or
+        // drops one late frame. NI placements admit ≤ 16 streams (one live
+        // repr entry each) and configure `max_drops_per_decision` ≤ 16 —
+        // the knob that "keeps worst-case decision latency bounded on the
+        // co-processor" — so the loop runs at most 32 times.
+        // analysis: bound 32
         loop {
             let Some((sid, key)) = self.repr.pop_min() else {
                 work.add(self.repr.take_work());

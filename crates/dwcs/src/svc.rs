@@ -233,6 +233,9 @@ impl<R: ScheduleRepr, P: Platform> SchedService<R, P> {
         let now = self.platform.now();
         let decision = self.sched.schedule_next(now);
         self.sched.take_dropped(&mut self.drops);
+        // One decision's drops: bounded by `max_drops_per_decision` ≤ 16
+        // on the NI, doubled for the same stale slack as decide's bound.
+        // analysis: bound 32
         for desc in self.drops.drain(..) {
             if let Some(ring) = self.platform.tracer() {
                 ring.push(TraceEvent::Drop {
@@ -266,6 +269,10 @@ impl<R: ScheduleRepr, P: Platform> SchedService<R, P> {
             self.platform.dispatch(&rec);
             dispatched += 1;
         }
+        // Decoupled dispatch backlog: schedule_next enqueues at most one
+        // frame per pass and every pass drains the queue dry, so the
+        // backlog never exceeds the admitted stream count (≤ 16 on the NI).
+        // analysis: bound 16
         loop {
             let now = self.platform.now();
             let Some(frame) = self.sched.pop_dispatch(now) else {

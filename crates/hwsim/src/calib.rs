@@ -103,6 +103,31 @@ pub const PCI_DMA_SETUP_NS: u64 = 400;
 /// PCI bus arbitration latency when the bus must be acquired.
 pub const PCI_ARBITRATION_NS: u64 = 600;
 
+/// Every calibration constant above, as a machine-readable name→value
+/// table. `nistream-analysis` mirrors a subset of these in its static
+/// cost model (`costmodel.rs`); the cycle-budget gate test cross-checks
+/// the mirror against this table so the two can never drift silently.
+pub const TABLE: &[(&str, u64)] = &[
+    ("I960_HZ", I960_HZ),
+    ("HOST_HZ", HOST_HZ),
+    ("NI_DECISION_BASE_CYCLES", NI_DECISION_BASE_CYCLES),
+    ("FIXED_RATIO_CYCLES", FIXED_RATIO_CYCLES),
+    ("SOFT_FP_RATIO_CYCLES", SOFT_FP_RATIO_CYCLES),
+    ("RATIO_EVALS_PER_DECISION", RATIO_EVALS_PER_DECISION),
+    ("TOUCH_MISS_CYCLES", TOUCH_MISS_CYCLES),
+    ("TOUCH_HIT_CYCLES", TOUCH_HIT_CYCLES),
+    ("HWQUEUE_TOUCH_CYCLES", HWQUEUE_TOUCH_CYCLES),
+    ("NI_DISPATCH_CYCLES", NI_DISPATCH_CYCLES),
+    ("NI_DISPATCH_CACHED_CYCLES", NI_DISPATCH_CACHED_CYCLES),
+    ("HOST_DECISION_CYCLES", HOST_DECISION_CYCLES),
+    ("HOST_CTX_SWITCH_CYCLES", HOST_CTX_SWITCH_CYCLES),
+    ("PIO_READ_NS", PIO_READ_NS),
+    ("PIO_WRITE_NS", PIO_WRITE_NS),
+    ("PCI_DMA_BYTES_PER_SEC", PCI_DMA_BYTES_PER_SEC),
+    ("PCI_DMA_SETUP_NS", PCI_DMA_SETUP_NS),
+    ("PCI_ARBITRATION_NS", PCI_ARBITRATION_NS),
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;

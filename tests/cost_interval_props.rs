@@ -1,0 +1,85 @@
+//! Properties of the WCET cycle-interval domain (`nistream-analysis`).
+//!
+//! The cost analyzer composes `CycleInterval`s with saturating `add` /
+//! `scale` and the `join` hull. Soundness of the whole analysis rests on
+//! three algebraic facts checked here over random intervals:
+//!
+//! * no composition ever panics or wraps — overflow saturates toward
+//!   `u64::MAX`, which the domain reads as "unbounded";
+//! * `join` is a monotone upper bound (widening never shrinks either
+//!   argument's range), commutative and idempotent;
+//! * `add` and `scale` are monotone in both arguments, so replacing any
+//!   sub-cost with a larger interval can only grow a summary — the
+//!   property that makes bottom-up summarization with opaque fallbacks
+//!   conservative.
+
+use nistream_analysis::costmodel::CycleInterval;
+use proptest::prelude::*;
+
+fn iv(lo: u64, hi: u64) -> CycleInterval {
+    CycleInterval::new(lo.min(hi), lo.max(hi))
+}
+
+/// `a` covers at least everything `b` covers.
+fn contains(a: CycleInterval, b: CycleInterval) -> bool {
+    a.lo <= b.lo && a.hi >= b.hi
+}
+
+proptest! {
+    #[test]
+    fn add_and_scale_never_wrap(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX, c in 0u64..=u64::MAX, d in 0u64..=u64::MAX) {
+        // Any combination — including u64::MAX operands — must saturate,
+        // not panic or wrap below the operands.
+        let x = iv(a, b);
+        let y = iv(c, d);
+        let s = x.add(y);
+        prop_assert!(s.lo >= x.lo && s.lo >= y.lo);
+        prop_assert!(s.hi >= x.hi && s.hi >= y.hi);
+        let p = x.scale(y);
+        prop_assert!(p.lo <= p.hi);
+        if x.is_unbounded() && y.hi > 0 {
+            prop_assert!(p.is_unbounded(), "unbounded absorbs through scale");
+        }
+        if x.is_unbounded() || y.is_unbounded() {
+            prop_assert!(s.is_unbounded(), "unbounded absorbs through add");
+        }
+    }
+
+    #[test]
+    fn join_is_a_commutative_idempotent_upper_bound(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX, c in 0u64..=u64::MAX, d in 0u64..=u64::MAX) {
+        let x = iv(a, b);
+        let y = iv(c, d);
+        let j = x.join(y);
+        prop_assert!(contains(j, x), "join covers lhs");
+        prop_assert!(contains(j, y), "join covers rhs");
+        prop_assert_eq!(y.join(x), j, "commutative");
+        prop_assert_eq!(j.join(x), j, "idempotent on covered args");
+        prop_assert_eq!(x.join(x), x);
+    }
+
+    #[test]
+    fn add_and_scale_are_monotone(
+        a in 0u64..1 << 40, b in 0u64..1 << 40,
+        c in 0u64..1 << 40, d in 0u64..1 << 40,
+        wider in 0u64..1 << 40,
+    ) {
+        let x = iv(a, b);
+        let y = iv(c, d);
+        // Widen x on both ends; every composition must only grow.
+        let xw = CycleInterval::new(x.lo.saturating_sub(wider), x.hi.saturating_add(wider));
+        prop_assert!(contains(xw.add(y), x.add(y)), "add monotone in lhs");
+        prop_assert!(contains(y.add(xw), y.add(x)), "add monotone in rhs");
+        prop_assert!(contains(xw.scale(y), x.scale(y)), "scale monotone in lhs");
+        prop_assert!(contains(y.scale(xw), y.scale(x)), "scale monotone in rhs");
+        prop_assert!(contains(xw.join(y), x.join(y)), "join monotone");
+    }
+
+    #[test]
+    fn exact_intervals_compose_like_scalars(n in 0u64..1 << 30, m in 0u64..1 << 30, k in 1u64..1 << 3) {
+        let s = CycleInterval::exact(n).add(CycleInterval::exact(m));
+        prop_assert_eq!((s.lo, s.hi), (n + m, n + m));
+        let p = CycleInterval::exact(n).scale(CycleInterval::exact(k));
+        prop_assert_eq!((p.lo, p.hi), (n * k, n * k));
+        prop_assert!(!s.is_unbounded() && !p.is_unbounded());
+    }
+}

@@ -1,0 +1,138 @@
+//! Static-vs-dynamic cycle-budget gate.
+//!
+//! The `ni-cycle-budget` lint derives a *static* worst-case cycle interval
+//! for `SchedService::service_once` by abstract interpretation over the
+//! `analysis.toml` file set. This gate validates that bound against the
+//! *dynamic* model: a metered scheduler run, priced per decision with the
+//! same `hwsim::calib` tables the analyzer mirrors.
+//!
+//! Three properties tie the two models together:
+//!
+//! 1. **Soundness** — the static worst case dominates every dynamically
+//!    metered decision (a WCET bound below an observed cost would be a
+//!    bug in the analyzer, the calibration, or an annotation).
+//! 2. **Sanity** — the static bound is not uselessly loose: it stays
+//!    within a fixed factor of the observed worst decision. The factor is
+//!    generous by design — the interval analysis takes every branch and
+//!    every annotated loop bound (16 streams, 16 drops) at once, while
+//!    the dynamic run services 3 short streams — but it is a hard ceiling
+//!    that catches multiplicative blow-ups in the cost walk.
+//! 3. **Calibration** — the constants the analyzer mirrors from
+//!    `hwsim::calib` actually match, by name, so the two models cannot
+//!    silently drift apart.
+
+use nistream::dwcs::types::MILLISECOND;
+use nistream::dwcs::{DwcsScheduler, FrameDesc, FrameKind, LinearScan, StreamQos};
+use nistream::fixedpt::ops::{MathMode, OpKind, OpMeter};
+use nistream::hwsim::calib;
+use nistream_analysis::{costmodel, Config};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Static worst-case report for `SchedService::service_once`, straight
+/// from the repo's own `analysis.toml`.
+fn static_report() -> (costmodel::RootReport, costmodel::CostModel) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("analysis.toml")).expect("analysis.toml");
+    let cfg = Config::parse(&text).expect("analysis.toml parses");
+    let (roots, model) = nistream_analysis::budget_report(root, &cfg).expect("budget report");
+    let svc = roots
+        .into_iter()
+        .find(|r| r.root == "SchedService::service_once")
+        .expect("service_once is a hot root");
+    (svc, model)
+}
+
+/// Run the NI-placement scheduler (fixed-point build, linear-scan repr —
+/// what the i960 firmware does) and price each decision with the i960
+/// cost tables. Returns per-decision cycle costs.
+fn metered_decision_cycles() -> Vec<u64> {
+    let meter = Arc::new(OpMeter::new(MathMode::FixedPoint));
+    let mut s = DwcsScheduler::new(LinearScan::new(4));
+    s.set_meter(Arc::clone(&meter));
+    let sids: Vec<_> = (0..3)
+        .map(|i| s.add_stream(StreamQos::new((10 + i) * MILLISECOND, 2, 8)))
+        .collect();
+    for seq in 0..40u64 {
+        for &sid in &sids {
+            s.enqueue(sid, FrameDesc::new(sid, seq, 1000, FrameKind::P), 0);
+        }
+    }
+
+    // Fixed-point lowering: compares land in IntMul, divides in Shift,
+    // counter updates in IntAlu, data-structure traffic in MemTouch.
+    // Price every touch as a miss — the static model does the same.
+    let price = |snap: &[u64]| -> u64 {
+        calib::NI_DECISION_BASE_CYCLES
+            + snap[OpKind::IntAlu.index()]
+            + snap[OpKind::IntMul.index()] * calib::FIXED_RATIO_CYCLES
+            + snap[OpKind::Shift.index()] * calib::FIXED_RATIO_CYCLES
+            + snap[OpKind::FloatAlu.index()] * calib::SOFT_FP_RATIO_CYCLES
+            + snap[OpKind::FloatDiv.index()] * calib::SOFT_FP_RATIO_CYCLES
+            + snap[OpKind::MemTouch.index()] * calib::TOUCH_MISS_CYCLES
+    };
+
+    let mut out = Vec::new();
+    let mut prev = meter.snapshot();
+    let mut t = 0;
+    while s.has_pending() {
+        let _ = s.schedule_next(t);
+        t += MILLISECOND;
+        let now = meter.snapshot();
+        let delta: Vec<u64> = now.iter().zip(prev.iter()).map(|(a, b)| a - b).collect();
+        prev = now;
+        out.push(price(&delta));
+    }
+    assert!(out.len() >= 120, "3 streams x 40 frames of decisions");
+    out
+}
+
+#[test]
+fn static_bound_dominates_every_metered_decision() {
+    let (svc, model) = static_report();
+    assert!(!svc.cycles.is_unbounded(), "service_once must have a static bound");
+    assert!(
+        svc.cycles.hi <= model.budget_cycles,
+        "static worst case {} exceeds the configured budget {}",
+        svc.cycles.hi,
+        model.budget_cycles
+    );
+
+    let decisions = metered_decision_cycles();
+    let worst = *decisions.iter().max().expect("at least one decision");
+    for (i, &d) in decisions.iter().enumerate() {
+        assert!(
+            d <= svc.cycles.hi,
+            "decision {i} cost {d} cycles, above the static worst case {}",
+            svc.cycles.hi
+        );
+    }
+
+    // The static ceiling is pessimistic, not absurd: every annotated loop
+    // bound (16-stream scans, 16 drops per decision) multiplied together
+    // against a 3-stream run justifies a wide but *fixed* gap.
+    assert!(
+        svc.cycles.hi <= worst.saturating_mul(1024),
+        "static bound {} is more than 1024x the observed worst decision {worst}",
+        svc.cycles.hi
+    );
+    // And the best case can never undercut the decision baseline.
+    assert!(svc.cycles.lo >= calib::NI_DECISION_BASE_CYCLES);
+}
+
+#[test]
+fn analyzer_mirror_constants_match_hwsim_calibration() {
+    let lookup = |name: &str| -> u64 {
+        calib::TABLE
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("{name} missing from hwsim::calib::TABLE"))
+            .1
+    };
+    assert_eq!(costmodel::I960_HZ, lookup("I960_HZ"));
+    assert_eq!(costmodel::NI_DECISION_BASE_CYCLES, lookup("NI_DECISION_BASE_CYCLES"));
+    assert_eq!(costmodel::FIXED_RATIO_CYCLES, lookup("FIXED_RATIO_CYCLES"));
+    assert_eq!(costmodel::SOFT_FP_RATIO_CYCLES, lookup("SOFT_FP_RATIO_CYCLES"));
+    assert_eq!(costmodel::TOUCH_HIT_CYCLES, lookup("TOUCH_HIT_CYCLES"));
+    assert_eq!(costmodel::TOUCH_MISS_CYCLES, lookup("TOUCH_MISS_CYCLES"));
+}
